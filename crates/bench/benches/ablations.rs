@@ -1,0 +1,112 @@
+//! Ablation benches for the design choices DESIGN.md calls out: split
+//! store taints (§9.2), broadcast bandwidth (§4.4/§5.1), branch-tag
+//! (checkpoint) count, and load-hit speculation. Each bench reports the
+//! simulated *cycle count* through the measured runtime of a fixed-size
+//! run, so regressions in either modelling or implementation show up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_core::{Scheme, SchemeConfig};
+use sb_uarch::{Core, CoreConfig};
+use sb_workloads::{generate, spec2017_profiles};
+use std::hint::black_box;
+
+fn profile(name: &str) -> sb_workloads::WorkloadProfile {
+    *spec2017_profiles()
+        .iter()
+        .find(|p| p.name.contains(name))
+        .expect("profile exists")
+}
+
+/// §9.2: unified vs split store taints for STT-Rename on exchange2.
+fn bench_split_store_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_split_store_taints");
+    g.sample_size(10);
+    let p = profile("exchange2");
+    for (label, split) in [("unified", false), ("split", true)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = SchemeConfig::rtl(Scheme::SttRename, 2);
+                cfg.split_store_taints = split;
+                let trace = generate(&p, 4_000, 9);
+                let mut core = Core::new(CoreConfig::mega(), cfg, trace);
+                core.run(10_000_000);
+                black_box((core.stats().cycles.get(), core.stats().forwarding_errors.get()))
+            });
+        });
+    }
+    g.finish();
+}
+
+/// §4.4/§5.1: untaint/delayed-data broadcast bandwidth sweep for NDA.
+fn bench_broadcast_bandwidth_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_broadcast_bandwidth");
+    g.sample_size(10);
+    let p = profile("imagick");
+    for bw in [Some(1usize), Some(2), Some(4), None] {
+        let label = bw.map_or("unbounded".to_string(), |b| format!("bw{b}"));
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let mut cfg = SchemeConfig::rtl(Scheme::Nda, 2);
+                cfg.broadcast_bandwidth = bw;
+                let trace = generate(&p, 4_000, 9);
+                let mut core = Core::new(CoreConfig::mega(), cfg, trace);
+                core.run(10_000_000);
+                black_box(core.stats().cycles.get())
+            });
+        });
+    }
+    g.finish();
+}
+
+/// §4.2: branch-tag (checkpoint) pressure under STT-Rename — fewer tags
+/// mean more rename stalls when branch resolution is taint-delayed.
+fn bench_checkpoint_count_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_branch_tags");
+    g.sample_size(10);
+    let p = profile("deepsjeng");
+    for tags in [4usize, 8, 16, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(tags), &tags, |b, &t| {
+            b.iter(|| {
+                let mut config = CoreConfig::mega();
+                config.max_br_tags = t;
+                let trace = generate(&p, 4_000, 9);
+                let mut core = Core::with_scheme(config, Scheme::SttRename, trace);
+                core.run(10_000_000);
+                black_box((core.stats().cycles.get(), core.stats().checkpoint_stalls.get()))
+            });
+        });
+    }
+    g.finish();
+}
+
+/// §5.1: speculative load-hit scheduling — present under baseline/STT,
+/// removed under NDA. Compare replay activity across schemes on a
+/// miss-heavy workload.
+fn bench_load_hit_speculation_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_load_hit_speculation");
+    g.sample_size(10);
+    let p = profile("mcf");
+    for scheme in [Scheme::Baseline, Scheme::Nda] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &s| {
+                b.iter(|| {
+                    let trace = generate(&p, 4_000, 9);
+                    let mut core = Core::with_scheme(CoreConfig::mega(), s, trace);
+                    core.run(10_000_000);
+                    black_box((core.stats().cycles.get(), core.stats().replay_events.get()))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default();
+    targets = bench_split_store_ablation, bench_broadcast_bandwidth_ablation,
+              bench_checkpoint_count_ablation, bench_load_hit_speculation_ablation
+}
+criterion_main!(ablations);

@@ -1,0 +1,152 @@
+//! Component microbenchmarks: the scheme mechanisms and simulator
+//! substrates in isolation (rename taint chain, issue taint unit, broadcast
+//! queue, cache hierarchy, and per-scheme simulator cycle throughput).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_core::{
+    BroadcastQueue, IssueTaintUnit, RenameGroupOp, RenameTaintTracker, Scheme, SpeculationTracker,
+    ShadowKind,
+};
+use sb_isa::{ArchReg, PhysReg, Seq};
+use sb_mem::{AccessKind, HierarchyConfig, MemoryHierarchy};
+use sb_uarch::{Core, CoreConfig};
+use sb_workloads::{generate, spec2017_profiles};
+use std::hint::black_box;
+
+/// The same-cycle YRoT chain at each rename width — the structure behind
+/// STT-Rename's timing cliff (§4.1).
+fn bench_rename_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rename_taint_chain");
+    for width in [1usize, 2, 3, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
+            let mut tracker = RenameTaintTracker::new();
+            // A fully serial group: op i reads op i-1's destination.
+            let group: Vec<RenameGroupOp> = (0..w)
+                .map(|i| RenameGroupOp {
+                    seq: Seq::new(i as u64 + 1),
+                    srcs: [Some(ArchReg::int(i as u8 + 1)), None],
+                    dst: Some(ArchReg::int(i as u8 + 2)),
+                    is_load: i == 0,
+                    speculative: true,
+                })
+                .collect();
+            b.iter(|| black_box(tracker.rename_group(&group, |_| true)));
+        });
+    }
+    g.finish();
+}
+
+/// The issue-stage taint unit lookup (§4.3) across PRF sizes.
+fn bench_taint_unit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("issue_taint_unit");
+    for pregs in [80usize, 176, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(pregs), &pregs, |b, &n| {
+            let mut unit = IssueTaintUnit::new(n);
+            for i in 0..n {
+                if i % 3 == 0 {
+                    unit.taint(PhysReg::new(i as u16), Seq::new(i as u64));
+                }
+            }
+            b.iter(|| {
+                black_box(unit.compute_yrot(
+                    [Some(PhysReg::new(13)), Some(PhysReg::new(57))],
+                    |root| root > Seq::new(20),
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Broadcast queue drain at the RTL bandwidth versus unbounded (§4.4/§5.1).
+fn bench_broadcast_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broadcast_queue_drain");
+    for bw in [Some(2usize), None] {
+        let label = bw.map_or("unbounded".to_string(), |b| format!("bw{b}"));
+        g.bench_function(&label, |b| {
+            b.iter(|| {
+                let mut q = BroadcastQueue::new();
+                for i in 0..64u64 {
+                    q.push(Seq::new(i), ());
+                }
+                while !q.is_empty() {
+                    black_box(q.drain_ready(|_| true, bw));
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Shadow tracking under a realistic cast/resolve churn.
+fn bench_shadow_tracker(c: &mut Criterion) {
+    c.bench_function("speculation_tracker_churn", |b| {
+        b.iter(|| {
+            let mut t = SpeculationTracker::new();
+            for i in 0..256u64 {
+                let kind = if i % 3 == 0 { ShadowKind::Control } else { ShadowKind::Data };
+                t.cast(Seq::new(i + 1), kind);
+                if i >= 8 {
+                    t.resolve(Seq::new(i - 7));
+                    black_box(t.is_speculative(Seq::new(i)));
+                }
+            }
+            black_box(t.len())
+        });
+    });
+}
+
+/// Cache hierarchy demand-access throughput with prefetchers.
+fn bench_memory_hierarchy(c: &mut Criterion) {
+    c.bench_function("hierarchy_streaming_accesses", |b| {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::rtl_default());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr += 64;
+            black_box(m.access(0x100_0000 + (addr % (1 << 20)), AccessKind::Read))
+        });
+    });
+}
+
+/// Full-core simulation throughput (cycles simulated per second) per
+/// scheme — the cost of the scheme hooks themselves.
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("core_simulation");
+    g.sample_size(10);
+    let profile = *spec2017_profiles()
+        .iter()
+        .find(|p| p.name == "502.gcc")
+        .expect("profile exists");
+    for scheme in Scheme::all() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &s| {
+                b.iter(|| {
+                    let trace = generate(&profile, 4_000, 1);
+                    let mut core = Core::with_scheme(CoreConfig::mega(), s, trace);
+                    core.run(10_000_000);
+                    black_box(core.stats().cycles.get())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Trace generation throughput.
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("workload_generation_10k", |b| {
+        let profile = spec2017_profiles()[3]; // 505.mcf
+        b.iter(|| black_box(generate(&profile, 10_000, 5)));
+    });
+}
+
+criterion_group! {
+    name = components;
+    config = Criterion::default();
+    targets = bench_rename_chain, bench_taint_unit, bench_broadcast_queue,
+              bench_shadow_tracker, bench_memory_hierarchy,
+              bench_simulator_throughput, bench_trace_generation
+}
+criterion_main!(components);

@@ -1,0 +1,128 @@
+//! One Criterion bench per paper table/figure: each regenerates the
+//! corresponding experiment at a reduced trace length, so `cargo bench`
+//! exercises every reproduction path end-to-end and tracks its runtime.
+//!
+//! The *data* for the paper-scale artifacts comes from the
+//! `sb-experiments` binary; these benches keep the regeneration paths honest
+//! and measurably fast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sb_core::Scheme;
+use sb_experiments::{
+    fig10_report, fig1_table3_report, fig6_report, fig8_report, fig9_report, run_grid, run_suite,
+    sec92_report, security_report, table1_report, table4_report, table5_report, GridResults,
+    RunSpec,
+};
+use sb_uarch::CoreConfig;
+use std::hint::black_box;
+
+fn tiny() -> RunSpec {
+    RunSpec {
+        ops: 1_200,
+        seed: 2025,
+    }
+}
+
+fn small_grid() -> GridResults {
+    run_grid(&CoreConfig::boom_sweep(), &tiny())
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_baseline_ipc_sweep", |b| {
+        b.iter(|| {
+            let mut rows = Vec::new();
+            for config in CoreConfig::boom_sweep() {
+                rows.push(run_suite(&config, Scheme::Baseline, &tiny()));
+            }
+            black_box(rows)
+        });
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_mega_normalized_ipc", |b| {
+        b.iter(|| {
+            let mega = CoreConfig::mega();
+            let mut suites = Vec::new();
+            for scheme in Scheme::all() {
+                suites.push(run_suite(&mega, scheme, &tiny()));
+            }
+            black_box(suites)
+        });
+    });
+}
+
+fn bench_fig7_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_fig8_width_sweep");
+    g.sample_size(10);
+    g.bench_function("grid_and_trend", |b| {
+        b.iter(|| {
+            let grid = small_grid();
+            let r8 = fig8_report(&grid);
+            black_box((fig6_report(&grid), r8))
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig9_fig10(c: &mut Criterion) {
+    c.bench_function("fig9_timing_model", |b| {
+        b.iter(|| black_box(fig9_report()));
+    });
+    let grid = small_grid();
+    c.bench_function("fig10_relative_timing_trend", |b| {
+        b.iter(|| black_box(fig10_report(&grid)));
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let grid = small_grid();
+    c.bench_function("fig1_table3_performance", |b| {
+        b.iter(|| black_box(fig1_table3_report(&grid)));
+    });
+    c.bench_function("table1_render", |b| {
+        b.iter(|| black_box(table1_report(&grid)));
+    });
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_area_power");
+    g.sample_size(10);
+    g.bench_function("report", |b| {
+        b.iter(|| black_box(table4_report(&tiny())));
+    });
+    g.finish();
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5_gem5_comparison");
+    g.sample_size(10);
+    let grid = small_grid();
+    g.bench_function("report", |b| {
+        b.iter(|| black_box(table5_report(&grid, &tiny())));
+    });
+    g.finish();
+}
+
+fn bench_sec92(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec92_exchange2_pathology");
+    g.sample_size(10);
+    g.bench_function("report", |b| {
+        b.iter(|| black_box(sec92_report(&tiny())));
+    });
+    g.finish();
+}
+
+fn bench_security(c: &mut Criterion) {
+    c.bench_function("security_spectre_and_ssb", |b| {
+        b.iter(|| black_box(security_report()));
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_fig6, bench_fig7_fig8, bench_fig9_fig10,
+              bench_table3, bench_table4, bench_table5, bench_sec92, bench_security
+}
+criterion_main!(figures);

@@ -1,0 +1,1 @@
+//! Placeholder lib for sb-bench (criterion benches live in benches/).

@@ -1,0 +1,212 @@
+//! The bandwidth-limited broadcast network for loads that become
+//! non-speculative (§4.4, §5.1).
+//!
+//! Both STT variants must broadcast "load *s* is now non-speculative" to
+//! every issue slot (to unmask delayed transmitters), and NDA must broadcast
+//! the delayed data-ready of speculative loads. The paper notes this network
+//! is expensive and bounded: *"the number of parallel broadcasts is limited
+//! to the core memory width"* (§5.1). [`BroadcastQueue`] models exactly
+//! that: events queue up and drain oldest-first at a configurable per-cycle
+//! bandwidth (unbounded in abstract fidelity).
+
+use sb_isa::Seq;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A seq-ordered queue of pending broadcasts with per-cycle bandwidth.
+///
+/// The payload `T` is what rides the broadcast: `()` for STT untaints (the
+/// sequence number itself is the message), the destination physical
+/// register for NDA delayed data-ready broadcasts.
+///
+/// # Example
+///
+/// ```
+/// use sb_core::BroadcastQueue;
+/// use sb_isa::Seq;
+///
+/// let mut q: BroadcastQueue<()> = BroadcastQueue::new();
+/// q.push(Seq::new(3), ());
+/// q.push(Seq::new(1), ());
+/// // Only seq 1 is non-speculative yet; bandwidth 1.
+/// let sent = q.drain_ready(|s| s <= Seq::new(1), Some(1));
+/// assert_eq!(sent, vec![(Seq::new(1), ())]);
+/// assert_eq!(q.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BroadcastQueue<T> {
+    pending: BTreeMap<Seq, T>,
+    total_sent: u64,
+    peak_pending: usize,
+}
+
+impl<T> Default for BroadcastQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> BroadcastQueue<T> {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        BroadcastQueue {
+            pending: BTreeMap::new(),
+            total_sent: 0,
+            peak_pending: 0,
+        }
+    }
+
+    /// Enqueues a broadcast for instruction `seq`. Re-pushing the same seq
+    /// replaces the payload (idempotent for untaints).
+    pub fn push(&mut self, seq: Seq, payload: T) {
+        self.pending.insert(seq, payload);
+        self.peak_pending = self.peak_pending.max(self.pending.len());
+    }
+
+    /// Sends up to `bandwidth` broadcasts this cycle (all of them if
+    /// `None`), oldest first, stopping at the first entry for which `ready`
+    /// is false.
+    ///
+    /// `ready` must be monotone in seq (true for a prefix): loads become
+    /// non-speculative in program order, so the visibility point never
+    /// leapfrogs a pending entry.
+    pub fn drain_ready(
+        &mut self,
+        ready: impl Fn(Seq) -> bool,
+        bandwidth: Option<usize>,
+    ) -> Vec<(Seq, T)> {
+        let limit = bandwidth.unwrap_or(usize::MAX);
+        let mut sent = Vec::new();
+        while sent.len() < limit {
+            let Some((&seq, _)) = self.pending.iter().next() else {
+                break;
+            };
+            if !ready(seq) {
+                break;
+            }
+            let payload = self.pending.remove(&seq).expect("peeked entry exists");
+            sent.push((seq, payload));
+        }
+        self.total_sent += sent.len() as u64;
+        sent
+    }
+
+    /// Drops queued broadcasts for squashed instructions (younger than
+    /// `seq`, exclusive).
+    pub fn squash_younger(&mut self, seq: Seq) {
+        self.pending.retain(|&s, _| s <= seq);
+    }
+
+    /// Pending broadcast count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether nothing is pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Total broadcasts sent over the run (power proxy, §8.5).
+    #[must_use]
+    pub fn total_sent(&self) -> u64 {
+        self.total_sent
+    }
+
+    /// High-water mark of the pending queue (area/backpressure diagnostics).
+    #[must_use]
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+}
+
+impl<T> fmt::Display for BroadcastQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} pending, {} sent", self.pending.len(), self.total_sent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: u64) -> Seq {
+        Seq::new(n)
+    }
+
+    #[test]
+    fn drains_oldest_first_up_to_bandwidth() {
+        let mut q = BroadcastQueue::new();
+        q.push(s(3), 'c');
+        q.push(s(1), 'a');
+        q.push(s(2), 'b');
+        let sent = q.drain_ready(|_| true, Some(2));
+        assert_eq!(sent, vec![(s(1), 'a'), (s(2), 'b')]);
+        let sent = q.drain_ready(|_| true, Some(2));
+        assert_eq!(sent, vec![(s(3), 'c')]);
+        assert!(q.is_empty());
+        assert_eq!(q.total_sent(), 3);
+    }
+
+    #[test]
+    fn unready_front_blocks_drain() {
+        let mut q = BroadcastQueue::new();
+        q.push(s(5), ());
+        q.push(s(8), ());
+        let sent = q.drain_ready(|seq| seq <= s(4), Some(4));
+        assert!(sent.is_empty());
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn unbounded_bandwidth_drains_all_ready() {
+        let mut q = BroadcastQueue::new();
+        for i in 0..100 {
+            q.push(s(i), ());
+        }
+        let sent = q.drain_ready(|_| true, None);
+        assert_eq!(sent.len(), 100);
+    }
+
+    #[test]
+    fn squash_drops_younger_entries() {
+        let mut q = BroadcastQueue::new();
+        q.push(s(1), ());
+        q.push(s(5), ());
+        q.push(s(9), ());
+        q.squash_younger(s(5));
+        assert_eq!(q.len(), 2, "seq 5 itself survives");
+        let sent = q.drain_ready(|_| true, None);
+        assert_eq!(sent.iter().map(|(x, _)| *x).collect::<Vec<_>>(), vec![s(1), s(5)]);
+    }
+
+    #[test]
+    fn repush_replaces_payload() {
+        let mut q = BroadcastQueue::new();
+        q.push(s(1), 'a');
+        q.push(s(1), 'b');
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.drain_ready(|_| true, None), vec![(s(1), 'b')]);
+    }
+
+    #[test]
+    fn peak_pending_tracks_high_water() {
+        let mut q = BroadcastQueue::new();
+        q.push(s(1), ());
+        q.push(s(2), ());
+        q.drain_ready(|_| true, None);
+        q.push(s(3), ());
+        assert_eq!(q.peak_pending(), 2);
+    }
+
+    #[test]
+    fn zero_bandwidth_sends_nothing() {
+        let mut q = BroadcastQueue::new();
+        q.push(s(1), ());
+        assert!(q.drain_ready(|_| true, Some(0)).is_empty());
+        assert_eq!(q.len(), 1);
+    }
+}

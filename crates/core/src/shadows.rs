@@ -1,0 +1,323 @@
+//! Speculative-shadow tracking and the visibility point (§2.1, §6).
+//!
+//! Following the Ghost Loads taxonomy the paper adopts, speculation is
+//! described by *shadows* cast over younger instructions: C-shadows by
+//! unresolved control instructions, D-shadows by loads whose store-to-load
+//! forwarding check is incomplete. Shadows resolve in order; an instruction
+//! with no older unresolved shadow is *bound-to-commit* (it has reached the
+//! visibility point, in STT terms).
+
+use sb_isa::Seq;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The kind of speculation casting a shadow (§2.1's Ghost Loads taxonomy).
+///
+/// The paper's evaluated threat model covers C and D shadows; §6 notes that
+/// protecting against InvisiSpec's *Futuristic* model additionally requires
+/// M and E shadows, which this reproduction implements as an extension (see
+/// [`ThreatModel`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ShadowKind {
+    /// Control speculation: an unresolved branch.
+    Control,
+    /// Data speculation: a store whose address is not yet known — younger
+    /// loads may have forwarded stale data past it.
+    Data,
+    /// Memory-consistency speculation: a load that has read its value but
+    /// could still be squashed by a consistency violation until it is
+    /// bound to commit (Futuristic model only).
+    Memory,
+    /// Exception speculation: an instruction that may still fault
+    /// (Futuristic model only; we model faulting memory ops).
+    Exception,
+}
+
+/// Which speculation sources the secure scheme defends against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ThreatModel {
+    /// The paper's evaluated model: control and store-bypass speculation
+    /// (Spectre v1 + Speculative Store Bypass), §2.4.
+    #[default]
+    Spectre,
+    /// InvisiSpec's Futuristic model: all four shadow kinds are tracked
+    /// (§6's extension), at additional IPC cost.
+    Futuristic,
+}
+
+impl ThreatModel {
+    /// Whether `kind` is tracked under this threat model.
+    #[must_use]
+    pub fn tracks(self, kind: ShadowKind) -> bool {
+        match self {
+            ThreatModel::Spectre => {
+                matches!(kind, ShadowKind::Control | ShadowKind::Data)
+            }
+            ThreatModel::Futuristic => true,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Shadow {
+    seq: Seq,
+    kind: ShadowKind,
+    resolved: bool,
+}
+
+/// Tracks all in-flight shadows and exposes the speculation frontier.
+///
+/// The *frontier* is the sequence number of the oldest unresolved shadow;
+/// an instruction is speculative exactly when it is younger than the
+/// frontier. Equivalently, a taint whose youngest root of taint (YRoT) is a
+/// load younger than the frontier is still live — which is the liveness rule
+/// §4.2 asks checkpoint restoration to re-establish, and it falls out here
+/// with no extra work.
+///
+/// # Example
+///
+/// ```
+/// use sb_core::{ShadowKind, SpeculationTracker};
+/// use sb_isa::Seq;
+///
+/// let mut t = SpeculationTracker::new();
+/// t.cast(Seq::new(5), ShadowKind::Control);
+/// assert!(t.is_speculative(Seq::new(6)));
+/// assert!(!t.is_speculative(Seq::new(5)), "a shadow does not cover itself");
+/// t.resolve(Seq::new(5));
+/// assert!(!t.is_speculative(Seq::new(6)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SpeculationTracker {
+    /// Shadow-casting instructions in program order.
+    shadows: VecDeque<Shadow>,
+}
+
+impl SpeculationTracker {
+    /// A tracker with no in-flight shadows.
+    #[must_use]
+    pub fn new() -> Self {
+        SpeculationTracker::default()
+    }
+
+    /// Registers a shadow cast by instruction `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not younger than every tracked shadow — shadows
+    /// must be cast in program order.
+    pub fn cast(&mut self, seq: Seq, kind: ShadowKind) {
+        if let Some(last) = self.shadows.back() {
+            assert!(seq > last.seq, "shadows must be cast in program order");
+        }
+        self.shadows.push_back(Shadow {
+            seq,
+            kind,
+            resolved: false,
+        });
+    }
+
+    /// Marks the shadow cast by `seq` as resolved. No-op if `seq` casts no
+    /// shadow (e.g. it was already retired or squashed).
+    pub fn resolve(&mut self, seq: Seq) {
+        if let Some(s) = self.shadows.iter_mut().find(|s| s.seq == seq) {
+            s.resolved = true;
+        }
+        self.retire_resolved_prefix();
+    }
+
+    fn retire_resolved_prefix(&mut self) {
+        while self.shadows.front().is_some_and(|s| s.resolved) {
+            self.shadows.pop_front();
+        }
+    }
+
+    /// Removes all shadows cast by instructions younger than `seq`
+    /// (exclusive) — called on a squash at `seq`.
+    pub fn squash_younger(&mut self, seq: Seq) {
+        while self.shadows.back().is_some_and(|s| s.seq > seq) {
+            self.shadows.pop_back();
+        }
+        self.retire_resolved_prefix();
+    }
+
+    /// The oldest unresolved shadow's sequence number, or `None` when
+    /// nothing in flight is speculative.
+    #[must_use]
+    pub fn frontier(&self) -> Option<Seq> {
+        self.shadows.front().map(|s| s.seq)
+    }
+
+    /// Whether instruction `seq` is currently speculative, i.e. younger than
+    /// some unresolved shadow.
+    #[must_use]
+    pub fn is_speculative(&self, seq: Seq) -> bool {
+        self.frontier().is_some_and(|f| seq > f)
+    }
+
+    /// Whether a taint rooted at load `root` is still live: the root is
+    /// itself still speculative. Untainting (§3.1) is exactly this check.
+    #[must_use]
+    pub fn taint_live(&self, root: Seq) -> bool {
+        self.is_speculative(root)
+    }
+
+    /// Number of in-flight shadows (resolved-but-buried ones included).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shadows.len()
+    }
+
+    /// Whether no shadows are in flight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shadows.is_empty()
+    }
+
+    /// Kind of the oldest unresolved shadow, if any (for stall attribution).
+    #[must_use]
+    pub fn frontier_kind(&self) -> Option<ShadowKind> {
+        self.shadows.front().map(|s| s.kind)
+    }
+}
+
+impl fmt::Display for SpeculationTracker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.frontier() {
+            Some(s) => write!(f, "{} shadows, frontier {}", self.shadows.len(), s),
+            None => write!(f, "no shadows"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: u64) -> Seq {
+        Seq::new(n)
+    }
+
+    #[test]
+    fn empty_tracker_is_nonspeculative() {
+        let t = SpeculationTracker::new();
+        assert_eq!(t.frontier(), None);
+        assert!(!t.is_speculative(s(100)));
+        assert!(!t.taint_live(s(100)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn shadow_covers_younger_only() {
+        let mut t = SpeculationTracker::new();
+        t.cast(s(10), ShadowKind::Control);
+        assert!(!t.is_speculative(s(9)));
+        assert!(!t.is_speculative(s(10)));
+        assert!(t.is_speculative(s(11)));
+    }
+
+    #[test]
+    fn shadows_resolve_in_order() {
+        let mut t = SpeculationTracker::new();
+        t.cast(s(10), ShadowKind::Control);
+        t.cast(s(20), ShadowKind::Data);
+        t.resolve(s(20));
+        // Younger shadow resolved, older still pending: frontier unchanged.
+        assert_eq!(t.frontier(), Some(s(10)));
+        assert!(t.is_speculative(s(15)));
+        t.resolve(s(10));
+        // Both now retire.
+        assert_eq!(t.frontier(), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn resolve_unknown_seq_is_noop() {
+        let mut t = SpeculationTracker::new();
+        t.cast(s(10), ShadowKind::Control);
+        t.resolve(s(99));
+        assert_eq!(t.frontier(), Some(s(10)));
+    }
+
+    #[test]
+    fn squash_removes_younger_shadows() {
+        let mut t = SpeculationTracker::new();
+        t.cast(s(10), ShadowKind::Control);
+        t.cast(s(20), ShadowKind::Data);
+        t.cast(s(30), ShadowKind::Control);
+        t.squash_younger(s(15));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.frontier(), Some(s(10)));
+        // The squash point itself survives.
+        t.squash_younger(s(10));
+        assert_eq!(t.frontier(), Some(s(10)));
+    }
+
+    #[test]
+    fn squash_after_resolution_retires_prefix() {
+        let mut t = SpeculationTracker::new();
+        t.cast(s(10), ShadowKind::Control);
+        t.cast(s(20), ShadowKind::Control);
+        t.resolve(s(10)); // retires 10, frontier now 20
+        assert_eq!(t.frontier(), Some(s(20)));
+        t.squash_younger(s(15)); // removes 20
+        assert_eq!(t.frontier(), None);
+    }
+
+    #[test]
+    fn taint_liveness_follows_frontier() {
+        let mut t = SpeculationTracker::new();
+        t.cast(s(10), ShadowKind::Control);
+        // A load at seq 12 under the branch's shadow roots a taint.
+        assert!(t.taint_live(s(12)));
+        t.resolve(s(10));
+        // Root no longer speculative -> taint dead, no explicit untaint walk.
+        assert!(!t.taint_live(s(12)));
+    }
+
+    #[test]
+    fn frontier_kind_reports_stall_cause() {
+        let mut t = SpeculationTracker::new();
+        t.cast(s(10), ShadowKind::Data);
+        t.cast(s(20), ShadowKind::Control);
+        assert_eq!(t.frontier_kind(), Some(ShadowKind::Data));
+    }
+
+    #[test]
+    #[should_panic(expected = "program order")]
+    fn out_of_order_cast_rejected() {
+        let mut t = SpeculationTracker::new();
+        t.cast(s(10), ShadowKind::Control);
+        t.cast(s(5), ShadowKind::Control);
+    }
+
+    #[test]
+    fn threat_models_track_the_right_shadows() {
+        for kind in [ShadowKind::Control, ShadowKind::Data] {
+            assert!(ThreatModel::Spectre.tracks(kind));
+            assert!(ThreatModel::Futuristic.tracks(kind));
+        }
+        for kind in [ShadowKind::Memory, ShadowKind::Exception] {
+            assert!(!ThreatModel::Spectre.tracks(kind));
+            assert!(ThreatModel::Futuristic.tracks(kind));
+        }
+    }
+
+    #[test]
+    fn memory_shadows_behave_like_other_shadows() {
+        let mut t = SpeculationTracker::new();
+        t.cast(s(5), ShadowKind::Memory);
+        t.cast(s(7), ShadowKind::Exception);
+        assert!(t.is_speculative(s(6)));
+        t.resolve(s(5));
+        assert_eq!(t.frontier(), Some(s(7)));
+    }
+
+    #[test]
+    fn display_mentions_frontier() {
+        let mut t = SpeculationTracker::new();
+        assert_eq!(format!("{t}"), "no shadows");
+        t.cast(s(3), ShadowKind::Control);
+        assert!(format!("{t}").contains("#3"));
+    }
+}

@@ -1,0 +1,183 @@
+//! The run grid: simulate every (config, scheme, benchmark) point, in
+//! parallel across OS threads, with deterministic seeding.
+
+use sb_core::Scheme;
+use sb_stats::{BenchResult, SimStats, SuiteSummary};
+use sb_uarch::{Core, CoreConfig};
+use sb_workloads::{generate, spec2017_profiles, WorkloadProfile};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Safety valve: no benchmark may run longer than this many cycles.
+const MAX_CYCLES: u64 = 400_000_000;
+
+/// Parameters of one grid run.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    /// Dynamic micro-ops per benchmark trace.
+    pub ops: usize,
+    /// Base RNG seed (each benchmark derives its own).
+    pub seed: u64,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            ops: 60_000,
+            seed: 2025,
+        }
+    }
+}
+
+/// Runs one benchmark on one (config, scheme) point; returns the suite row
+/// and the full statistics.
+#[must_use]
+pub fn run_bench(
+    config: &CoreConfig,
+    scheme: Scheme,
+    profile: &WorkloadProfile,
+    spec: &RunSpec,
+) -> (BenchResult, SimStats) {
+    let seed = spec.seed ^ fxhash(profile.name);
+    let trace = generate(profile, spec.ops, seed);
+    let mut core = Core::with_scheme(config.clone(), scheme, trace);
+    core.run(MAX_CYCLES);
+    assert!(
+        core.is_done(),
+        "{} on {} ({scheme}) did not finish",
+        profile.name,
+        config.name
+    );
+    let stats = core.stats().clone();
+    (
+        BenchResult::new(profile.name, stats.committed.get(), stats.cycles.get()),
+        stats,
+    )
+}
+
+fn fxhash(s: &str) -> u64 {
+    // Small deterministic string hash for per-benchmark seeds.
+    s.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3))
+}
+
+/// Runs the full 22-benchmark suite on one (config, scheme) point, in
+/// parallel across benchmarks.
+#[must_use]
+pub fn run_suite(config: &CoreConfig, scheme: Scheme, spec: &RunSpec) -> Vec<BenchResult> {
+    let profiles = spec2017_profiles();
+    let results = Mutex::new(vec![None; profiles.len()]);
+    std::thread::scope(|s| {
+        for (i, p) in profiles.iter().enumerate() {
+            let results = &results;
+            let spec = spec.clone();
+            let config = config.clone();
+            s.spawn(move || {
+                let (row, _) = run_bench(&config, scheme, p, &spec);
+                results.lock().expect("no poisoned runs")[i] = Some(row);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("scope joined")
+        .into_iter()
+        .map(|r| r.expect("every benchmark ran"))
+        .collect()
+}
+
+/// All suite results for a set of configurations and schemes.
+#[derive(Debug, Default)]
+pub struct GridResults {
+    /// `(config name, scheme)` → per-benchmark rows.
+    suites: HashMap<(String, Scheme), Vec<BenchResult>>,
+}
+
+impl GridResults {
+    /// Looks up one suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point was not part of the grid.
+    #[must_use]
+    pub fn suite(&self, config: &str, scheme: Scheme) -> &[BenchResult] {
+        self.suites
+            .get(&(config.to_string(), scheme))
+            .unwrap_or_else(|| panic!("no grid point ({config}, {scheme})"))
+    }
+
+    /// Baseline-normalized summary for one (config, scheme).
+    #[must_use]
+    pub fn summary(&self, config: &str, scheme: Scheme) -> SuiteSummary {
+        SuiteSummary::new(
+            self.suite(config, Scheme::Baseline).to_vec(),
+            self.suite(config, scheme).to_vec(),
+        )
+    }
+
+    /// Absolute baseline suite IPC for a configuration (Table 1's row).
+    #[must_use]
+    pub fn baseline_ipc(&self, config: &str) -> f64 {
+        sb_stats::suite_ipc(self.suite(config, Scheme::Baseline))
+    }
+}
+
+/// Runs the whole grid: every scheme on every given configuration.
+#[must_use]
+pub fn run_grid(configs: &[CoreConfig], spec: &RunSpec) -> GridResults {
+    let mut grid = GridResults::default();
+    for config in configs {
+        for scheme in Scheme::all() {
+            let rows = run_suite(config, scheme, spec);
+            grid.suites.insert((config.name.to_string(), scheme), rows);
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RunSpec {
+        RunSpec {
+            ops: 3_000,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn run_bench_completes_and_reports() {
+        let p = spec2017_profiles();
+        let (row, stats) = run_bench(&CoreConfig::medium(), Scheme::Baseline, &p[0], &tiny());
+        assert_eq!(row.instructions, 3_000);
+        assert!(row.cycles > 0);
+        assert_eq!(stats.committed.get(), 3_000);
+    }
+
+    #[test]
+    fn suite_covers_all_benchmarks() {
+        let rows = run_suite(&CoreConfig::small(), Scheme::Nda, &tiny());
+        assert_eq!(rows.len(), 22);
+        assert!(rows.iter().all(|r| r.cycles > 0));
+    }
+
+    #[test]
+    fn per_benchmark_seeds_differ() {
+        assert_ne!(fxhash("503.bwaves"), fxhash("505.mcf"));
+    }
+
+    #[test]
+    fn grid_lookup_roundtrip() {
+        let grid = run_grid(&[CoreConfig::small()], &tiny());
+        let s = grid.summary("small", Scheme::SttIssue);
+        assert_eq!(s.normalized_ipc().len(), 22);
+        assert!(grid.baseline_ipc("small") > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no grid point")]
+    fn missing_grid_point_panics() {
+        let _ = GridResults::default().suite("mega", Scheme::Baseline);
+    }
+}

@@ -1,0 +1,18 @@
+//! Experiment engine for the ShadowBinding reproduction: runs the
+//! (configuration × scheme × benchmark) grid and renders every table and
+//! figure of the paper's evaluation (§8).
+//!
+//! The binary (`sb-experiments`) is a thin CLI over this library; the
+//! criterion benches in `sb-bench` reuse the same entry points at reduced
+//! trace lengths.
+
+mod engine;
+mod render;
+mod reports;
+
+pub use engine::{run_bench, run_grid, run_suite, GridResults, RunSpec};
+pub use render::{bar, format_table};
+pub use reports::{
+    fig1_table3_report, fig6_report, fig7_report, fig8_report, fig9_report, fig10_report,
+    sec92_report, security_report, table1_report, table4_report, table5_report,
+};

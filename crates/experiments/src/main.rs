@@ -1,0 +1,127 @@
+//! `sb-experiments`: regenerate every table and figure of the paper.
+//!
+//! ```text
+//! sb-experiments [--ops N] [--seed S] [--out DIR] [EXPERIMENT...]
+//! ```
+//!
+//! Experiments: `table1 fig6 fig7 fig8 fig9 fig10 table3 table4 table5
+//! sec92 security` or `all` (default). CSVs land in `--out`
+//! (default `results/`).
+
+use sb_experiments::{
+    fig10_report, fig1_table3_report, fig6_report, fig7_report, fig8_report, fig9_report,
+    run_grid, sec92_report, security_report, table1_report, table4_report, table5_report,
+    GridResults, RunSpec,
+};
+use sb_uarch::CoreConfig;
+use std::path::PathBuf;
+
+struct Args {
+    spec: RunSpec,
+    out: PathBuf,
+    experiments: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut spec = RunSpec::default();
+    let mut out = PathBuf::from("results");
+    let mut experiments = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ops" => {
+                spec.ops = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--ops needs a number");
+            }
+            "--seed" => {
+                spec.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "--out" => {
+                out = PathBuf::from(it.next().expect("--out needs a path"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: sb-experiments [--ops N] [--seed S] [--out DIR] [EXPERIMENT...]\n\
+                     experiments: table1 fig6 fig7 fig8 fig9 fig10 table3 table4 table5 sec92 security all"
+                );
+                std::process::exit(0);
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("all".to_string());
+    }
+    Args {
+        spec,
+        out,
+        experiments,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let all = args.experiments.iter().any(|e| e == "all");
+    let wants = |name: &str| all || args.experiments.iter().any(|e| e == name);
+
+    let needs_grid = ["table1", "fig6", "fig7", "fig8", "fig10", "table3", "fig1", "table5"]
+        .iter()
+        .any(|e| wants(e));
+    let grid: Option<GridResults> = needs_grid.then(|| {
+        eprintln!(
+            "running grid: 4 configs x 4 schemes x 22 benchmarks, {} uops each...",
+            args.spec.ops
+        );
+        run_grid(&CoreConfig::boom_sweep(), &args.spec)
+    });
+
+    let mut reports = Vec::new();
+    if wants("table1") {
+        reports.push(table1_report(grid.as_ref().expect("grid")));
+    }
+    if wants("fig6") {
+        reports.push(fig6_report(grid.as_ref().expect("grid")));
+    }
+    if wants("fig7") {
+        reports.push(fig7_report(grid.as_ref().expect("grid")));
+    }
+    if wants("fig8") {
+        reports.push(fig8_report(grid.as_ref().expect("grid")));
+    }
+    if wants("fig9") {
+        reports.push(fig9_report());
+    }
+    if wants("fig10") {
+        reports.push(fig10_report(grid.as_ref().expect("grid")));
+    }
+    if wants("table3") || wants("fig1") {
+        reports.push(fig1_table3_report(grid.as_ref().expect("grid")));
+    }
+    if wants("table4") {
+        reports.push(table4_report(&args.spec));
+    }
+    if wants("table5") {
+        reports.push(table5_report(grid.as_ref().expect("grid"), &args.spec));
+    }
+    if wants("sec92") {
+        reports.push(sec92_report(&args.spec));
+    }
+    if wants("security") {
+        reports.push(security_report());
+    }
+
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+    for r in &reports {
+        println!("{}\n", r.text);
+        for (name, csv) in &r.csv {
+            let path = args.out.join(name);
+            std::fs::write(&path, csv).expect("write csv");
+        }
+    }
+    eprintln!("CSV written to {}", args.out.display());
+}

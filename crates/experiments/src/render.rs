@@ -1,0 +1,82 @@
+//! Plain-text rendering helpers: aligned tables and unicode bars (the
+//! closest a terminal gets to the paper's figures).
+
+/// Formats rows as an aligned table. The first row is the header.
+#[must_use]
+pub fn format_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            if i == 0 {
+                out.push_str(&format!("{cell:<width$}", width = widths[i]));
+            } else {
+                out.push_str(&format!("{cell:>width$}", width = widths[i]));
+            }
+        }
+        out.push('\n');
+        if r == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// A unicode bar for a value in `[0, 1]`, `width` characters long.
+#[must_use]
+pub fn bar(value: f64, width: usize) -> String {
+    let clamped = value.clamp(0.0, 1.0);
+    let cells = (clamped * width as f64).round() as usize;
+    let mut s = "█".repeat(cells);
+    s.push_str(&"·".repeat(width - cells.min(width)));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = format_table(&[
+            vec!["name".into(), "ipc".into()],
+            vec!["505.mcf".into(), "0.41".into()],
+            vec!["503.bwaves".into(), "1.30".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4, "header + rule + 2 rows");
+        assert!(lines[0].contains("name") && lines[0].contains("ipc"));
+        assert!(lines[1].starts_with('-'));
+        // Right-aligned numeric column: both data rows end in the value.
+        assert!(lines[2].ends_with("0.41"));
+        assert!(lines[3].ends_with("1.30"));
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        assert!(format_table(&[]).is_empty());
+    }
+
+    #[test]
+    fn bar_is_proportional_and_clamped() {
+        assert_eq!(bar(0.0, 10), "··········");
+        assert_eq!(bar(1.0, 10), "██████████");
+        assert_eq!(bar(0.5, 10).matches('█').count(), 5);
+        assert_eq!(bar(2.0, 4), "████");
+        assert_eq!(bar(-1.0, 4), "····");
+    }
+}

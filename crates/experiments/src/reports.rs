@@ -1,0 +1,600 @@
+//! One report per paper artifact: each function renders the measured
+//! reproduction next to the paper's published numbers so shape fidelity is
+//! visible at a glance. Every report also emits CSV for downstream
+//! plotting.
+
+use crate::engine::{run_bench, GridResults, RunSpec};
+use crate::render::{bar, format_table};
+use sb_core::{Scheme, SchemeConfig};
+use sb_mem::SideChannelObserver;
+use sb_stats::{LinearFit, TrendPoint};
+use sb_timing::{area_estimate, frequency_mhz, relative_power, relative_timing, ActivityProfile};
+use sb_uarch::{Core, CoreConfig};
+use sb_workloads::{spec2017_profiles, spectre_v1_kernel, ssb_kernel, PROBE_BASE, PROBE_STRIDE};
+
+/// A rendered experiment: human-readable text plus named CSV payloads.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Pretty-printed result, including paper-vs-measured commentary.
+    pub text: String,
+    /// `(file name, csv content)` pairs.
+    pub csv: Vec<(String, String)>,
+}
+
+const BOOM_NAMES: [&str; 4] = ["small", "medium", "large", "mega"];
+/// Redwood Cove class SPEC2017 IPC the paper extrapolates to (Table 1).
+const INTEL_IPC: f64 = 2.03;
+
+fn cfg(name: &str) -> CoreConfig {
+    match name {
+        "small" => CoreConfig::small(),
+        "medium" => CoreConfig::medium(),
+        "large" => CoreConfig::large(),
+        "mega" => CoreConfig::mega(),
+        other => panic!("unknown config {other}"),
+    }
+}
+
+/// Table 1: configuration characteristics and measured baseline IPC.
+#[must_use]
+pub fn table1_report(grid: &GridResults) -> Report {
+    let paper_ipc = [0.46, 0.60, 0.943, 1.27];
+    let mut rows = vec![vec![
+        "Config".to_string(),
+        "Width".into(),
+        "MemPorts".into(),
+        "ROB".into(),
+        "IPC (paper)".into(),
+        "IPC (measured)".into(),
+    ]];
+    let mut csv = String::from("config,width,mem_ports,rob,paper_ipc,measured_ipc\n");
+    for (name, paper) in BOOM_NAMES.iter().zip(paper_ipc) {
+        let c = cfg(name);
+        let ipc = grid.baseline_ipc(name);
+        rows.push(vec![
+            name.to_string(),
+            c.width.to_string(),
+            c.mem_ports.to_string(),
+            c.rob_entries.to_string(),
+            format!("{paper:.3}"),
+            format!("{ipc:.3}"),
+        ]);
+        csv.push_str(&format!(
+            "{name},{},{},{},{paper},{ipc:.4}\n",
+            c.width, c.mem_ports, c.rob_entries
+        ));
+    }
+    Report {
+        text: format!("Table 1: BOOM configurations, baseline IPC\n{}", format_table(&rows)),
+        csv: vec![("table1.csv".into(), csv)],
+    }
+}
+
+/// Figure 6: per-benchmark IPC normalized to baseline on the Mega config.
+#[must_use]
+pub fn fig6_report(grid: &GridResults) -> Report {
+    let schemes = Scheme::secure();
+    let mut rows = vec![{
+        let mut h = vec!["Benchmark".to_string()];
+        h.extend(schemes.iter().map(|s| s.label().to_string()));
+        h.push("NDA bar".into());
+        h
+    }];
+    let mut csv = String::from("benchmark,stt_rename,stt_issue,nda\n");
+    let summaries: Vec<_> = schemes.iter().map(|&s| grid.summary("mega", s)).collect();
+    let names: Vec<String> = summaries[0]
+        .normalized_ipc()
+        .into_iter()
+        .map(|(n, _)| n)
+        .collect();
+    for (i, name) in names.iter().enumerate() {
+        let vals: Vec<f64> = summaries.iter().map(|s| s.normalized_ipc()[i].1).collect();
+        let mut row = vec![name.clone()];
+        row.extend(vals.iter().map(|v| format!("{v:.3}")));
+        row.push(bar(vals[2], 20));
+        rows.push(row);
+        csv.push_str(&format!("{name},{:.4},{:.4},{:.4}\n", vals[0], vals[1], vals[2]));
+    }
+    let means: Vec<f64> = summaries.iter().map(|s| s.mean_normalized_ipc()).collect();
+    let mut mean_row = vec!["arithmetic-mean".to_string()];
+    mean_row.extend(means.iter().map(|v| format!("{v:.3}")));
+    mean_row.push(bar(means[2], 20));
+    rows.push(mean_row);
+    csv.push_str(&format!(
+        "arithmetic-mean,{:.4},{:.4},{:.4}\n",
+        means[0], means[1], means[2]
+    ));
+    let text = format!(
+        "Figure 6: normalized IPC on Mega (paper means: STT-Rename 0.819, \
+         STT-Issue 0.845, NDA 0.736)\n{}\nMeasured means: STT-Rename {:.3}, \
+         STT-Issue {:.3}, NDA {:.3}\n",
+        format_table(&rows),
+        means[0],
+        means[1],
+        means[2]
+    );
+    Report {
+        text,
+        csv: vec![("fig6.csv".into(), csv)],
+    }
+}
+
+/// Figure 7: normalized IPC for every configuration, per scheme.
+#[must_use]
+pub fn fig7_report(grid: &GridResults) -> Report {
+    let mut text = String::from("Figure 7: normalized IPC across configurations\n");
+    let mut csv = String::from("scheme,config,benchmark,normalized_ipc\n");
+    for scheme in Scheme::secure() {
+        let mut rows = vec![{
+            let mut h = vec!["Benchmark".to_string()];
+            h.extend(BOOM_NAMES.iter().map(|s| s.to_string()));
+            h
+        }];
+        let per_cfg: Vec<Vec<(String, f64)>> = BOOM_NAMES
+            .iter()
+            .map(|c| grid.summary(c, scheme).normalized_ipc())
+            .collect();
+        for (i, (bench, _)) in per_cfg[0].iter().enumerate() {
+            let name = bench.clone();
+            let mut row = vec![name.clone()];
+            for (ci, c) in BOOM_NAMES.iter().enumerate() {
+                let v = per_cfg[ci][i].1;
+                row.push(format!("{v:.3}"));
+                csv.push_str(&format!("{scheme},{c},{name},{v:.4}\n"));
+            }
+            rows.push(row);
+        }
+        let mut mean = vec!["arithmetic-mean".to_string()];
+        for c in BOOM_NAMES {
+            mean.push(format!("{:.3}", grid.summary(c, scheme).mean_normalized_ipc()));
+        }
+        rows.push(mean);
+        text.push_str(&format!("\n({})\n{}", scheme, format_table(&rows)));
+    }
+    Report {
+        text,
+        csv: vec![("fig7.csv".into(), csv)],
+    }
+}
+
+fn scheme_trend(grid: &GridResults, value: impl Fn(&str, Scheme) -> f64, scheme: Scheme) -> Vec<TrendPoint> {
+    BOOM_NAMES
+        .iter()
+        .map(|c| TrendPoint::new(grid.baseline_ipc(c), value(c, scheme)))
+        .collect()
+}
+
+/// Figure 8: relative IPC against absolute baseline IPC, with the linear
+/// trend and the Redwood-Cove-class extrapolation.
+#[must_use]
+pub fn fig8_report(grid: &GridResults) -> Report {
+    let mut rows = vec![vec![
+        "Scheme".to_string(),
+        "small".into(),
+        "medium".into(),
+        "large".into(),
+        "mega".into(),
+        "slope".into(),
+        "R^2".into(),
+        "@IPC 2.03".into(),
+    ]];
+    let mut csv = String::from("scheme,config,abs_ipc,rel_ipc\n");
+    for scheme in Scheme::secure() {
+        let pts = scheme_trend(grid, |c, s| grid.summary(c, s).mean_normalized_ipc(), scheme);
+        let fit = LinearFit::fit(&pts);
+        let mut row = vec![scheme.label().to_string()];
+        for (c, p) in BOOM_NAMES.iter().zip(&pts) {
+            row.push(format!("{:.3}", p.value));
+            csv.push_str(&format!("{scheme},{c},{:.4},{:.4}\n", p.ipc, p.value));
+        }
+        row.push(format!("{:.3}", fit.slope));
+        row.push(format!("{:.3}", fit.r_squared(&pts)));
+        row.push(format!("{:.3}", fit.predict(INTEL_IPC)));
+        rows.push(row);
+    }
+    let text = format!(
+        "Figure 8: relative IPC vs absolute IPC (paper: >20% IPC loss \
+         extrapolated for leading cores)\n{}",
+        format_table(&rows)
+    );
+    Report {
+        text,
+        csv: vec![("fig8.csv".into(), csv)],
+    }
+}
+
+/// Figure 9: achievable frequency (MHz) per configuration and scheme.
+#[must_use]
+pub fn fig9_report() -> Report {
+    let mut rows = vec![{
+        let mut h = vec!["Config".to_string()];
+        h.extend(Scheme::all().iter().map(|s| s.label().to_string()));
+        h
+    }];
+    let mut csv = String::from("config,scheme,mhz\n");
+    for name in BOOM_NAMES {
+        let c = cfg(name);
+        let mut row = vec![name.to_string()];
+        for s in Scheme::all() {
+            let f = frequency_mhz(&c, s);
+            row.push(format!("{f:.1}"));
+            csv.push_str(&format!("{name},{s},{f:.2}\n"));
+        }
+        rows.push(row);
+    }
+    let text = format!(
+        "Figure 9: synthesis frequency in MHz (paper: Mega STT-Rename at \
+         ~80% of baseline; NDA at or above baseline)\n{}",
+        format_table(&rows)
+    );
+    Report {
+        text,
+        csv: vec![("fig9.csv".into(), csv)],
+    }
+}
+
+/// Figure 10: relative timing against absolute baseline IPC.
+#[must_use]
+pub fn fig10_report(grid: &GridResults) -> Report {
+    let mut rows = vec![vec![
+        "Scheme".to_string(),
+        "small".into(),
+        "medium".into(),
+        "large".into(),
+        "mega".into(),
+        "slope".into(),
+    ]];
+    let mut csv = String::from("scheme,config,abs_ipc,rel_timing\n");
+    for scheme in Scheme::secure() {
+        let pts = scheme_trend(grid, |c, s| relative_timing(&cfg(c), s), scheme);
+        let fit = LinearFit::fit(&pts);
+        let mut row = vec![scheme.label().to_string()];
+        for (c, p) in BOOM_NAMES.iter().zip(&pts) {
+            row.push(format!("{:.3}", p.value));
+            csv.push_str(&format!("{scheme},{c},{:.4},{:.4}\n", p.ipc, p.value));
+        }
+        row.push(format!("{:.3}", fit.slope));
+        rows.push(row);
+    }
+    let text = format!(
+        "Figure 10: relative timing vs absolute IPC (paper: NDA flat at \
+         ~1.0, STT-Issue flat-but-offset, STT-Rename degrading with width)\n{}",
+        format_table(&rows)
+    );
+    Report {
+        text,
+        csv: vec![("fig10.csv".into(), csv)],
+    }
+}
+
+/// Figure 1 + Table 3: performance = IPC × timing, with the halved-growth
+/// Redwood-Cove extrapolation.
+#[must_use]
+pub fn fig1_table3_report(grid: &GridResults) -> Report {
+    let paper: [(&str, [f64; 5]); 3] = [
+        ("STT-Rename", [0.98, 0.93, 0.84, 0.65, 0.53]),
+        ("STT-Issue", [0.98, 0.86, 0.81, 0.73, 0.62]),
+        ("NDA", [1.01, 0.88, 0.80, 0.78, 0.66]),
+    ];
+    let mut rows = vec![vec![
+        "Scheme".to_string(),
+        "small".into(),
+        "medium".into(),
+        "large".into(),
+        "mega".into(),
+        "Intel(est)".into(),
+        "paper row".into(),
+    ]];
+    let mut csv = String::from("scheme,config,abs_ipc,performance\n");
+    for (scheme, (_, paper_row)) in Scheme::secure().into_iter().zip(paper) {
+        let perf = |c: &str, s: Scheme| {
+            grid.summary(c, s).mean_normalized_ipc() * relative_timing(&cfg(c), s)
+        };
+        let pts = scheme_trend(grid, perf, scheme);
+        let fit = LinearFit::fit(&pts);
+        let mega_ipc = grid.baseline_ipc("mega");
+        let intel = fit.predict_halved_growth(mega_ipc, INTEL_IPC);
+        let mut row = vec![scheme.label().to_string()];
+        for (c, p) in BOOM_NAMES.iter().zip(&pts) {
+            row.push(format!("{:.2}", p.value));
+            csv.push_str(&format!("{scheme},{c},{:.4},{:.4}\n", p.ipc, p.value));
+        }
+        row.push(format!("{intel:.2}"));
+        row.push(format!("{paper_row:.2?}"));
+        rows.push(row);
+        csv.push_str(&format!("{scheme},intel,{INTEL_IPC},{intel:.4}\n"));
+    }
+    let text = format!(
+        "Figure 1 / Table 3: normalized performance (IPC × timing), halved-\
+         growth Intel extrapolation\n{}",
+        format_table(&rows)
+    );
+    Report {
+        text,
+        csv: vec![("table3.csv".into(), csv)],
+    }
+}
+
+/// Table 4: area (LUT/FF) and power relative to baseline at the Mega
+/// configuration, with measured switching activity from the simulator.
+#[must_use]
+pub fn table4_report(spec: &RunSpec) -> Report {
+    let mega = CoreConfig::mega();
+    let base_area = area_estimate(&mega, Scheme::Baseline);
+    let paper = [(1.060, 1.094, 1.008), (1.059, 1.039, 1.026), (0.980, 1.027, 0.936)];
+    let mut rows = vec![vec![
+        "Scheme".to_string(),
+        "LUTs".into(),
+        "FFs".into(),
+        "Power".into(),
+        "paper (LUT/FF/P)".into(),
+    ]];
+    let mut csv = String::from("scheme,lut_rel,ff_rel,power_rel\n");
+    // Measured activity on a representative benchmark mix refines the
+    // typical per-scheme activity profile.
+    let profiles = spec2017_profiles();
+    let mix = [&profiles[3], &profiles[15], &profiles[18]]; // mcf, imagick, exchange2
+    for (scheme, (pl, pf, pp)) in Scheme::secure().into_iter().zip(paper) {
+        let (l, f) = area_estimate(&mega, scheme).relative_to(&base_area);
+        let mut act = ActivityProfile::typical(scheme);
+        let mut measured = 0.0;
+        for p in mix {
+            let (_, stats) = run_bench(&mega, scheme, p, spec);
+            measured += ActivityProfile::from_stats(&stats).issue_rate;
+        }
+        act.issue_rate = 0.5 * act.issue_rate + 0.5 * (measured / mix.len() as f64).min(1.2);
+        let p = relative_power(&mega, scheme, &act);
+        rows.push(vec![
+            scheme.label().to_string(),
+            format!("{l:.3}"),
+            format!("{f:.3}"),
+            format!("{p:.3}"),
+            format!("{pl:.3}/{pf:.3}/{pp:.3}"),
+        ]);
+        csv.push_str(&format!("{scheme},{l:.4},{f:.4},{p:.4}\n"));
+    }
+    let text = format!(
+        "Table 4: area and power at 50 MHz, normalized to baseline (Mega)\n{}",
+        format_table(&rows)
+    );
+    Report {
+        text,
+        csv: vec![("table4.csv".into(), csv)],
+    }
+}
+
+/// Table 5: IPC loss on Medium/Large/Mega (RTL fidelity) against gem5-like
+/// abstract-fidelity configurations.
+#[must_use]
+pub fn table5_report(grid: &GridResults, spec: &RunSpec) -> Report {
+    let paper: [(&str, f64, f64, f64); 3] = [
+        ("medium", 7.3, 6.4, 10.7),
+        ("large", 11.3, 10.0, 18.6),
+        ("mega", 17.6, 15.8, 22.4),
+    ];
+    let mut rows = vec![vec![
+        "Configuration".to_string(),
+        "Base IPC".into(),
+        "STT-Rename loss%".into(),
+        "STT-Issue loss%".into(),
+        "NDA loss%".into(),
+        "paper (R/I/N)".into(),
+    ]];
+    let mut csv = String::from("config,baseline_ipc,stt_rename_loss,stt_issue_loss,nda_loss\n");
+    for (name, pr, pi, pn) in paper {
+        let ipc = grid.baseline_ipc(name);
+        let losses: Vec<f64> = Scheme::secure()
+            .iter()
+            .map(|&s| grid.summary(name, s).ipc_loss_percent())
+            .collect();
+        rows.push(vec![
+            format!("BOOM {name}"),
+            format!("{ipc:.2}"),
+            format!("{:.1}", losses[0]),
+            format!("{:.1}", losses[1]),
+            format!("{:.1}", losses[2]),
+            format!("{pr}/{pi}/{pn}"),
+        ]);
+        csv.push_str(&format!(
+            "{name},{ipc:.4},{:.2},{:.2},{:.2}\n",
+            losses[0], losses[1], losses[2]
+        ));
+    }
+    // gem5-like rows: abstract fidelity, the original papers' configs.
+    let gem5_points = [
+        (CoreConfig::gem5_stt(), Scheme::SttRename, 17.2, "gem5 (STT cfg)"),
+        (CoreConfig::gem5_nda(), Scheme::Nda, 13.0, "gem5 (NDA cfg)"),
+    ];
+    for (config, scheme, paper_loss, label) in gem5_points {
+        let base = crate::engine::run_suite(&config, Scheme::Baseline, spec);
+        let sch = crate::engine::run_suite(&config, scheme, spec);
+        let summary = sb_stats::SuiteSummary::new(base, sch);
+        let ipc = summary.baseline_ipc();
+        let loss = summary.ipc_loss_percent();
+        rows.push(vec![
+            label.to_string(),
+            format!("{ipc:.2}"),
+            if scheme == Scheme::SttRename { format!("{loss:.1}") } else { "-".into() },
+            "-".into(),
+            if scheme == Scheme::Nda { format!("{loss:.1}") } else { "-".into() },
+            format!("{paper_loss}"),
+        ]);
+        csv.push_str(&format!("{},{ipc:.4},{loss:.2},,\n", config.name));
+    }
+    let text = format!(
+        "Table 5: IPC loss, BOOM (RTL fidelity) vs gem5-like (abstract \
+         fidelity)\n{}",
+        format_table(&rows)
+    );
+    Report {
+        text,
+        csv: vec![("table5.csv".into(), csv)],
+    }
+}
+
+/// §9.2: the exchange2 pathology — store-to-load forwarding errors per
+/// scheme, and the split-store-taint ablation.
+#[must_use]
+pub fn sec92_report(spec: &RunSpec) -> Report {
+    let mega = CoreConfig::mega();
+    let exchange2 = *spec2017_profiles()
+        .iter()
+        .find(|p| p.name.contains("exchange2"))
+        .expect("profile exists");
+    let mut rows = vec![vec![
+        "Scheme".to_string(),
+        "IPC".into(),
+        "Fwd errors".into(),
+        "vs NDA".into(),
+    ]];
+    let mut csv = String::from("scheme,ipc,fwd_errors\n");
+    let mut nda_errors = 1u64;
+    let mut entries = Vec::new();
+    for scheme in [Scheme::Baseline, Scheme::Nda, Scheme::SttIssue, Scheme::SttRename] {
+        let (row, stats) = run_bench(&mega, scheme, &exchange2, spec);
+        if scheme == Scheme::Nda {
+            nda_errors = stats.forwarding_errors.get().max(1);
+        }
+        entries.push((scheme, row.ipc(), stats.forwarding_errors.get()));
+    }
+    for (scheme, ipc, errs) in &entries {
+        rows.push(vec![
+            scheme.label().to_string(),
+            format!("{ipc:.3}"),
+            errs.to_string(),
+            format!("{:.0}x", *errs as f64 / nda_errors as f64),
+        ]);
+        csv.push_str(&format!("{scheme},{ipc:.4},{errs}\n"));
+    }
+    // Ablation: §9.2's proposed split-store optimization for STT-Rename.
+    let mut cfg92 = SchemeConfig::rtl(Scheme::SttRename, mega.mem_ports);
+    cfg92.split_store_taints = true;
+    let trace = sb_workloads::generate(&exchange2, spec.ops, spec.seed ^ 0x9292);
+    let mut split = Core::new(mega, cfg92, trace);
+    split.run(400_000_000);
+    let split_errs = split.stats().forwarding_errors.get();
+    rows.push(vec![
+        "STT-Rename+split".to_string(),
+        format!("{:.3}", split.stats().ipc()),
+        split_errs.to_string(),
+        format!("{:.0}x", split_errs as f64 / nda_errors as f64),
+    ]);
+    csv.push_str(&format!("stt-rename-split,{:.4},{split_errs}\n", split.stats().ipc()));
+    let text = format!(
+        "Section 9.2: exchange2 store-to-load forwarding errors (paper: \
+         STT-Rename has ~1350x NDA's count; NDA IPC 1.77 vs STT-Rename 1.44)\n{}",
+        format_table(&rows)
+    );
+    Report {
+        text,
+        csv: vec![("sec92.csv".into(), csv)],
+    }
+}
+
+/// §7's security check: Spectre v1 and SSB kernels across all schemes.
+#[must_use]
+pub fn security_report() -> Report {
+    let mut rows = vec![vec![
+        "Kernel".to_string(),
+        "Scheme".into(),
+        "Leaked?".into(),
+        "Recovered".into(),
+    ]];
+    let mut csv = String::from("kernel,scheme,leaked,recovered\n");
+    let observer = SideChannelObserver::new(PROBE_BASE, PROBE_STRIDE, 16);
+    for (kname, build) in [
+        ("spectre-v1", spectre_v1_kernel as fn(usize) -> sb_workloads::AttackKernel),
+        ("ssb", ssb_kernel),
+    ] {
+        for scheme in Scheme::all() {
+            let kernel = build(11);
+            let mut core = Core::with_scheme(CoreConfig::mega(), scheme, kernel.trace);
+            observer.prime(core.memory_mut());
+            let recovered = if kname == "ssb" {
+                // SSB's transient window closes at the forwarding-error
+                // flush; probe at that instant. (The post-flush replay
+                // legitimately re-touches the literal address — a trace
+                // cannot re-steer it to the corrected value's slot — so
+                // the end state is not the leak signal here.)
+                while !core.is_done()
+                    && core.stats().forwarding_errors.get() == 0
+                    && core.cycle() < 1_000_000
+                {
+                    core.step();
+                }
+                observer.recover(core.memory())
+            } else {
+                // Spectre-v1's wrong path never replays: end state is the
+                // leak signal.
+                core.run_to_completion(1_000_000);
+                observer.recover(core.memory())
+            };
+            let leaked = recovered == Some(kernel.secret);
+            rows.push(vec![
+                kname.to_string(),
+                scheme.label().to_string(),
+                if leaked { "LEAKED".into() } else { "blocked".into() },
+                format!("{recovered:?}"),
+            ]);
+            csv.push_str(&format!("{kname},{scheme},{leaked},{recovered:?}\n"));
+        }
+    }
+    let text = format!(
+        "Security: transient-leak verification (baseline must leak; all \
+         secure schemes must block — §7's BOOM-attacks check)\n{}",
+        format_table(&rows)
+    );
+    Report {
+        text,
+        csv: vec![("security.csv".into(), csv)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_grid;
+
+    fn tiny_grid() -> GridResults {
+        run_grid(
+            &[CoreConfig::small(), CoreConfig::medium(), CoreConfig::large(), CoreConfig::mega()],
+            &RunSpec { ops: 2_000, seed: 3 },
+        )
+    }
+
+    #[test]
+    fn fig9_report_is_grid_free() {
+        let r = fig9_report();
+        assert!(r.text.contains("mega"));
+        assert!(r.csv[0].1.lines().count() > 16, "4 configs x 4 schemes + header");
+    }
+
+    #[test]
+    fn security_report_blocks_all_secure_schemes() {
+        let r = security_report();
+        assert!(!r.text.contains("LEAKED\n") || r.text.contains("Baseline"));
+        // Exactly the two baselines leak.
+        assert_eq!(r.text.matches("LEAKED").count(), 2, "{}", r.text);
+    }
+
+    #[test]
+    #[ignore = "several seconds; run with --ignored or the binary"]
+    fn full_reports_render() {
+        let grid = tiny_grid();
+        let spec = RunSpec { ops: 2_000, seed: 3 };
+        for r in [
+            table1_report(&grid),
+            fig6_report(&grid),
+            fig7_report(&grid),
+            fig8_report(&grid),
+            fig10_report(&grid),
+            fig1_table3_report(&grid),
+            table4_report(&spec),
+            table5_report(&grid, &spec),
+            sec92_report(&spec),
+        ] {
+            assert!(!r.text.is_empty());
+            assert!(!r.csv.is_empty());
+        }
+    }
+}

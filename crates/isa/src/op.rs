@@ -1,0 +1,414 @@
+//! Micro-op representation and the transmitter taxonomy.
+//!
+//! Speculative Taint Tracking (§3.1 of the paper) divides instructions into
+//! *transmitters* — whose execution has an observable, data-dependent effect
+//! (loads via their address, stores via their address, branches via their
+//! resolution) — and non-transmitters, which may freely execute on tainted
+//! data because their execution is invisible.
+
+use crate::ids::ArchReg;
+use std::fmt;
+
+/// Functional class of a micro-op.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation (add, xor, shifts, ...).
+    IntAlu,
+    /// Pipelined integer multiply.
+    IntMul,
+    /// Long-latency integer divide.
+    IntDiv,
+    /// Pipelined floating-point add/compare.
+    FpAlu,
+    /// Pipelined floating-point multiply.
+    FpMul,
+    /// Long-latency floating-point divide / sqrt.
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store (address + data operands; may partially issue, §9.2).
+    Store,
+    /// Conditional branch (a transmitter: resolution is observable, §4.2).
+    Branch,
+    /// No-operation; also what a tainted transmitter turns into for a cycle
+    /// when STT-Issue wastes an issue slot (§4.3 step 4).
+    Nop,
+}
+
+impl OpClass {
+    /// Whether execution of this class has an observable, data-dependent
+    /// effect on the system — STT's transmitter definition (§3.1).
+    ///
+    /// Loads transmit through their address, stores through their address,
+    /// branches through their resolution direction.
+    #[must_use]
+    pub fn is_transmitter(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store | OpClass::Branch)
+    }
+
+    /// Execution latency in cycles once issued to a functional unit,
+    /// excluding memory-hierarchy time for loads.
+    #[must_use]
+    pub fn exec_latency(self) -> u32 {
+        match self {
+            OpClass::IntAlu | OpClass::Nop | OpClass::Branch => 1,
+            OpClass::IntMul => 3,
+            OpClass::IntDiv => 12,
+            OpClass::FpAlu => 3,
+            OpClass::FpMul => 4,
+            OpClass::FpDiv => 14,
+            // Address generation; the memory hierarchy adds the rest.
+            OpClass::Load | OpClass::Store => 1,
+        }
+    }
+
+    /// Which execution pipe the op needs.
+    #[must_use]
+    pub fn exec_class(self) -> ExecClass {
+        match self {
+            OpClass::IntAlu | OpClass::IntMul | OpClass::IntDiv | OpClass::Nop => ExecClass::Int,
+            OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv => ExecClass::Fp,
+            OpClass::Load | OpClass::Store => ExecClass::Mem,
+            OpClass::Branch => ExecClass::Int,
+        }
+    }
+
+    /// All classes, for exhaustive sweeps in tests and benches.
+    #[must_use]
+    pub fn all() -> [OpClass; 10] {
+        [
+            OpClass::IntAlu,
+            OpClass::IntMul,
+            OpClass::IntDiv,
+            OpClass::FpAlu,
+            OpClass::FpMul,
+            OpClass::FpDiv,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::Branch,
+            OpClass::Nop,
+        ]
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "alu",
+            OpClass::IntMul => "mul",
+            OpClass::IntDiv => "div",
+            OpClass::FpAlu => "fadd",
+            OpClass::FpMul => "fmul",
+            OpClass::FpDiv => "fdiv",
+            OpClass::Load => "ld",
+            OpClass::Store => "st",
+            OpClass::Branch => "br",
+            OpClass::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Execution-pipe class used for functional-unit arbitration.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ExecClass {
+    /// Integer pipes (also execute branches and nops).
+    Int,
+    /// Floating-point pipes.
+    Fp,
+    /// Memory pipes (bounded by the configuration's memory ports).
+    Mem,
+}
+
+/// A memory access carried by a load or store micro-op.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MemAccess {
+    /// Byte address accessed.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub bytes: u8,
+}
+
+impl MemAccess {
+    /// Whether two accesses overlap (the store-to-load aliasing check used by
+    /// the LSU's forwarding-error detection, §6).
+    #[must_use]
+    pub fn overlaps(&self, other: &MemAccess) -> bool {
+        let a0 = self.addr;
+        let a1 = self.addr + u64::from(self.bytes);
+        let b0 = other.addr;
+        let b1 = other.addr + u64::from(other.bytes);
+        a0 < b1 && b0 < a1
+    }
+}
+
+/// Control-flow outcome carried by a branch micro-op.
+///
+/// Traces are resolved ahead of time: the generator draws the misprediction
+/// from the workload profile's branch-predictability, so runs are
+/// deterministic and replayable after squashes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CtrlFlow {
+    /// Actual direction of the branch.
+    pub taken: bool,
+    /// Whether the front-end predicted this branch incorrectly.
+    pub mispredicted: bool,
+}
+
+/// A decoded micro-op: the unit the rename stage, issue queue, and LSU
+/// operate on.
+///
+/// # Example
+///
+/// ```
+/// use sb_isa::{ArchReg, MicroOp, OpClass};
+///
+/// let op = MicroOp::alu(ArchReg::int(1), Some(ArchReg::int(2)), None);
+/// assert_eq!(op.class, OpClass::IntAlu);
+/// assert!(!op.is_transmitter());
+/// assert_eq!(op.sources().count(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MicroOp {
+    /// Functional class.
+    pub class: OpClass,
+    /// Destination architectural register, if any. Stores and branches have
+    /// none.
+    pub dst: Option<ArchReg>,
+    /// First source operand. For stores this is the *address* operand.
+    pub src1: Option<ArchReg>,
+    /// Second source operand. For stores this is the *data* operand.
+    pub src2: Option<ArchReg>,
+    /// Memory access, present iff `class` is `Load` or `Store`.
+    pub mem: Option<MemAccess>,
+    /// Control-flow outcome, present iff `class` is `Branch`.
+    pub ctrl: Option<CtrlFlow>,
+}
+
+impl MicroOp {
+    /// An integer ALU op `dst <- f(src1, src2)`.
+    #[must_use]
+    pub fn alu(dst: ArchReg, src1: Option<ArchReg>, src2: Option<ArchReg>) -> Self {
+        MicroOp {
+            class: OpClass::IntAlu,
+            dst: Some(dst),
+            src1,
+            src2,
+            mem: None,
+            ctrl: None,
+        }
+    }
+
+    /// A compute op of an explicit class `dst <- f(src1, src2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is a memory or control class; use [`MicroOp::load`],
+    /// [`MicroOp::store`] or [`MicroOp::branch`] for those.
+    #[must_use]
+    pub fn compute(
+        class: OpClass,
+        dst: ArchReg,
+        src1: Option<ArchReg>,
+        src2: Option<ArchReg>,
+    ) -> Self {
+        assert!(
+            !matches!(class, OpClass::Load | OpClass::Store | OpClass::Branch),
+            "compute() cannot build a {class} op"
+        );
+        MicroOp {
+            class,
+            dst: Some(dst),
+            src1,
+            src2,
+            mem: None,
+            ctrl: None,
+        }
+    }
+
+    /// A load `dst <- mem[addr]`, with `addr_src` the address-forming register.
+    #[must_use]
+    pub fn load(dst: ArchReg, addr_src: ArchReg, addr: u64, bytes: u8) -> Self {
+        MicroOp {
+            class: OpClass::Load,
+            dst: Some(dst),
+            src1: Some(addr_src),
+            src2: None,
+            mem: Some(MemAccess { addr, bytes }),
+            ctrl: None,
+        }
+    }
+
+    /// A store `mem[addr] <- data_src`, with `addr_src` the address-forming
+    /// register (`src1`) and `data_src` the data operand (`src2`).
+    #[must_use]
+    pub fn store(addr_src: ArchReg, data_src: ArchReg, addr: u64, bytes: u8) -> Self {
+        MicroOp {
+            class: OpClass::Store,
+            dst: None,
+            src1: Some(addr_src),
+            src2: Some(data_src),
+            mem: Some(MemAccess { addr, bytes }),
+            ctrl: None,
+        }
+    }
+
+    /// A conditional branch on up to two operands with a pre-resolved outcome.
+    #[must_use]
+    pub fn branch(
+        src1: Option<ArchReg>,
+        src2: Option<ArchReg>,
+        taken: bool,
+        mispredicted: bool,
+    ) -> Self {
+        MicroOp {
+            class: OpClass::Branch,
+            dst: None,
+            src1,
+            src2,
+            mem: None,
+            ctrl: Some(CtrlFlow {
+                taken,
+                mispredicted,
+            }),
+        }
+    }
+
+    /// A no-operation.
+    #[must_use]
+    pub fn nop() -> Self {
+        MicroOp {
+            class: OpClass::Nop,
+            dst: None,
+            src1: None,
+            src2: None,
+            mem: None,
+            ctrl: None,
+        }
+    }
+
+    /// Whether this op is a load.
+    #[must_use]
+    pub fn is_load(&self) -> bool {
+        self.class == OpClass::Load
+    }
+
+    /// Whether this op is a store.
+    #[must_use]
+    pub fn is_store(&self) -> bool {
+        self.class == OpClass::Store
+    }
+
+    /// Whether this op is a branch.
+    #[must_use]
+    pub fn is_branch(&self) -> bool {
+        self.class == OpClass::Branch
+    }
+
+    /// Whether this op is a transmitter under the combined threat model (§2.4).
+    #[must_use]
+    pub fn is_transmitter(&self) -> bool {
+        self.class.is_transmitter()
+    }
+
+    /// Whether this branch was mispredicted. `false` for non-branches.
+    #[must_use]
+    pub fn is_mispredicted(&self) -> bool {
+        self.ctrl.is_some_and(|c| c.mispredicted)
+    }
+
+    /// Iterates over the present source operands, skipping the hard-wired
+    /// zero register (which never carries data or taint).
+    pub fn sources(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        [self.src1, self.src2]
+            .into_iter()
+            .flatten()
+            .filter(|r| !r.is_zero())
+    }
+
+    /// Destination register unless it is the unrenamed zero register.
+    #[must_use]
+    pub fn dest(&self) -> Option<ArchReg> {
+        self.dst.filter(|r| !r.is_zero())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmitter_taxonomy_matches_stt() {
+        assert!(OpClass::Load.is_transmitter());
+        assert!(OpClass::Store.is_transmitter());
+        assert!(OpClass::Branch.is_transmitter());
+        assert!(!OpClass::IntAlu.is_transmitter());
+        assert!(!OpClass::FpMul.is_transmitter());
+        assert!(!OpClass::Nop.is_transmitter());
+    }
+
+    #[test]
+    fn latencies_are_positive_and_ordered() {
+        for c in OpClass::all() {
+            assert!(c.exec_latency() >= 1, "{c} latency must be at least 1");
+        }
+        assert!(OpClass::IntDiv.exec_latency() > OpClass::IntMul.exec_latency());
+        assert!(OpClass::IntMul.exec_latency() > OpClass::IntAlu.exec_latency());
+        assert!(OpClass::FpDiv.exec_latency() > OpClass::FpMul.exec_latency());
+    }
+
+    #[test]
+    fn exec_class_routing() {
+        assert_eq!(OpClass::Load.exec_class(), ExecClass::Mem);
+        assert_eq!(OpClass::Store.exec_class(), ExecClass::Mem);
+        assert_eq!(OpClass::Branch.exec_class(), ExecClass::Int);
+        assert_eq!(OpClass::FpDiv.exec_class(), ExecClass::Fp);
+        assert_eq!(OpClass::IntDiv.exec_class(), ExecClass::Int);
+    }
+
+    #[test]
+    fn mem_overlap_detects_aliasing() {
+        let a = MemAccess { addr: 100, bytes: 8 };
+        let b = MemAccess { addr: 104, bytes: 8 };
+        let c = MemAccess { addr: 108, bytes: 4 };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(b.overlaps(&c));
+    }
+
+    #[test]
+    fn zero_register_sources_are_skipped() {
+        let op = MicroOp::alu(ArchReg::int(1), Some(ArchReg::int(0)), Some(ArchReg::int(2)));
+        let srcs: Vec<_> = op.sources().collect();
+        assert_eq!(srcs, vec![ArchReg::int(2)]);
+    }
+
+    #[test]
+    fn zero_register_dest_is_discarded() {
+        let op = MicroOp::alu(ArchReg::int(0), Some(ArchReg::int(2)), None);
+        assert_eq!(op.dest(), None);
+    }
+
+    #[test]
+    fn store_operand_convention() {
+        let st = MicroOp::store(ArchReg::int(3), ArchReg::int(4), 0x80, 8);
+        assert_eq!(st.src1, Some(ArchReg::int(3)), "src1 is the address operand");
+        assert_eq!(st.src2, Some(ArchReg::int(4)), "src2 is the data operand");
+        assert!(st.dest().is_none());
+    }
+
+    #[test]
+    fn branch_outcome_is_carried() {
+        let br = MicroOp::branch(Some(ArchReg::int(1)), None, true, true);
+        assert!(br.is_mispredicted());
+        assert!(br.ctrl.unwrap().taken);
+        assert!(!MicroOp::nop().is_mispredicted());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot build")]
+    fn compute_rejects_memory_classes() {
+        let _ = MicroOp::compute(OpClass::Load, ArchReg::int(1), None, None);
+    }
+}

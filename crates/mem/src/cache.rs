@@ -1,0 +1,254 @@
+//! A set-associative cache with true-LRU replacement.
+
+use std::fmt;
+
+/// Geometry and latency of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (must be a power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: usize,
+    /// Hit latency in cycles.
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways * self.line_bytes
+    }
+
+    /// A 32 KiB, 8-way, 64 B-line L1 data cache with a 4-cycle hit latency
+    /// (the realistic latency the paper insists on in §9.5).
+    #[must_use]
+    pub fn l1d_default() -> Self {
+        CacheConfig {
+            sets: 64,
+            ways: 8,
+            line_bytes: 64,
+            latency: 4,
+        }
+    }
+
+    /// A 512 KiB, 8-way L2 with a 14-cycle hit latency.
+    #[must_use]
+    pub fn l2_default() -> Self {
+        CacheConfig {
+            sets: 1024,
+            ways: 8,
+            line_bytes: 64,
+            latency: 14,
+        }
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} KiB {}-way ({}-cycle)",
+            self.capacity() / 1024,
+            self.ways,
+            self.latency
+        )
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Line {
+    tag: u64,
+    /// Monotonic timestamp of last touch, for LRU.
+    last_use: u64,
+}
+
+/// A set-associative, true-LRU cache model (tags only; no data payload).
+///
+/// # Example
+///
+/// ```
+/// use sb_mem::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig::l1d_default());
+/// assert!(!c.access(0x1000));      // cold miss, line filled
+/// assert!(c.access(0x1000));       // now hits
+/// assert!(c.access(0x1038));       // same 64-byte line
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `line_bytes` is not a power of two, or `ways` is 0.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(config.ways > 0, "associativity must be positive");
+        Cache {
+            config,
+            sets: vec![Vec::new(); config.sets],
+            tick: 0,
+        }
+    }
+
+    /// Cache geometry.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn index_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.config.line_bytes as u64;
+        let idx = (line as usize) & (self.config.sets - 1);
+        (idx, line)
+    }
+
+    /// Accesses `addr`: returns `true` on hit. On a miss the line is filled
+    /// (evicting LRU if needed).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let (idx, tag) = self.index_and_tag(addr);
+        let tick = self.tick;
+        let set = &mut self.sets[idx];
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.last_use = tick;
+            return true;
+        }
+        if set.len() == self.config.ways {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("nonempty set");
+            set.swap_remove(victim);
+        }
+        set.push(Line {
+            tag,
+            last_use: tick,
+        });
+        false
+    }
+
+    /// Whether `addr`'s line is present, without touching LRU state or
+    /// filling — the attacker's probe primitive.
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let (idx, tag) = self.index_and_tag(addr);
+        self.sets[idx].iter().any(|l| l.tag == tag)
+    }
+
+    /// Evicts `addr`'s line if present — the attacker's flush primitive.
+    /// Returns whether a line was evicted.
+    pub fn flush_line(&mut self, addr: u64) -> bool {
+        let (idx, tag) = self.index_and_tag(addr);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|l| l.tag == tag) {
+            set.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Empties the cache.
+    pub fn flush_all(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Number of resident lines.
+    #[must_use]
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        Cache::new(CacheConfig {
+            sets: 2,
+            ways: 2,
+            line_bytes: 64,
+            latency: 4,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63), "same line");
+        assert!(!c.access(64), "next line is a different set/line");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Set 0 holds lines with even line-number (2 sets).
+        c.access(0); // line 0 -> set 0
+        c.access(256); // line 4 -> set 0
+        c.access(0); // touch line 0, line 4 is now LRU
+        c.access(512); // line 8 -> set 0: evicts line 4
+        assert!(c.probe(0));
+        assert!(!c.probe(256));
+        assert!(c.probe(512));
+    }
+
+    #[test]
+    fn probe_does_not_fill_or_touch() {
+        let mut c = tiny();
+        assert!(!c.probe(0x40));
+        assert_eq!(c.resident_lines(), 0);
+        c.access(0x40);
+        assert!(c.probe(0x40));
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn flush_line_removes_exactly_one_line() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(64);
+        assert!(c.flush_line(0));
+        assert!(!c.flush_line(0), "already gone");
+        assert!(c.probe(64));
+        c.flush_all();
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn capacity_math() {
+        assert_eq!(CacheConfig::l1d_default().capacity(), 32 * 1024);
+        assert_eq!(CacheConfig::l2_default().capacity(), 512 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = Cache::new(CacheConfig {
+            sets: 3,
+            ways: 1,
+            line_bytes: 64,
+            latency: 1,
+        });
+    }
+}

@@ -1,0 +1,19 @@
+//! Memory-hierarchy substrate: set-associative caches, stride prefetchers, a
+//! DRAM latency model, and a cache side-channel observer used by the
+//! Spectre-v1 mitigation check (§7 of the paper).
+//!
+//! The default latencies follow the paper's critique of earlier gem5
+//! evaluations (§9.5): the realistic (RTL-fidelity) L1 data cache costs 4
+//! cycles, not the single cycle that made earlier STT evaluations optimistic.
+//! The abstract (gem5-like) fidelity mode of `sb-uarch` overrides the L1
+//! latency to 1 cycle to reproduce that effect.
+
+mod cache;
+mod hierarchy;
+mod observer;
+mod prefetch;
+
+pub use cache::{Cache, CacheConfig};
+pub use hierarchy::{AccessKind, AccessOutcome, HierarchyConfig, MemoryHierarchy, ServedBy};
+pub use observer::SideChannelObserver;
+pub use prefetch::StridePrefetcher;

@@ -1,0 +1,156 @@
+//! Cache side-channel observer: the attacker's flush+reload view of the
+//! cache, used by the security experiment (§7's BOOM-attacks analogue).
+//!
+//! The observer monitors a *probe array*: `entries` cache lines spaced
+//! `stride` bytes apart starting at `base`. A Spectre-v1 victim encodes a
+//! secret byte `s` by transiently loading `base + s * stride`; the attacker
+//! then probes each line and recovers `s` from the unique hit.
+
+use crate::hierarchy::MemoryHierarchy;
+use std::fmt;
+
+/// Flush+reload observer over a probe array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SideChannelObserver {
+    base: u64,
+    stride: u64,
+    entries: usize,
+}
+
+impl SideChannelObserver {
+    /// Creates an observer for `entries` lines spaced `stride` bytes from
+    /// `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is smaller than a cache line (64 B) or `entries`
+    /// is 0 — adjacent probe slots must map to distinct lines.
+    #[must_use]
+    pub fn new(base: u64, stride: u64, entries: usize) -> Self {
+        assert!(stride >= 64, "probe slots must be at least a line apart");
+        assert!(entries > 0, "need at least one probe slot");
+        SideChannelObserver {
+            base,
+            stride,
+            entries,
+        }
+    }
+
+    /// Address of probe slot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= entries`.
+    #[must_use]
+    pub fn slot_addr(&self, i: usize) -> u64 {
+        assert!(i < self.entries, "slot {i} out of range");
+        self.base + self.stride * i as u64
+    }
+
+    /// Number of probe slots.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Flush every probe slot out of the hierarchy (attack preparation).
+    pub fn prime(&self, mem: &mut MemoryHierarchy) {
+        for i in 0..self.entries {
+            mem.flush_line(self.slot_addr(i));
+        }
+    }
+
+    /// Probe all slots; returns the indices now resident in L1D.
+    #[must_use]
+    pub fn probe(&self, mem: &MemoryHierarchy) -> Vec<usize> {
+        (0..self.entries)
+            .filter(|&i| mem.probe_l1d(self.slot_addr(i)))
+            .collect()
+    }
+
+    /// Recovers the leaked byte: the unique hot slot, if exactly one slot
+    /// hit. `None` means the secret did not leak (or the channel was noisy).
+    #[must_use]
+    pub fn recover(&self, mem: &MemoryHierarchy) -> Option<usize> {
+        let hits = self.probe(mem);
+        if hits.len() == 1 {
+            Some(hits[0])
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for SideChannelObserver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "probe array @{:#x}, {} slots x {} B",
+            self.base, self.entries, self.stride
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::{AccessKind, HierarchyConfig};
+
+    fn mem() -> MemoryHierarchy {
+        let mut c = HierarchyConfig::rtl_default();
+        c.l1_prefetch_degree = 0;
+        c.l2_prefetch_degree = 0;
+        MemoryHierarchy::new(c)
+    }
+
+    #[test]
+    fn recovers_a_single_touched_slot() {
+        let mut m = mem();
+        let obs = SideChannelObserver::new(0x10_0000, 4096, 16);
+        obs.prime(&mut m);
+        m.access(obs.slot_addr(7), AccessKind::Read);
+        assert_eq!(obs.recover(&m), Some(7));
+    }
+
+    #[test]
+    fn no_touch_means_no_leak() {
+        let mut m = mem();
+        let obs = SideChannelObserver::new(0x10_0000, 4096, 16);
+        obs.prime(&mut m);
+        assert_eq!(obs.recover(&m), None);
+        assert!(obs.probe(&m).is_empty());
+    }
+
+    #[test]
+    fn two_touches_are_ambiguous() {
+        let mut m = mem();
+        let obs = SideChannelObserver::new(0x10_0000, 4096, 16);
+        obs.prime(&mut m);
+        m.access(obs.slot_addr(1), AccessKind::Read);
+        m.access(obs.slot_addr(2), AccessKind::Read);
+        assert_eq!(obs.recover(&m), None);
+        assert_eq!(obs.probe(&m), vec![1, 2]);
+    }
+
+    #[test]
+    fn prime_evicts_previous_state() {
+        let mut m = mem();
+        let obs = SideChannelObserver::new(0x10_0000, 4096, 4);
+        m.access(obs.slot_addr(0), AccessKind::Read);
+        obs.prime(&mut m);
+        assert!(obs.probe(&m).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "line apart")]
+    fn sub_line_stride_rejected() {
+        let _ = SideChannelObserver::new(0, 32, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slot_bounds_checked() {
+        let obs = SideChannelObserver::new(0, 64, 4);
+        let _ = obs.slot_addr(4);
+    }
+}

@@ -1,0 +1,10 @@
+//! Statistics substrate: simulation counters, SPEC-style suite means, and the
+//! linear trend fits used by Figures 1, 8 and 10 of the paper.
+
+mod counters;
+mod suite;
+mod trend;
+
+pub use counters::{Counter, SimStats, StallBreakdown};
+pub use suite::{suite_ipc, BenchResult, SuiteSummary};
+pub use trend::{LinearFit, TrendPoint};

@@ -1,0 +1,278 @@
+//! Core configurations: the paper's four BOOM design points (Table 1) plus
+//! the gem5-like configurations of §8.6, and the fidelity knob of §9.5.
+
+use sb_mem::HierarchyConfig;
+use std::fmt;
+
+/// Modelling fidelity.
+///
+/// §9.5 attributes the gap between the paper's RTL results and earlier gem5
+/// evaluations to idealizations in abstract simulators. We reproduce both
+/// sides with one simulator and this knob.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Fidelity {
+    /// RTL-equivalent constraints: 4-cycle L1, broadcast bandwidth bounded
+    /// by memory ports, unified store micro-ops (partial-issue blocking),
+    /// bounded branch tags.
+    #[default]
+    Rtl,
+    /// Abstract-simulator (gem5-like) idealizations: single-cycle L1,
+    /// unbounded broadcast, split store taints, effectively unbounded branch
+    /// tags.
+    Abstract,
+}
+
+impl fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Fidelity::Rtl => "rtl",
+            Fidelity::Abstract => "abstract",
+        })
+    }
+}
+
+/// A core design point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Display name (e.g. `mega`).
+    pub name: &'static str,
+    /// Fetch/decode/rename/commit width (Table 1 "Core Width").
+    pub width: usize,
+    /// Loads + store-address issues per cycle (Table 1 "Memory Ports");
+    /// also the secure schemes' broadcast bandwidth in RTL fidelity.
+    pub mem_ports: usize,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Issue-queue entries (in-flight, not-yet-issued micro-ops).
+    pub iq_entries: usize,
+    /// Load-queue entries.
+    pub lq_entries: usize,
+    /// Store-queue entries.
+    pub sq_entries: usize,
+    /// Physical registers (shared int+fp pool in this model).
+    pub phys_regs: usize,
+    /// Branch checkpoints (branch tags); rename stalls when exhausted.
+    pub max_br_tags: usize,
+    /// Front-end refill penalty after a redirect (mispredict or flush).
+    pub redirect_penalty: u32,
+    /// Cycles between dispatch and earliest issue (decode/rename/dispatch
+    /// pipeline depth). This sets the minimum lifetime of a speculation
+    /// shadow, which is what makes delayed-broadcast (NDA) and taint
+    /// gating (STT) expensive on real pipelines.
+    pub dispatch_latency: u32,
+    /// Memory hierarchy parameters.
+    pub hierarchy: HierarchyConfig,
+    /// Modelling fidelity.
+    pub fidelity: Fidelity,
+}
+
+impl CoreConfig {
+    /// Table 1 "Small": 1-wide, 1 memory port, 32-entry ROB.
+    #[must_use]
+    pub fn small() -> Self {
+        CoreConfig {
+            name: "small",
+            width: 1,
+            mem_ports: 1,
+            rob_entries: 32,
+            iq_entries: 8,
+            lq_entries: 8,
+            sq_entries: 8,
+            phys_regs: 80,
+            max_br_tags: 6,
+            redirect_penalty: 5,
+            dispatch_latency: 3,
+            hierarchy: HierarchyConfig::rtl_default(),
+            fidelity: Fidelity::Rtl,
+        }
+    }
+
+    /// Table 1 "Medium": 2-wide, 1 memory port, 64-entry ROB.
+    #[must_use]
+    pub fn medium() -> Self {
+        CoreConfig {
+            name: "medium",
+            width: 2,
+            mem_ports: 1,
+            rob_entries: 64,
+            iq_entries: 16,
+            lq_entries: 16,
+            sq_entries: 16,
+            phys_regs: 112,
+            max_br_tags: 8,
+            redirect_penalty: 6,
+            dispatch_latency: 3,
+            hierarchy: HierarchyConfig::rtl_default(),
+            fidelity: Fidelity::Rtl,
+        }
+    }
+
+    /// Table 1 "Large": 3-wide, 1 memory port, 96-entry ROB.
+    #[must_use]
+    pub fn large() -> Self {
+        CoreConfig {
+            name: "large",
+            width: 3,
+            mem_ports: 1,
+            rob_entries: 96,
+            iq_entries: 24,
+            lq_entries: 24,
+            sq_entries: 24,
+            phys_regs: 144,
+            max_br_tags: 12,
+            redirect_penalty: 7,
+            dispatch_latency: 3,
+            hierarchy: HierarchyConfig::rtl_default(),
+            fidelity: Fidelity::Rtl,
+        }
+    }
+
+    /// Table 1 "Mega": 4-wide, 2 memory ports, 128-entry ROB — the paper's
+    /// default reporting configuration.
+    #[must_use]
+    pub fn mega() -> Self {
+        CoreConfig {
+            name: "mega",
+            width: 4,
+            mem_ports: 2,
+            rob_entries: 128,
+            iq_entries: 32,
+            lq_entries: 32,
+            sq_entries: 32,
+            phys_regs: 176,
+            max_br_tags: 16,
+            redirect_penalty: 7,
+            dispatch_latency: 3,
+            hierarchy: HierarchyConfig::rtl_default(),
+            fidelity: Fidelity::Rtl,
+        }
+    }
+
+    /// The four Table 1 configurations, narrowest first.
+    #[must_use]
+    pub fn boom_sweep() -> [CoreConfig; 4] {
+        [
+            CoreConfig::small(),
+            CoreConfig::medium(),
+            CoreConfig::large(),
+            CoreConfig::mega(),
+        ]
+    }
+
+    /// The gem5-like configuration the original STT evaluation used (§8.6):
+    /// a wide, idealized core whose baseline IPC lands near Mega's. Abstract
+    /// fidelity also means a shallow (1-cycle dispatch) pipeline, the
+    /// single-cycle L1 of §9.5, and unbounded broadcast.
+    #[must_use]
+    pub fn gem5_stt() -> Self {
+        CoreConfig {
+            name: "gem5-stt",
+            width: 5,
+            mem_ports: 2,
+            rob_entries: 180,
+            iq_entries: 40,
+            lq_entries: 48,
+            sq_entries: 40,
+            phys_regs: 220,
+            max_br_tags: 64,
+            redirect_penalty: 5,
+            dispatch_latency: 1,
+            hierarchy: HierarchyConfig::abstract_default(),
+            fidelity: Fidelity::Abstract,
+        }
+    }
+
+    /// The gem5-like configuration the original NDA evaluation used (§8.6):
+    /// baseline IPC between the Medium and Large BOOM points.
+    #[must_use]
+    pub fn gem5_nda() -> Self {
+        CoreConfig {
+            name: "gem5-nda",
+            width: 3,
+            mem_ports: 1,
+            rob_entries: 96,
+            iq_entries: 24,
+            lq_entries: 24,
+            sq_entries: 24,
+            phys_regs: 144,
+            max_br_tags: 48,
+            redirect_penalty: 5,
+            dispatch_latency: 1,
+            hierarchy: HierarchyConfig::abstract_default(),
+            fidelity: Fidelity::Abstract,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any resource is zero, or there are too few physical
+    /// registers to rename a full ROB of destinations.
+    pub fn validate(&self) {
+        assert!(self.width > 0, "width must be positive");
+        assert!(self.mem_ports > 0, "need at least one memory port");
+        assert!(self.rob_entries >= self.width, "ROB must fit one group");
+        assert!(self.iq_entries > 0 && self.lq_entries > 0 && self.sq_entries > 0);
+        assert!(
+            self.phys_regs >= sb_isa::NUM_ARCH_REGS + self.width,
+            "physical registers must cover architectural state plus rename headroom"
+        );
+        assert!(self.max_br_tags > 0, "need at least one branch tag");
+    }
+}
+
+impl fmt::Display for CoreConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}-wide, {} mem ports, {} ROB, {})",
+            self.name, self.width, self.mem_ports, self.rob_entries, self.fidelity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_key_characteristics() {
+        let [s, m, l, g] = CoreConfig::boom_sweep();
+        assert_eq!((s.width, s.mem_ports, s.rob_entries), (1, 1, 32));
+        assert_eq!((m.width, m.mem_ports, m.rob_entries), (2, 1, 64));
+        assert_eq!((l.width, l.mem_ports, l.rob_entries), (3, 1, 96));
+        assert_eq!((g.width, g.mem_ports, g.rob_entries), (4, 2, 128));
+    }
+
+    #[test]
+    fn all_presets_validate() {
+        for c in CoreConfig::boom_sweep() {
+            c.validate();
+        }
+        CoreConfig::gem5_stt().validate();
+        CoreConfig::gem5_nda().validate();
+    }
+
+    #[test]
+    fn gem5_configs_are_abstract_fidelity() {
+        assert_eq!(CoreConfig::gem5_stt().fidelity, Fidelity::Abstract);
+        assert_eq!(CoreConfig::gem5_nda().fidelity, Fidelity::Abstract);
+        assert_eq!(CoreConfig::gem5_stt().hierarchy.l1d.latency, 1);
+        assert_eq!(CoreConfig::mega().hierarchy.l1d.latency, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        let mut c = CoreConfig::small();
+        c.width = 0;
+        c.validate();
+    }
+
+    #[test]
+    fn display_mentions_name_and_width() {
+        let s = CoreConfig::mega().to_string();
+        assert!(s.contains("mega") && s.contains("4-wide"));
+    }
+}

@@ -1,0 +1,1074 @@
+//! The cycle-level out-of-order core.
+//!
+//! One [`Core`] simulates one workload trace on one configuration under one
+//! secure-speculation scheme. Stages are evaluated oldest-work-first each
+//! cycle: commit, shadow resolution, writeback, issue (wakeup/select with
+//! scheme gates), broadcast drain, and rename/dispatch. The scheme
+//! mechanisms themselves live in `sb-core`; this module wires them into the
+//! pipeline at the points §4 and §5 of the paper describe.
+//!
+//! Notable modelled behaviours, each traceable to a paper section:
+//! * STT-Rename computes YRoTs for a whole dispatch group through the
+//!   same-cycle chain (§4.1, Figure 3) and gates transmitters on untaint
+//!   *broadcasts*, which lag the visibility point by a cycle (§9.1).
+//! * STT-Issue computes YRoTs live at select; a tainted transmitter wastes
+//!   its issue slot as a nop (§4.3 step 4) and is masked until broadcast.
+//! * Stores are unified micro-ops that can partially issue; under
+//!   STT-Rename the unified YRoT blocks address generation when only the
+//!   data operand is tainted — the `exchange2` forwarding-error pathology
+//!   (§9.2). The `split_store_taints` ablation lifts this.
+//! * NDA decouples load data writeback from broadcast; speculative loads
+//!   broadcast only when the visibility point passes them, at most
+//!   memory-width broadcasts per cycle (§5.1), and NDA drops speculative
+//!   load-hit scheduling.
+
+use crate::config::{CoreConfig, Fidelity};
+use crate::frontend::{Fetched, Frontend};
+use crate::inst::{Inst, Phase};
+use crate::memdep::MemDepPredictor;
+use crate::rename::{FreeList, Rat};
+use sb_core::{
+    BroadcastQueue, IssueTaintUnit, RenameGroupOp, RenameTaintTracker, Scheme, SchemeConfig,
+    ShadowKind, SpeculationTracker, ThreatModel,
+};
+use sb_isa::{OpClass, PhysReg, Seq, Trace};
+use sb_mem::{AccessKind, MemoryHierarchy, ServedBy};
+use sb_stats::SimStats;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Store-to-load forwarding latency in cycles.
+const FORWARD_LATENCY: u32 = 3;
+
+/// Cycle value meaning "not scheduled".
+const NEVER: u64 = u64::MAX;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Event {
+    /// Result of a non-store op (or a load's data) becomes available.
+    Complete,
+    /// A store's address-generation part finishes: address visible in the
+    /// SQ, forwarding-error checks run (§6).
+    StoreAddr,
+    /// A store's data part finishes.
+    StoreData,
+}
+
+/// What the LSU decides for a load that wants to issue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LoadPlan {
+    /// Read from the cache hierarchy; no older store interferes.
+    Cache,
+    /// Read from the cache while an older store address is still unknown —
+    /// memory-dependence speculation (D-shadow risk).
+    SpeculatePastStore,
+    /// Forward from the store with this sequence number.
+    Forward(Seq),
+    /// An older matching store's data is not ready yet; retry later.
+    Wait,
+}
+
+/// The simulated core.
+pub struct Core {
+    config: CoreConfig,
+    scheme_cfg: SchemeConfig,
+
+    cycle: u64,
+    next_seq: u64,
+    rob: VecDeque<Inst>,
+
+    rat: Rat,
+    free_list: FreeList,
+    /// Cycle each physical register's value becomes available.
+    preg_ready_at: Vec<u64>,
+
+    tracker: SpeculationTracker,
+    rename_taint: RenameTaintTracker,
+    taint_unit: IssueTaintUnit,
+    untaint_q: BroadcastQueue<()>,
+    nda_q: BroadcastQueue<PhysReg>,
+    /// Youngest load seq whose untaint broadcast has reached the issue
+    /// slots (lags the tracker by broadcast bandwidth/latency — the
+    /// one-cycle disadvantage of STT-Rename, §9.1).
+    visible_safe_seq: Seq,
+
+    mem: MemoryHierarchy,
+    frontend: Frontend,
+    memdep: MemDepPredictor,
+
+    events: BTreeMap<u64, Vec<(u64, Event)>>,
+    wasted_slots: BTreeMap<u64, usize>,
+
+    iq_count: usize,
+    lq_count: usize,
+    sq_count: usize,
+    br_tags_used: usize,
+
+    stats: SimStats,
+    done: bool,
+}
+
+impl Core {
+    /// Builds a core for `trace` under `config` and `scheme_cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`CoreConfig::validate`].
+    #[must_use]
+    pub fn new(config: CoreConfig, scheme_cfg: SchemeConfig, trace: Trace) -> Self {
+        config.validate();
+        let mut preg_ready_at = vec![NEVER; config.phys_regs];
+        for slot in preg_ready_at.iter_mut().take(sb_isa::NUM_ARCH_REGS) {
+            *slot = 0;
+        }
+        Core {
+            mem: MemoryHierarchy::new(config.hierarchy),
+            frontend: Frontend::new(trace, config.redirect_penalty),
+            memdep: MemDepPredictor::new(64),
+            free_list: FreeList::new(config.phys_regs),
+            taint_unit: IssueTaintUnit::new(config.phys_regs),
+            preg_ready_at,
+            rat: Rat::new(),
+            tracker: SpeculationTracker::new(),
+            rename_taint: RenameTaintTracker::new(),
+            untaint_q: BroadcastQueue::new(),
+            nda_q: BroadcastQueue::new(),
+            visible_safe_seq: Seq::ZERO,
+            rob: VecDeque::with_capacity(config.rob_entries),
+            events: BTreeMap::new(),
+            wasted_slots: BTreeMap::new(),
+            cycle: 0,
+            next_seq: 1,
+            iq_count: 0,
+            lq_count: 0,
+            sq_count: 0,
+            br_tags_used: 0,
+            stats: SimStats::new(),
+            done: false,
+            config,
+            scheme_cfg,
+        }
+    }
+
+    /// Convenience constructor: RTL-fidelity scheme config derived from the
+    /// core config (broadcast bandwidth = memory ports), abstract scheme
+    /// config for abstract-fidelity cores.
+    #[must_use]
+    pub fn with_scheme(config: CoreConfig, scheme: Scheme, trace: Trace) -> Self {
+        let scheme_cfg = match config.fidelity {
+            Fidelity::Rtl => SchemeConfig::rtl(scheme, config.mem_ports),
+            Fidelity::Abstract => SchemeConfig::abstract_sim(scheme),
+        };
+        Core::new(config, scheme_cfg, trace)
+    }
+
+    /// The active scheme.
+    #[must_use]
+    pub fn scheme(&self) -> Scheme {
+        self.scheme_cfg.scheme
+    }
+
+    /// The core configuration.
+    #[must_use]
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Collected statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The memory hierarchy (the attack examples probe it).
+    #[must_use]
+    pub fn memory(&self) -> &MemoryHierarchy {
+        &self.mem
+    }
+
+    /// Mutable memory access (attack preparation: flushing probe arrays).
+    pub fn memory_mut(&mut self) -> &mut MemoryHierarchy {
+        &mut self.mem
+    }
+
+    /// Longest same-cycle YRoT chain the rename stage has needed so far
+    /// (STT-Rename timing-model input).
+    #[must_use]
+    pub fn max_rename_chain(&self) -> u32 {
+        self.rename_taint.max_chain_depth()
+    }
+
+    /// Whether the trace has fully committed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Runs until the trace is fully committed or `max_cycles` elapse.
+    pub fn run(&mut self, max_cycles: u64) -> &SimStats {
+        while !self.done && self.cycle < max_cycles {
+            self.step();
+        }
+        &self.stats
+    }
+
+    /// Runs to completion, panicking if the core fails to finish within
+    /// `max_cycles` (a deadlock diagnostic for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace does not commit within `max_cycles`.
+    pub fn run_to_completion(&mut self, max_cycles: u64) -> &SimStats {
+        self.run(max_cycles);
+        assert!(
+            self.done,
+            "core did not finish within {max_cycles} cycles: cycle={}, rob={}, \
+             fetch_stalled={}, shadows={}, head={:?}",
+            self.cycle,
+            self.rob.len(),
+            self.frontend.is_stalled(),
+            self.tracker.len(),
+            self.rob.front().map(|i| (i.seq, i.op.class, i.phase)),
+        );
+        &self.stats
+    }
+
+    /// Advances one cycle.
+    pub fn step(&mut self) {
+        if self.done {
+            return;
+        }
+        self.commit();
+        self.writeback();
+        self.issue();
+        self.drain_broadcasts();
+        self.dispatch();
+        self.cycle += 1;
+        self.stats.cycles.incr();
+        if self.frontend.exhausted() && self.rob.is_empty() {
+            self.done = true;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    fn commit(&mut self) {
+        let mut retired = 0usize;
+        for _ in 0..self.config.width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.is_completed() {
+                break;
+            }
+            retired += 1;
+            let inst = self.rob.pop_front().expect("head exists");
+            debug_assert!(!inst.wrong_path, "wrong-path op reached commit");
+            if let Some(prev) = inst.prev_preg {
+                self.free_list.release(prev);
+            }
+            if inst.br_tag {
+                self.br_tags_used -= 1;
+            }
+            match inst.op.class {
+                OpClass::Load => {
+                    self.lq_count -= 1;
+                    self.stats.committed_loads.incr();
+                    if self.scheme_cfg.threat_model == ThreatModel::Futuristic {
+                        // The load is bound to commit: its M/E shadow ends.
+                        self.tracker.resolve(inst.seq);
+                    }
+                }
+                OpClass::Store => {
+                    self.sq_count -= 1;
+                    self.stats.committed_stores.incr();
+                    let mem = inst.op.mem.expect("store has address");
+                    let out = self.mem.access(mem.addr, AccessKind::Write);
+                    self.record_cache_outcome(out.served_by);
+                    self.stats.prefetches.add(u64::from(out.prefetches_issued));
+                }
+                OpClass::Branch => {
+                    self.stats.committed_branches.incr();
+                }
+                _ => {}
+            }
+            self.stats.committed.incr();
+        }
+        if retired == 0 {
+            self.attribute_stall();
+        }
+    }
+
+    /// TraceDoctor-style attribution (§7): when nothing retires this cycle,
+    /// classify what the ROB head is waiting for.
+    fn attribute_stall(&mut self) {
+        let Some(head) = self.rob.front() else {
+            self.stats.stalls.frontend.incr();
+            return;
+        };
+        match head.phase {
+            Phase::Executing => {
+                if head.op.is_load() || head.op.is_store() {
+                    self.stats.stalls.memory.incr();
+                } else {
+                    self.stats.stalls.execution.incr();
+                }
+            }
+            Phase::Waiting => {
+                if head.taint_masked {
+                    self.stats.stalls.scheme.incr();
+                } else if self.scheme_cfg.scheme == Scheme::Nda
+                    && head
+                        .src_pregs
+                        .iter()
+                        .flatten()
+                        .any(|p| self.preg_ready_at[p.index()] == NEVER)
+                {
+                    // Waiting on a delayed (not-yet-broadcast) load value.
+                    self.stats.stalls.scheme.incr();
+                } else if self.srcs_ready(head) {
+                    self.stats.stalls.execution.incr();
+                } else {
+                    self.stats.stalls.dataflow.incr();
+                }
+            }
+            Phase::Completed => {
+                // Completed head with zero retires cannot happen (it would
+                // have retired above); attribute defensively to execution.
+                self.stats.stalls.execution.incr();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Writeback
+    // ------------------------------------------------------------------
+
+    fn writeback(&mut self) {
+        while let Some((&at, _)) = self.events.iter().next() {
+            if at > self.cycle {
+                break;
+            }
+            let due: Vec<(u64, Event)> = self.events.remove(&at).unwrap_or_default();
+            for (seq_val, event) in due {
+                let seq = Seq::new(seq_val);
+                let Some(idx) = self.rob_index(seq) else {
+                    continue; // squashed
+                };
+                match event {
+                    Event::Complete => self.complete_inst(idx),
+                    Event::StoreAddr => self.store_addr_done(idx),
+                    Event::StoreData => {
+                        let inst = &mut self.rob[idx];
+                        inst.data_done = true;
+                        if inst.addr_done {
+                            inst.phase = Phase::Completed;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn complete_inst(&mut self, idx: usize) {
+        let cycle = self.cycle;
+        let scheme = self.scheme_cfg.scheme;
+        let (seq, is_load, is_branch, mispredicted, wrong_path, dst) = {
+            let inst = &mut self.rob[idx];
+            inst.phase = Phase::Completed;
+            (
+                inst.seq,
+                inst.op.is_load(),
+                inst.op.is_branch(),
+                inst.op.is_mispredicted(),
+                inst.wrong_path,
+                inst.dst_preg,
+            )
+        };
+
+        if is_branch {
+            self.rob[idx].cshadow_resolved = true;
+            self.tracker.resolve(seq);
+            if mispredicted && !wrong_path {
+                self.stats.branch_mispredicts.incr();
+                self.squash_tail(Seq::new(seq.value() + 1));
+                self.frontend.branch_resolved(cycle);
+            }
+            return;
+        }
+
+        if is_load && scheme == Scheme::Nda {
+            // §5.1: the data write and the broadcast are decoupled onto a
+            // split bus; every load's readiness rides the broadcast
+            // network (bounded by memory width), and speculative loads
+            // additionally wait for the visibility point.
+            let p = dst.expect("load has destination");
+            if self.tracker.is_speculative(seq) {
+                self.rob[idx].spec_source = true;
+                self.stats.delayed_transmitters.incr();
+            }
+            self.nda_q.push(seq, p);
+        }
+    }
+
+    fn store_addr_done(&mut self, idx: usize) {
+        let cycle = self.cycle;
+        let (store_seq, store_mem) = {
+            let inst = &mut self.rob[idx];
+            inst.addr_done = true;
+            if inst.data_done {
+                inst.phase = Phase::Completed;
+            }
+            (inst.seq, inst.op.mem.expect("store has address"))
+        };
+        // The store's address is known: its D-shadow resolves (§2.1 — the
+        // aliasing uncertainty that made younger instructions speculative
+        // is gone once the forwarding check below has run).
+        self.tracker.resolve(store_seq);
+        // Forwarding-error check (§6): younger executed loads overlapping
+        // this store that did not forward from it read stale data and must
+        // flush, together with everything after them.
+        let mut flush_target: Option<(Seq, usize)> = None;
+        for inst in &self.rob {
+            if inst.seq <= store_seq || !inst.op.is_load() || !inst.executed || inst.wrong_path {
+                continue;
+            }
+            let Some(lmem) = inst.op.mem else { continue };
+            if lmem.overlaps(&store_mem) && inst.fwd_src != Some(store_seq) {
+                if let Some(tidx) = inst.trace_idx {
+                    flush_target = Some((inst.seq, tidx));
+                    break; // ROB is seq-ordered: first hit is oldest
+                }
+            }
+        }
+        if let Some((lseq, tidx)) = flush_target {
+            self.stats.forwarding_errors.incr();
+            self.memdep.train_violation(tidx);
+            self.squash_tail(lseq);
+            self.frontend.flush_to(tidx, cycle);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue
+    // ------------------------------------------------------------------
+
+    /// Whether a taint root has been declared safe at the issue slots
+    /// (untaint broadcast observed).
+    fn root_safe(&self, root: Option<Seq>) -> bool {
+        root.is_none_or(|r| r <= self.visible_safe_seq)
+    }
+
+    fn src_ready(&self, inst: &Inst, i: usize) -> bool {
+        inst.src_pregs[i].is_none_or(|p| self.preg_ready_at[p.index()] <= self.cycle)
+    }
+
+    fn srcs_ready(&self, inst: &Inst) -> bool {
+        self.src_ready(inst, 0) && self.src_ready(inst, 1)
+    }
+
+    fn issue(&mut self) {
+        let mut budget = self
+            .config
+            .width
+            .saturating_sub(self.wasted_slots.remove(&self.cycle).unwrap_or(0));
+        let mut mem_budget = self.config.mem_ports;
+        let scheme = self.scheme_cfg.scheme;
+
+        let min_age = u64::from(self.config.dispatch_latency);
+        let mut idx = 0;
+        while idx < self.rob.len() && budget > 0 {
+            if self.rob[idx].phase != Phase::Waiting
+                || self.cycle < self.rob[idx].dispatch_cycle + min_age
+            {
+                idx += 1;
+                continue;
+            }
+            match self.rob[idx].op.class {
+                OpClass::Store => {
+                    self.try_issue_store(idx, &mut budget, &mut mem_budget, scheme);
+                }
+                OpClass::Load => {
+                    self.try_issue_load(idx, &mut budget, &mut mem_budget, scheme);
+                }
+                _ => {
+                    self.try_issue_simple(idx, &mut budget, scheme);
+                }
+            }
+            idx += 1;
+        }
+    }
+
+    /// STT-Rename gate: roots were computed at rename; the entry may only
+    /// issue once the untaint broadcast has declared them safe.
+    fn stt_rename_gate(&mut self, idx: usize, roots: [Option<Seq>; 2]) -> bool {
+        let ok = self.root_safe(roots[0]) && self.root_safe(roots[1]);
+        if !ok && !self.rob[idx].taint_masked {
+            self.rob[idx].taint_masked = true;
+            self.stats.delayed_transmitters.incr();
+        }
+        ok
+    }
+
+    /// STT-Issue gate over an explicit operand subset (stores gate their
+    /// address part on the address operand only — the §9.2 advantage).
+    ///
+    /// First attempt computes the YRoT live in the taint unit; discovering
+    /// a live taint turns the selected slot into a nop (§4.3 step 4) and
+    /// masks the entry until the untaint broadcast arrives.
+    fn stt_issue_gate(
+        &mut self,
+        idx: usize,
+        srcs: [Option<PhysReg>; 2],
+        budget: &mut usize,
+    ) -> bool {
+        if self.rob[idx].taint_masked {
+            let ok = self.root_safe(self.rob[idx].yrot);
+            if ok {
+                self.rob[idx].taint_masked = false;
+            }
+            return ok;
+        }
+        let tracker = &self.tracker;
+        let yrot = self
+            .taint_unit
+            .compute_yrot(srcs, |root| tracker.taint_live(root));
+        match yrot {
+            None => true,
+            Some(root) => {
+                self.rob[idx].yrot = Some(root);
+                self.rob[idx].taint_masked = true;
+                *budget = budget.saturating_sub(1);
+                self.stats.wasted_issue_slots.incr();
+                self.stats.delayed_transmitters.incr();
+                false
+            }
+        }
+    }
+
+    fn try_issue_simple(&mut self, idx: usize, budget: &mut usize, scheme: Scheme) {
+        if !self.srcs_ready(&self.rob[idx]) {
+            return;
+        }
+        if self.rob[idx].op.is_branch() {
+            let ok = match scheme {
+                Scheme::Baseline | Scheme::Nda => true,
+                Scheme::SttRename => {
+                    let roots = [self.rob[idx].yrot, None];
+                    self.stt_rename_gate(idx, roots)
+                }
+                Scheme::SttIssue => {
+                    let srcs = self.rob[idx].src_pregs;
+                    self.stt_issue_gate(idx, srcs, budget)
+                }
+            };
+            if !ok {
+                return;
+            }
+        } else if scheme == Scheme::SttIssue {
+            // Non-transmitter: executes freely but propagates taint (§3.1).
+            let srcs = self.rob[idx].src_pregs;
+            let tracker = &self.tracker;
+            let yrot = self
+                .taint_unit
+                .compute_yrot(srcs, |root| tracker.taint_live(root));
+            if let Some(dst) = self.rob[idx].dst_preg {
+                match yrot {
+                    Some(root) => {
+                        self.taint_unit.taint(dst, root);
+                        self.stats.taints_applied.incr();
+                    }
+                    None => self.taint_unit.clean(dst),
+                }
+            }
+        }
+
+        let lat = self.rob[idx].op.class.exec_latency();
+        let seq = self.rob[idx].seq;
+        let done_at = self.cycle + u64::from(lat);
+        self.rob[idx].phase = Phase::Executing;
+        self.rob[idx].complete_at = Some(done_at);
+        if let Some(dst) = self.rob[idx].dst_preg {
+            self.preg_ready_at[dst.index()] = done_at;
+        }
+        self.schedule(done_at, seq, Event::Complete);
+        self.iq_count -= 1;
+        *budget -= 1;
+    }
+
+    fn try_issue_load(
+        &mut self,
+        idx: usize,
+        budget: &mut usize,
+        mem_budget: &mut usize,
+        scheme: Scheme,
+    ) {
+        if *mem_budget == 0 || !self.srcs_ready(&self.rob[idx]) {
+            return;
+        }
+        // Transmitter gate on the address operand.
+        let ok = match scheme {
+            Scheme::Baseline | Scheme::Nda => true,
+            Scheme::SttRename => {
+                let roots = [self.rob[idx].yrot, None];
+                self.stt_rename_gate(idx, roots)
+            }
+            Scheme::SttIssue => {
+                let srcs = [self.rob[idx].src_pregs[0], None];
+                self.stt_issue_gate(idx, srcs, budget)
+            }
+        };
+        if !ok {
+            return;
+        }
+
+        let plan = self.plan_load(idx);
+        if plan == LoadPlan::Wait {
+            return;
+        }
+        let seq = self.rob[idx].seq;
+        let addr = self.rob[idx].op.mem.expect("load has address").addr;
+        let latency = match plan {
+            LoadPlan::Forward(src) => {
+                self.rob[idx].fwd_src = Some(src);
+                FORWARD_LATENCY
+            }
+            LoadPlan::Cache | LoadPlan::SpeculatePastStore => {
+                if plan == LoadPlan::SpeculatePastStore {
+                    self.rob[idx].mem_speculated = true;
+                    self.stats.memdep_speculations.incr();
+                }
+                let out = self.mem.access(addr, AccessKind::Read);
+                self.record_cache_outcome(out.served_by);
+                self.stats.prefetches.add(u64::from(out.prefetches_issued));
+                // Speculative load-hit scheduling: a miss replays the
+                // dependents that were woken optimistically; NDA removes
+                // this logic entirely (§5.1).
+                if out.served_by != ServedBy::L1 && scheme.allows_load_hit_speculation() {
+                    if let Some(dst) = self.rob[idx].dst_preg {
+                        let has_dependent = self
+                            .rob
+                            .iter()
+                            .any(|i| i.phase == Phase::Waiting && i.src_pregs.contains(&Some(dst)));
+                        if has_dependent {
+                            self.stats.replay_events.incr();
+                            let at = self.cycle + u64::from(self.config.hierarchy.l1d.latency);
+                            *self.wasted_slots.entry(at).or_insert(0) += 1;
+                        }
+                    }
+                }
+                out.latency
+            }
+            LoadPlan::Wait => unreachable!("filtered above"),
+        };
+
+        let done_at = self.cycle + u64::from(latency);
+        let speculative = self.tracker.is_speculative(seq);
+        let dst = self.rob[idx].dst_preg;
+        {
+            let inst = &mut self.rob[idx];
+            inst.phase = Phase::Executing;
+            inst.executed = true;
+            inst.complete_at = Some(done_at);
+        }
+        if scheme == Scheme::Nda {
+            // Availability decided at completion (delayed if speculative).
+            if let Some(d) = dst {
+                self.preg_ready_at[d.index()] = NEVER;
+            }
+        } else if let Some(d) = dst {
+            self.preg_ready_at[d.index()] = done_at;
+        }
+        if scheme == Scheme::SttIssue {
+            if let Some(d) = dst {
+                if speculative {
+                    self.taint_unit.taint(d, seq);
+                    self.rob[idx].spec_source = true;
+                    self.stats.taints_applied.incr();
+                } else {
+                    self.taint_unit.clean(d);
+                }
+            }
+        } else if scheme == Scheme::SttRename && speculative {
+            self.rob[idx].spec_source = true;
+        }
+        self.schedule(done_at, seq, Event::Complete);
+        self.iq_count -= 1;
+        *budget -= 1;
+        *mem_budget -= 1;
+    }
+
+    /// Scans older stores (youngest-first) for the load at `idx`.
+    fn plan_load(&self, idx: usize) -> LoadPlan {
+        let load = &self.rob[idx];
+        let lmem = load.op.mem.expect("load has address");
+        for inst in self.rob.iter().take(idx).rev() {
+            if !inst.op.is_store() {
+                continue;
+            }
+            if !inst.addr_done {
+                // An address-generation already in flight lands before the
+                // load's own SQ search would complete: wait rather than
+                // speculate against a one-cycle race. Known violators (the
+                // memory-dependence predictor, §6) also wait.
+                let may_bypass = load
+                    .trace_idx
+                    .is_none_or(|t| self.memdep.may_bypass(t));
+                return if inst.addr_launched || !may_bypass {
+                    LoadPlan::Wait
+                } else {
+                    LoadPlan::SpeculatePastStore
+                };
+            }
+            let smem = inst.op.mem.expect("store has address");
+            if smem.overlaps(&lmem) {
+                return if inst.data_done {
+                    LoadPlan::Forward(inst.seq)
+                } else {
+                    LoadPlan::Wait
+                };
+            }
+        }
+        LoadPlan::Cache
+    }
+
+    fn try_issue_store(
+        &mut self,
+        idx: usize,
+        budget: &mut usize,
+        mem_budget: &mut usize,
+        scheme: Scheme,
+    ) {
+        // BOOM stores are a single micro-op that can partially issue
+        // whenever either operand is ready (§9.2); the taint gate differs
+        // per scheme and per part.
+        let split = self.scheme_cfg.split_store_taints;
+
+        // Address part (consumes a memory port).
+        if !self.rob[idx].addr_launched
+            && *budget > 0
+            && *mem_budget > 0
+            && self.src_ready(&self.rob[idx], 0)
+        {
+            let ok = match scheme {
+                Scheme::Baseline | Scheme::Nda => true,
+                Scheme::SttRename => {
+                    // Unified micro-op: the YRoT covers *both* operands, so
+                    // the address part is blocked by a tainted data operand
+                    // (the exchange2 pathology) unless split taints are on.
+                    let roots = if split {
+                        [self.rob[idx].addr_yrot, None]
+                    } else {
+                        [self.rob[idx].yrot, None]
+                    };
+                    self.stt_rename_gate(idx, roots)
+                }
+                Scheme::SttIssue => {
+                    // Natural split: only the address operand is inspected.
+                    let srcs = [self.rob[idx].src_pregs[0], None];
+                    self.stt_issue_gate(idx, srcs, budget)
+                }
+            };
+            if ok {
+                let seq = self.rob[idx].seq;
+                self.rob[idx].addr_launched = true;
+                self.schedule(self.cycle + 1, seq, Event::StoreAddr);
+                *budget -= 1;
+                *mem_budget -= 1;
+            }
+        }
+
+        // Data part (integer-side issue slot, no memory port).
+        if !self.rob[idx].data_launched && *budget > 0 && self.src_ready(&self.rob[idx], 1) {
+            let ok = match scheme {
+                Scheme::Baseline | Scheme::Nda | Scheme::SttIssue => true,
+                Scheme::SttRename => {
+                    if split {
+                        true
+                    } else {
+                        let roots = [self.rob[idx].yrot, None];
+                        self.stt_rename_gate(idx, roots)
+                    }
+                }
+            };
+            if ok {
+                let seq = self.rob[idx].seq;
+                self.rob[idx].data_launched = true;
+                self.schedule(self.cycle + 1, seq, Event::StoreData);
+                *budget -= 1;
+            }
+        }
+
+        // The store leaves the issue queue once both parts have launched.
+        if self.rob[idx].addr_launched && self.rob[idx].data_launched {
+            self.rob[idx].phase = Phase::Executing;
+            self.iq_count -= 1;
+        }
+    }
+
+    fn schedule(&mut self, at: u64, seq: Seq, event: Event) {
+        self.events.entry(at).or_default().push((seq.value(), event));
+    }
+
+    fn record_cache_outcome(&mut self, served_by: ServedBy) {
+        match served_by {
+            ServedBy::L1 => self.stats.l1d_hits.incr(),
+            ServedBy::L2 => {
+                self.stats.l1d_misses.incr();
+                self.stats.l2_hits.incr();
+            }
+            ServedBy::Dram => {
+                self.stats.l1d_misses.incr();
+                self.stats.l2_misses.incr();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcast drain
+    // ------------------------------------------------------------------
+
+    fn drain_broadcasts(&mut self) {
+        let bw = self.scheme_cfg.broadcast_bandwidth;
+        match self.scheme_cfg.scheme {
+            Scheme::SttRename | Scheme::SttIssue => {
+                let tracker = &self.tracker;
+                let sent = self
+                    .untaint_q
+                    .drain_ready(|s| !tracker.is_speculative(s), bw);
+                if let Some((last, ())) = sent.last() {
+                    self.visible_safe_seq = self.visible_safe_seq.max(*last);
+                }
+                self.stats.scheme_broadcasts.add(sent.len() as u64);
+            }
+            Scheme::Nda => {
+                let tracker = &self.tracker;
+                let sent = self.nda_q.drain_ready(|s| !tracker.is_speculative(s), bw);
+                let when = self.cycle + 1;
+                for (_, preg) in &sent {
+                    self.preg_ready_at[preg.index()] = when;
+                }
+                self.stats.scheme_broadcasts.add(sent.len() as u64);
+            }
+            Scheme::Baseline => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch / rename
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self) {
+        let scheme = self.scheme_cfg.scheme;
+        let mut group: Vec<usize> = Vec::new(); // ROB indices dispatched this cycle
+        let mut blocked_by_brtag = false;
+        let mut blocked_by_resource = false;
+
+        for _ in 0..self.config.width {
+            let Some((fetched, op)) = self.frontend.peek(self.cycle) else {
+                break;
+            };
+            // Structural checks before consuming.
+            if self.rob.len() >= self.config.rob_entries || self.iq_count >= self.config.iq_entries
+            {
+                blocked_by_resource = true;
+                break;
+            }
+            match op.class {
+                OpClass::Load if self.lq_count >= self.config.lq_entries => {
+                    blocked_by_resource = true;
+                    break;
+                }
+                OpClass::Store if self.sq_count >= self.config.sq_entries => {
+                    blocked_by_resource = true;
+                    break;
+                }
+                OpClass::Branch if self.br_tags_used >= self.config.max_br_tags => {
+                    blocked_by_brtag = true;
+                    break;
+                }
+                _ => {}
+            }
+            if op.dest().is_some() && self.free_list.available() == 0 {
+                blocked_by_resource = true;
+                break;
+            }
+
+            self.frontend.consume();
+            let seq = Seq::new(self.next_seq);
+            self.next_seq += 1;
+            let (trace_idx, wrong_path) = match fetched {
+                Fetched::Correct(i) => (Some(i), false),
+                Fetched::WrongPath(_) => (None, true),
+            };
+            let mut inst = Inst::new(seq, trace_idx, op, wrong_path);
+            inst.dispatch_cycle = self.cycle;
+
+            // Rename.
+            for (i, src) in [op.src1, op.src2].into_iter().enumerate() {
+                if let Some(r) = src.filter(|r| !r.is_zero()) {
+                    inst.src_pregs[i] = Some(self.rat.lookup(r));
+                }
+            }
+            if let Some(d) = op.dest() {
+                let p = self.free_list.allocate().expect("availability checked");
+                inst.prev_preg = Some(self.rat.remap(d, p));
+                inst.dst_preg = Some(p);
+                self.preg_ready_at[p.index()] = NEVER;
+                self.taint_unit.clean(p);
+            }
+
+            // Shadows: cast after the op observes whether *older* shadows
+            // exist (a shadow does not cover its caster).
+            match op.class {
+                OpClass::Branch => {
+                    self.tracker.cast(seq, ShadowKind::Control);
+                    inst.br_tag = true;
+                    self.br_tags_used += 1;
+                }
+                OpClass::Load => {
+                    self.lq_count += 1;
+                    if self.scheme_cfg.threat_model == ThreatModel::Futuristic {
+                        // §6: the Futuristic model also tracks memory-
+                        // consistency and exception speculation. A load may
+                        // fault or be squashed by a consistency violation
+                        // until it is bound to commit, so it casts a shadow
+                        // of its own, resolved at commit.
+                        self.tracker.cast(seq, ShadowKind::Memory);
+                    }
+                    if scheme.is_stt() {
+                        // Every load broadcasts once it becomes
+                        // non-speculative (§4.4).
+                        self.untaint_q.push(seq, ());
+                    }
+                }
+                OpClass::Store => {
+                    // A store with an unresolved address casts a D-shadow:
+                    // younger loads may forward stale data past it (§2.1,
+                    // §6). Resolved when address generation completes.
+                    self.tracker.cast(seq, ShadowKind::Data);
+                    self.sq_count += 1;
+                }
+                _ => {}
+            }
+
+            self.iq_count += 1;
+            self.rob.push_back(inst);
+            group.push(self.rob.len() - 1);
+        }
+
+        if group.is_empty() {
+            if blocked_by_brtag {
+                self.stats.checkpoint_stalls.incr();
+            } else if blocked_by_resource {
+                self.stats.dispatch_stalls.incr();
+            }
+            return;
+        }
+
+        // STT-Rename: the same-cycle YRoT chain over the dispatch group
+        // (§4.1, Figure 3).
+        if scheme == Scheme::SttRename {
+            let ops: Vec<RenameGroupOp> = group
+                .iter()
+                .map(|&i| {
+                    let inst = &self.rob[i];
+                    RenameGroupOp {
+                        seq: inst.seq,
+                        srcs: [
+                            inst.op.src1.filter(|r| !r.is_zero()),
+                            inst.op.src2.filter(|r| !r.is_zero()),
+                        ],
+                        dst: inst.op.dest(),
+                        is_load: inst.op.is_load(),
+                        speculative: self.tracker.is_speculative(inst.seq),
+                    }
+                })
+                .collect();
+            let tracker = &self.tracker;
+            let outcomes = self
+                .rename_taint
+                .rename_group(&ops, |root| tracker.taint_live(root));
+            for ((&i, op), out) in group.iter().zip(&ops).zip(&outcomes) {
+                let inst = &mut self.rob[i];
+                inst.yrot = out.yrot;
+                inst.addr_yrot = out.addr_yrot;
+                inst.data_yrot = out.data_yrot;
+                inst.prev_taint = out.prev_dst_taint;
+                if inst.op.is_load() && op.speculative {
+                    inst.spec_source = true;
+                }
+                if out.yrot.is_some() {
+                    self.stats.taints_applied.incr();
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Squash
+    // ------------------------------------------------------------------
+
+    /// Removes every instruction with `seq >= first_removed`, restoring
+    /// rename and taint state by walking the ROB tail youngest-first.
+    fn squash_tail(&mut self, first_removed: Seq) {
+        let survivor = Seq::new(first_removed.value().saturating_sub(1));
+        while let Some(tail) = self.rob.back() {
+            if tail.seq < first_removed {
+                break;
+            }
+            let inst = self.rob.pop_back().expect("tail exists");
+            self.stats.squashed.incr();
+            if inst.phase == Phase::Waiting {
+                self.iq_count -= 1;
+            }
+            match inst.op.class {
+                OpClass::Load => self.lq_count -= 1,
+                OpClass::Store => self.sq_count -= 1,
+                OpClass::Branch if inst.br_tag => {
+                    self.br_tags_used -= 1;
+                }
+                _ => {}
+            }
+            if let (Some(d), Some(p)) = (inst.op.dest(), inst.dst_preg) {
+                let prev = inst.prev_preg.expect("dest implies previous mapping");
+                self.rat.remap(d, prev);
+                self.free_list.release(p);
+                self.preg_ready_at[p.index()] = NEVER;
+                self.taint_unit.clean(p);
+                if self.scheme_cfg.scheme == Scheme::SttRename {
+                    self.rename_taint.set_taint(d, inst.prev_taint);
+                }
+            }
+        }
+        self.tracker.squash_younger(survivor);
+        self.untaint_q.squash_younger(survivor);
+        self.nda_q.squash_younger(survivor);
+    }
+
+    fn rob_index(&self, seq: Seq) -> Option<usize> {
+        // Sequence numbers are never reused, so the ROB is seq-sorted but
+        // not contiguous (squashed numbers leave gaps): binary search.
+        self.rob.binary_search_by(|i| i.seq.cmp(&seq)).ok()
+    }
+}
+
+impl Core {
+    /// Temporary debug introspection (head entry summary).
+    #[doc(hidden)]
+    pub fn debug_head(&self) -> String {
+        match self.rob.front() {
+            Some(i) => format!(
+                "seq={:?} class={:?} phase={:?} complete_at={:?} addr_l={} data_l={} srcs={:?} events={:?} fl_avail={}",
+                i.seq, i.op.class, i.phase, i.complete_at, i.addr_launched, i.data_launched,
+                i.src_pregs, self.events.keys().take(3).collect::<Vec<_>>(), self.free_list.available()
+            ),
+            None => "empty".into(),
+        }
+    }
+}

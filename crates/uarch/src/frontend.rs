@@ -1,0 +1,239 @@
+//! The trace-driven front end.
+//!
+//! Correct-path micro-ops stream from the trace cursor. A mispredicted
+//! branch either injects its wrong-path block (attack kernels, modelling
+//! transient execution explicitly) or stalls fetch until the branch
+//! resolves; either way the core pays the redirect penalty after
+//! resolution. Store-to-load forwarding errors rewind the cursor to the
+//! offending load and replay the stream — which is why traces are fully
+//! materialized and indexable.
+
+use sb_isa::{MicroOp, Trace};
+
+/// What the front end delivers for one dispatch slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fetched {
+    /// A correct-path op at this trace index.
+    Correct(usize),
+    /// A wrong-path op (index into the active wrong-path block).
+    WrongPath(usize),
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Streaming correct-path ops.
+    Normal,
+    /// Delivering the wrong-path block attached to the branch at
+    /// `branch_idx`; `next` indexes into the block.
+    WrongPath { branch_idx: usize, next: usize },
+    /// Fetch stopped until the in-flight mispredicted branch resolves.
+    Stalled,
+    /// Redirect in progress; fetch resumes at `cycle`.
+    RedirectUntil(u64),
+}
+
+/// Trace-driven fetch with misprediction stall, wrong-path injection, and
+/// flush/rewind support.
+#[derive(Clone, Debug)]
+pub struct Frontend {
+    trace: Trace,
+    cursor: usize,
+    mode: Mode,
+    redirect_penalty: u32,
+}
+
+impl Frontend {
+    /// A front end positioned at the start of `trace`.
+    #[must_use]
+    pub fn new(trace: Trace, redirect_penalty: u32) -> Self {
+        Frontend {
+            trace,
+            cursor: 0,
+            mode: Mode::Normal,
+            redirect_penalty,
+        }
+    }
+
+    /// The underlying trace.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Whether every correct-path op has been delivered and fetch is not
+    /// rewound or replaying.
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.cursor >= self.trace.len() && matches!(self.mode, Mode::Normal)
+    }
+
+    /// Looks at the next op fetch would deliver at `cycle` without consuming
+    /// it, so dispatch can check resource availability first. Expired
+    /// redirects are retired as a side effect (idempotent).
+    pub fn peek(&mut self, cycle: u64) -> Option<(Fetched, MicroOp)> {
+        match &self.mode {
+            Mode::Stalled => None,
+            Mode::RedirectUntil(at) => {
+                if cycle < *at {
+                    None
+                } else {
+                    self.mode = Mode::Normal;
+                    self.peek(cycle)
+                }
+            }
+            Mode::WrongPath { branch_idx, next } => {
+                let block = self
+                    .trace
+                    .wrong_path(*branch_idx)
+                    .expect("wrong-path mode requires a block");
+                block
+                    .ops
+                    .get(*next)
+                    .map(|&op| (Fetched::WrongPath(*next), op))
+            }
+            Mode::Normal => self
+                .trace
+                .get(self.cursor)
+                .map(|&op| (Fetched::Correct(self.cursor), op)),
+        }
+    }
+
+    /// Consumes the op last returned by [`Frontend::peek`]. Entering a
+    /// mispredicted branch switches fetch into wrong-path or stalled mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is nothing to consume in the current mode.
+    pub fn consume(&mut self) {
+        match &mut self.mode {
+            Mode::WrongPath { next, .. } => {
+                *next += 1;
+            }
+            Mode::Normal => {
+                let idx = self.cursor;
+                let op = *self.trace.get(idx).expect("consume past end of trace");
+                self.cursor += 1;
+                if op.is_mispredicted() {
+                    self.mode = if self.trace.wrong_path(idx).is_some() {
+                        Mode::WrongPath {
+                            branch_idx: idx,
+                            next: 0,
+                        }
+                    } else {
+                        Mode::Stalled
+                    };
+                }
+            }
+            _ => panic!("consume while fetch cannot deliver"),
+        }
+    }
+
+    /// Delivers and consumes the next op for dispatch at `cycle`, if fetch
+    /// can supply one.
+    pub fn next_op(&mut self, cycle: u64) -> Option<(Fetched, MicroOp)> {
+        let out = self.peek(cycle)?;
+        self.consume();
+        Some(out)
+    }
+
+    /// Called when the in-flight mispredicted branch resolves at `cycle`:
+    /// ends the stall / wrong-path mode and starts the redirect. The cursor
+    /// already points at the first post-branch correct-path op.
+    pub fn branch_resolved(&mut self, cycle: u64) {
+        debug_assert!(
+            matches!(self.mode, Mode::Stalled | Mode::WrongPath { .. }),
+            "resolution without a pending mispredict"
+        );
+        self.mode = Mode::RedirectUntil(cycle + u64::from(self.redirect_penalty));
+    }
+
+    /// Flush: rewind the cursor to `trace_idx` (the op to re-fetch first)
+    /// and redirect. Used by forwarding-error recovery.
+    pub fn flush_to(&mut self, trace_idx: usize, cycle: u64) {
+        self.cursor = trace_idx;
+        self.mode = Mode::RedirectUntil(cycle + u64::from(self.redirect_penalty));
+    }
+
+    /// Whether fetch is currently stalled on an unresolved mispredict (used
+    /// by deadlock diagnostics).
+    #[must_use]
+    pub fn is_stalled(&self) -> bool {
+        matches!(self.mode, Mode::Stalled | Mode::WrongPath { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_isa::{ArchReg, TraceBuilder};
+
+    fn x(n: u8) -> ArchReg {
+        ArchReg::int(n)
+    }
+
+    #[test]
+    fn streams_in_order_until_exhausted() {
+        let mut b = TraceBuilder::new("t");
+        b.alu(x(1), None, None);
+        b.alu(x(2), None, None);
+        let mut fe = Frontend::new(b.build(), 5);
+        assert!(matches!(fe.next_op(0), Some((Fetched::Correct(0), _))));
+        assert!(matches!(fe.next_op(0), Some((Fetched::Correct(1), _))));
+        assert!(fe.next_op(0).is_none());
+        assert!(fe.exhausted());
+    }
+
+    #[test]
+    fn mispredict_without_block_stalls_then_redirects() {
+        let mut b = TraceBuilder::new("t");
+        b.branch(Some(x(1)), None, true, true);
+        b.alu(x(2), None, None);
+        let mut fe = Frontend::new(b.build(), 5);
+        assert!(matches!(fe.next_op(0), Some((Fetched::Correct(0), _))));
+        assert!(fe.next_op(1).is_none(), "stalled behind the mispredict");
+        assert!(fe.is_stalled());
+        fe.branch_resolved(10);
+        assert!(fe.next_op(12).is_none(), "redirect penalty");
+        assert!(matches!(fe.next_op(15), Some((Fetched::Correct(1), _))));
+    }
+
+    #[test]
+    fn mispredict_with_block_injects_wrong_path() {
+        let mut b = TraceBuilder::new("t");
+        let br = b.branch(Some(x(1)), None, true, true);
+        b.wrong_path(br, vec![MicroOp::nop(), MicroOp::nop()]);
+        b.alu(x(2), None, None);
+        let mut fe = Frontend::new(b.build(), 3);
+        fe.next_op(0).unwrap();
+        assert!(matches!(fe.next_op(1), Some((Fetched::WrongPath(0), _))));
+        assert!(matches!(fe.next_op(1), Some((Fetched::WrongPath(1), _))));
+        assert!(fe.next_op(2).is_none(), "transient window exhausted");
+        fe.branch_resolved(8);
+        assert!(matches!(fe.next_op(11), Some((Fetched::Correct(1), _))));
+    }
+
+    #[test]
+    fn flush_rewinds_cursor() {
+        let mut b = TraceBuilder::new("t");
+        b.alu(x(1), None, None);
+        b.load(x(2), x(1), 0x40, 8);
+        b.alu(x(3), Some(x(2)), None);
+        let mut fe = Frontend::new(b.build(), 2);
+        fe.next_op(0);
+        fe.next_op(0);
+        fe.next_op(0);
+        fe.flush_to(1, 10);
+        assert!(fe.next_op(11).is_none());
+        assert!(matches!(fe.next_op(12), Some((Fetched::Correct(1), _))));
+        assert!(matches!(fe.next_op(12), Some((Fetched::Correct(2), _))));
+    }
+
+    #[test]
+    fn exhausted_is_false_while_stalled() {
+        let mut b = TraceBuilder::new("t");
+        b.branch(Some(x(1)), None, true, true);
+        let mut fe = Frontend::new(b.build(), 1);
+        fe.next_op(0);
+        assert!(!fe.exhausted(), "a mispredict is still in flight");
+    }
+}

@@ -1,0 +1,170 @@
+//! The in-flight instruction record: one `Inst` per ROB entry, carrying
+//! rename, scheduling, LSU and scheme state.
+
+use sb_isa::{MicroOp, PhysReg, Seq};
+
+/// Scheduling phase of an in-flight micro-op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// In the issue queue, waiting for operands (and scheme gates).
+    Waiting,
+    /// Issued to a functional unit; completion scheduled.
+    Executing,
+    /// Result produced (broadcast may still be pending under NDA).
+    Completed,
+}
+
+/// One in-flight micro-op with all per-stage state.
+#[derive(Clone, Debug)]
+pub struct Inst {
+    /// Global sequence number (rename order).
+    pub seq: Seq,
+    /// Index into the trace, `None` for injected wrong-path ops.
+    pub trace_idx: Option<usize>,
+    /// The decoded micro-op.
+    pub op: MicroOp,
+    /// Whether this op was fetched down a mispredicted path.
+    pub wrong_path: bool,
+    /// Cycle the op entered the ROB (earliest issue is
+    /// `dispatch_cycle + dispatch_latency`).
+    pub dispatch_cycle: u64,
+
+    // --- rename ---
+    /// Renamed source physical registers.
+    pub src_pregs: [Option<PhysReg>; 2],
+    /// Destination physical register, if any.
+    pub dst_preg: Option<PhysReg>,
+    /// Previous mapping of the destination architectural register (freed at
+    /// commit, restored on squash).
+    pub prev_preg: Option<PhysReg>,
+    /// STT-Rename: taint the destination architectural register held before
+    /// this op (restored on squash walk-back).
+    pub prev_taint: Option<Seq>,
+    /// Branch tag consumed (branches only).
+    pub br_tag: bool,
+
+    // --- scheduling ---
+    /// Current phase.
+    pub phase: Phase,
+    /// Cycle the result becomes available (set at issue).
+    pub complete_at: Option<u64>,
+
+    // --- stores (partial issue, §9.2) ---
+    /// Store: address part selected for issue (in flight to the AGU).
+    pub addr_launched: bool,
+    /// Store: address part finished (address known in the SQ).
+    pub addr_done: bool,
+    /// Store: data part selected for issue.
+    pub data_launched: bool,
+    /// Store: data part finished (data present in the SQ).
+    pub data_done: bool,
+
+    // --- loads ---
+    /// Load: issued past an older store with an unknown address.
+    pub mem_speculated: bool,
+    /// Load: forwarded from this store (else from the cache).
+    pub fwd_src: Option<Seq>,
+    /// Load: has performed its memory access.
+    pub executed: bool,
+
+    // --- branches ---
+    /// Branch: C-shadow resolved.
+    pub cshadow_resolved: bool,
+
+    // --- scheme state ---
+    /// Youngest root of taint gating this op (STT-Rename: from rename;
+    /// STT-Issue: discovered at first issue attempt).
+    pub yrot: Option<Seq>,
+    /// Split-store taints (STT-Rename ablation, §9.2).
+    pub addr_yrot: Option<Seq>,
+    /// Split-store taints (STT-Rename ablation, §9.2).
+    pub data_yrot: Option<Seq>,
+    /// Masked out of selection until an untaint (STT) or data (NDA)
+    /// broadcast unmasks it.
+    pub taint_masked: bool,
+    /// This load was speculative when it produced its value, so its
+    /// destination is a taint root (STT) / its broadcast is delayed (NDA).
+    pub spec_source: bool,
+}
+
+impl Inst {
+    /// A freshly dispatched instruction in the waiting phase.
+    #[must_use]
+    pub fn new(seq: Seq, trace_idx: Option<usize>, op: MicroOp, wrong_path: bool) -> Self {
+        Inst {
+            seq,
+            trace_idx,
+            op,
+            wrong_path,
+            dispatch_cycle: 0,
+            src_pregs: [None, None],
+            dst_preg: None,
+            prev_preg: None,
+            prev_taint: None,
+            br_tag: false,
+            phase: Phase::Waiting,
+            complete_at: None,
+            addr_launched: false,
+            addr_done: false,
+            data_launched: false,
+            data_done: false,
+            mem_speculated: false,
+            fwd_src: None,
+            executed: false,
+            cshadow_resolved: false,
+            yrot: None,
+            addr_yrot: None,
+            data_yrot: None,
+            taint_masked: false,
+            spec_source: false,
+        }
+    }
+
+    /// Whether this op has fully produced its result.
+    #[must_use]
+    pub fn is_completed(&self) -> bool {
+        self.phase == Phase::Completed
+    }
+
+    /// Whether this (store) op still has an un-issued part. Non-stores use
+    /// `phase` alone.
+    #[must_use]
+    pub fn store_fully_issued(&self) -> bool {
+        self.addr_done && self.data_done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_isa::{ArchReg, MicroOp};
+
+    #[test]
+    fn new_inst_is_waiting_and_clean() {
+        let i = Inst::new(
+            Seq::new(1),
+            Some(0),
+            MicroOp::alu(ArchReg::int(1), None, None),
+            false,
+        );
+        assert_eq!(i.phase, Phase::Waiting);
+        assert!(!i.is_completed());
+        assert!(i.yrot.is_none());
+        assert!(!i.taint_masked);
+        assert!(!i.store_fully_issued());
+    }
+
+    #[test]
+    fn store_fully_issued_requires_both_parts() {
+        let mut i = Inst::new(
+            Seq::new(1),
+            Some(0),
+            MicroOp::store(ArchReg::int(1), ArchReg::int(2), 0x10, 8),
+            false,
+        );
+        i.addr_done = true;
+        assert!(!i.store_fully_issued());
+        i.data_done = true;
+        assert!(i.store_fully_issued());
+    }
+}

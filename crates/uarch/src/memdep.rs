@@ -1,0 +1,103 @@
+//! Memory-dependence prediction (store-set style, simplified).
+//!
+//! §6 of the paper: loads may speculatively bypass older stores with
+//! unknown addresses; a detected forwarding error flushes the load and
+//! everything younger. BOOM bounds the cost of repeated violations with a
+//! memory-dependence predictor; this module models the minimal version the
+//! simulator needs — a load that has *already* caused a forwarding
+//! violation is not allowed to bypass unknown store addresses again, it
+//! waits instead.
+//!
+//! Without this, a load whose aliasing store has a very slow address
+//! operand can livelock: speculate → flush → replay → speculate against
+//! the *same* still-unresolved store. With it, the second attempt waits.
+
+use std::collections::HashSet;
+
+/// Learns which loads must not bypass unresolved store addresses.
+///
+/// Loads are identified by their trace index (the dynamic-trace analogue
+/// of a PC). The table is bounded; at capacity it resets, and offenders
+/// re-train on their next violation.
+#[derive(Clone, Debug)]
+pub struct MemDepPredictor {
+    violators: HashSet<usize>,
+    capacity: usize,
+    trained: u64,
+}
+
+impl MemDepPredictor {
+    /// A predictor holding at most `capacity` known violators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "predictor needs capacity");
+        MemDepPredictor {
+            violators: HashSet::new(),
+            capacity,
+            trained: 0,
+        }
+    }
+
+    /// Whether the load at `trace_idx` may speculatively bypass an older
+    /// store with an unknown address.
+    #[must_use]
+    pub fn may_bypass(&self, trace_idx: usize) -> bool {
+        !self.violators.contains(&trace_idx)
+    }
+
+    /// Records a forwarding violation by the load at `trace_idx`.
+    pub fn train_violation(&mut self, trace_idx: usize) {
+        if self.violators.len() >= self.capacity && !self.violators.contains(&trace_idx) {
+            self.violators.clear();
+        }
+        self.violators.insert(trace_idx);
+        self.trained += 1;
+    }
+
+    /// Total violations trained (diagnostics).
+    #[must_use]
+    pub fn violations_trained(&self) -> u64 {
+        self.trained
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_predictor_allows_bypass() {
+        let p = MemDepPredictor::new(8);
+        assert!(p.may_bypass(42));
+    }
+
+    #[test]
+    fn violation_blocks_future_bypass() {
+        let mut p = MemDepPredictor::new(8);
+        p.train_violation(42);
+        assert!(!p.may_bypass(42));
+        assert!(p.may_bypass(43), "other loads unaffected");
+        assert_eq!(p.violations_trained(), 1);
+    }
+
+    #[test]
+    fn capacity_reset_retrains() {
+        let mut p = MemDepPredictor::new(2);
+        p.train_violation(1);
+        p.train_violation(2);
+        p.train_violation(3); // resets, then inserts 3
+        assert!(p.may_bypass(1));
+        assert!(p.may_bypass(2));
+        assert!(!p.may_bypass(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = MemDepPredictor::new(0);
+    }
+}

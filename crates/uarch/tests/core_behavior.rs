@@ -1,0 +1,506 @@
+//! Behavioural tests for the out-of-order core and the secure-speculation
+//! scheme hooks: each test pins one mechanism the paper's evaluation relies
+//! on (taint gating, delayed broadcast, partial store issue, forwarding
+//! errors, transient-leak blocking).
+
+use sb_core::Scheme;
+use sb_isa::{ArchReg, MicroOp, OpClass, Trace, TraceBuilder};
+use sb_uarch::{Core, CoreConfig};
+
+fn x(n: u8) -> ArchReg {
+    ArchReg::int(n)
+}
+
+fn run(config: CoreConfig, scheme: Scheme, trace: Trace) -> Core {
+    let mut core = Core::with_scheme(config, scheme, trace);
+    core.run_to_completion(2_000_000);
+    core
+}
+
+fn cycles(config: CoreConfig, scheme: Scheme, trace: &Trace) -> u64 {
+    run(config, scheme, trace.clone()).stats().cycles.get()
+}
+
+/// Straight-line independent ALU ops: a 4-wide core should sustain close to
+/// 4 IPC; a 1-wide core close to 1.
+#[test]
+fn width_bounds_throughput() {
+    let mut b = TraceBuilder::new("alu");
+    for i in 0..4000u32 {
+        b.alu(x((1 + (i % 8)) as u8), None, None);
+    }
+    let t = b.build();
+    let mega = cycles(CoreConfig::mega(), Scheme::Baseline, &t);
+    let small = cycles(CoreConfig::small(), Scheme::Baseline, &t);
+    assert!(mega < 1400, "mega should sustain ~4 IPC, took {mega}");
+    assert!(small >= 4000, "small is 1-wide, took {small}");
+    assert!(small < 4400, "small should still be near 1 IPC");
+}
+
+/// A dependent ALU chain is latency-bound regardless of width.
+#[test]
+fn dependency_chain_serializes() {
+    let mut b = TraceBuilder::new("chain");
+    for _ in 0..1000 {
+        b.alu(x(1), Some(x(1)), None);
+    }
+    let t = b.build();
+    let c = cycles(CoreConfig::mega(), Scheme::Baseline, &t);
+    assert!(c >= 1000, "chain must serialize, took {c}");
+}
+
+/// All four schemes commit exactly the trace's instruction count — squashes
+/// and replays never lose or duplicate architectural work.
+#[test]
+fn all_schemes_commit_the_same_work() {
+    let mut b = TraceBuilder::new("mixed");
+    for i in 0..300u64 {
+        b.load(x(1), x(2), 0x1000 + (i % 16) * 8, 8);
+        b.alu(x(3), Some(x(1)), Some(x(3)));
+        b.store(x(2), x(3), 0x2000 + (i % 8) * 8, 8);
+        b.branch(Some(x(3)), None, i % 3 == 0, i % 17 == 0);
+        b.load(x(4), x(2), 0x2000 + (i % 8) * 8, 8);
+    }
+    let t = b.build();
+    for scheme in Scheme::all() {
+        let core = run(CoreConfig::mega(), scheme, t.clone());
+        assert_eq!(
+            core.stats().committed.get(),
+            t.len() as u64,
+            "{scheme} must commit the whole trace"
+        );
+    }
+}
+
+/// Determinism: identical runs produce identical statistics.
+#[test]
+fn simulation_is_deterministic() {
+    let mut b = TraceBuilder::new("det");
+    for i in 0..200u64 {
+        b.load(x(1), x(2), 0x4000 + (i % 32) * 64, 8);
+        b.alu(x(2), Some(x(1)), None);
+        b.branch(Some(x(2)), None, false, i % 11 == 0);
+    }
+    let t = b.build();
+    let a = run(CoreConfig::large(), Scheme::SttIssue, t.clone());
+    let b2 = run(CoreConfig::large(), Scheme::SttIssue, t);
+    assert_eq!(a.stats(), b2.stats());
+}
+
+/// Builds the taint-gating kernel: a long-latency branch keeps a shadow
+/// open; under it, a load feeds a dependent load (a transmitter).
+fn taint_kernel(n: u64) -> Trace {
+    let mut b = TraceBuilder::new("taint");
+    for i in 0..n {
+        // Slow producer for the branch operand: a DRAM-cold load.
+        b.load(x(9), x(8), 0x100_0000 + i * 4096, 8);
+        b.branch(Some(x(9)), None, false, false);
+        // Under the branch's shadow: pointer chase (load -> load).
+        b.load(x(1), x(2), 0x2000 + (i % 4) * 64, 8);
+        b.alu(x(3), Some(x(1)), None);
+        b.load(x(4), x(3), 0x3000 + (i % 4) * 64, 8);
+    }
+    b.build()
+}
+
+/// STT must delay tainted transmitters: the secure schemes take strictly
+/// more cycles than baseline on the taint kernel, and STT-Issue wastes
+/// issue slots discovering taints (§4.3 step 4).
+#[test]
+fn stt_delays_tainted_transmitters() {
+    let t = taint_kernel(200);
+    let base = run(CoreConfig::mega(), Scheme::Baseline, t.clone());
+    let rename = run(CoreConfig::mega(), Scheme::SttRename, t.clone());
+    let issue = run(CoreConfig::mega(), Scheme::SttIssue, t.clone());
+
+    assert!(
+        rename.stats().cycles.get() > base.stats().cycles.get(),
+        "STT-Rename must pay for taint gating"
+    );
+    assert!(
+        issue.stats().cycles.get() > base.stats().cycles.get(),
+        "STT-Issue must pay for taint gating"
+    );
+    assert!(rename.stats().delayed_transmitters.get() > 0);
+    assert!(issue.stats().wasted_issue_slots.get() > 0, "nop-issued slots");
+    assert_eq!(base.stats().wasted_issue_slots.get(), 0);
+    assert!(base.stats().delayed_transmitters.get() == 0);
+}
+
+/// §9.1: STT-Issue can issue a transmitter the cycle its root becomes safe,
+/// while STT-Rename waits for the broadcast — so STT-Issue is at least as
+/// fast on the taint kernel.
+#[test]
+fn stt_issue_is_no_slower_than_stt_rename() {
+    let t = taint_kernel(300);
+    let rename = cycles(CoreConfig::mega(), Scheme::SttRename, &t);
+    let issue = cycles(CoreConfig::mega(), Scheme::SttIssue, &t);
+    assert!(
+        issue <= rename,
+        "STT-Issue ({issue}) should not be slower than STT-Rename ({rename})"
+    );
+}
+
+/// NDA delays *all* dependents of speculative loads, not just transmitters,
+/// so it loses more IPC than STT on a compute-after-load kernel (§8.1's
+/// imagick discussion).
+#[test]
+fn nda_hurts_compute_bound_kernels_more_than_stt() {
+    let mut b = TraceBuilder::new("compute");
+    for i in 0..300u64 {
+        b.branch(Some(x(7)), None, false, false);
+        b.load(x(1), x(2), 0x2000 + (i % 4) * 64, 8);
+        // A pile of invisible compute on the loaded value.
+        for _ in 0..6 {
+            b.alu(x(3), Some(x(1)), Some(x(3)));
+        }
+        b.alu(x(7), Some(x(3)), None);
+    }
+    let t = b.build();
+    let base = cycles(CoreConfig::mega(), Scheme::Baseline, &t);
+    let stt = cycles(CoreConfig::mega(), Scheme::SttIssue, &t);
+    let nda = cycles(CoreConfig::mega(), Scheme::Nda, &t);
+    assert!(nda > stt, "NDA ({nda}) must lose more than STT ({stt})");
+    assert!(stt >= base);
+    let nda_run = run(CoreConfig::mega(), Scheme::Nda, t);
+    assert!(
+        nda_run.stats().delayed_transmitters.get() > 0,
+        "NDA must have delayed load broadcasts"
+    );
+    assert!(nda_run.stats().scheme_broadcasts.get() > 0);
+}
+
+/// Store-to-load forwarding works: a load overlapping an older store with
+/// known address and data forwards instead of reading the cache.
+#[test]
+fn store_to_load_forwarding_happens() {
+    let mut b = TraceBuilder::new("fwd");
+    b.alu(x(1), None, None);
+    b.store(x(2), x(1), 0x9000, 8);
+    b.load(x(3), x(2), 0x9000, 8);
+    let core = run(CoreConfig::small(), Scheme::Baseline, b.build());
+    // The load never touched the memory hierarchy for 0x9000 as a read:
+    // only the store's commit write did. Forwarding means no L1D read miss
+    // beyond the store's own write.
+    assert_eq!(core.stats().forwarding_errors.get(), 0);
+    assert_eq!(core.stats().committed.get(), 3);
+}
+
+/// Forwarding-error recovery: a load that speculates past a store with a
+/// slow address operand and aliases it must flush and replay (§6, §9.2).
+#[test]
+fn forwarding_error_flushes_and_replays() {
+    let mut b = TraceBuilder::new("fwd-err");
+    // Slow address operand: cold load feeding the store's address register.
+    b.load(x(1), x(8), 0x200_0000, 8);
+    b.alu(x(2), Some(x(1)), None);
+    b.store(x(2), x(3), 0xA000, 8);
+    // Aliasing younger load issues long before the store address is known.
+    b.load(x(4), x(5), 0xA000, 8);
+    b.alu(x(6), Some(x(4)), None);
+    let t = b.build();
+    let core = run(CoreConfig::mega(), Scheme::Baseline, t.clone());
+    assert!(
+        core.stats().forwarding_errors.get() >= 1,
+        "the aliasing load must be caught"
+    );
+    assert!(core.stats().memdep_speculations.get() >= 1);
+    assert!(core.stats().squashed.get() >= 1);
+    assert_eq!(core.stats().committed.get(), t.len() as u64);
+}
+
+/// §9.2 (exchange2): STT-Rename's unified store taint blocks address
+/// generation when only the *data* operand is tainted, causing forwarding
+/// errors that STT-Issue avoids by checking the address operand alone.
+#[test]
+fn unified_store_taint_causes_forwarding_errors() {
+    let mut b = TraceBuilder::new("exchange2-micro");
+    for i in 0..120u64 {
+        // Shadow source: a store whose address operand arrives late-ish.
+        b.branch(Some(x(7)), None, false, false);
+        // Speculative load producing the store's DATA operand (tainted).
+        b.load(x(1), x(2), 0x2000 + (i % 8) * 64, 8);
+        // Store: address operand x5 is clean and ready; data x1 is tainted.
+        b.store(x(5), x(1), 0xB000 + (i % 4) * 8, 8);
+        // Younger aliasing load.
+        b.load(x(3), x(5), 0xB000 + (i % 4) * 8, 8);
+        b.alu(x(7), Some(x(3)), None);
+    }
+    let t = b.build();
+    let rename = run(CoreConfig::mega(), Scheme::SttRename, t.clone());
+    let issue = run(CoreConfig::mega(), Scheme::SttIssue, t.clone());
+    assert!(
+        rename.stats().forwarding_errors.get() > issue.stats().forwarding_errors.get(),
+        "STT-Rename ({}) must suffer more forwarding errors than STT-Issue ({})",
+        rename.stats().forwarding_errors.get(),
+        issue.stats().forwarding_errors.get()
+    );
+
+    // The split-store ablation (§9.2's proposed optimization) rescues
+    // STT-Rename.
+    let mut cfg = sb_core::SchemeConfig::rtl(Scheme::SttRename, CoreConfig::mega().mem_ports);
+    cfg.split_store_taints = true;
+    let mut split = Core::new(CoreConfig::mega(), cfg, t);
+    split.run_to_completion(2_000_000);
+    assert!(
+        split.stats().forwarding_errors.get() < rename.stats().forwarding_errors.get(),
+        "split store taints must reduce forwarding errors"
+    );
+}
+
+/// Mispredicted branches squash wrong-path work and pay the redirect
+/// penalty; commit counts stay exact.
+#[test]
+fn mispredict_recovery_is_exact() {
+    let mut b = TraceBuilder::new("mispredict");
+    for i in 0..100u64 {
+        b.alu(x(1), Some(x(1)), None);
+        let br = b.branch(Some(x(1)), None, true, true);
+        b.wrong_path(
+            br,
+            vec![
+                MicroOp::alu(x(2), Some(x(1)), None),
+                MicroOp::load(x(3), x(2), 0x7000 + i * 64, 8),
+            ],
+        );
+        b.alu(x(4), None, None);
+    }
+    let t = b.build();
+    let core = run(CoreConfig::large(), Scheme::Baseline, t.clone());
+    assert_eq!(core.stats().committed.get(), t.len() as u64);
+    assert_eq!(core.stats().branch_mispredicts.get(), 100);
+    assert!(core.stats().squashed.get() >= 100, "wrong-path ops squashed");
+}
+
+/// The Spectre-v1 shape: a transient (wrong-path) secret-dependent load
+/// must warm the probe line under the unsafe baseline and must NOT under
+/// STT-Rename, STT-Issue, or NDA.
+#[test]
+fn transient_leak_blocked_by_secure_schemes() {
+    const PROBE: u64 = 0x40_0000;
+
+    let build = || {
+        let mut b = TraceBuilder::new("spectre");
+        // Victim warms the secret's line (it is architecturally reachable
+        // data; the *probe* array is what carries the leak).
+        b.load(x(6), x(8), 0x1234_0000, 8);
+        // Slow branch operand: a cold load plus a divide chain opens a long
+        // transient window (the bounds check that resolves late).
+        b.load(x(9), x(8), 0x300_0000, 8);
+        b.push(MicroOp::compute(OpClass::IntDiv, x(9), Some(x(9)), None));
+        b.push(MicroOp::compute(OpClass::IntDiv, x(9), Some(x(9)), None));
+        let br = b.branch(Some(x(9)), None, true, true);
+        b.wrong_path(
+            br,
+            vec![
+                // Transient secret access (allowed by STT: address clean).
+                MicroOp::load(x(1), x(2), 0x1234_0000, 8),
+                // Compute on the secret.
+                MicroOp::alu(x(3), Some(x(1)), None),
+                // Transmit: secret-dependent address.
+                MicroOp::load(x(4), x(3), PROBE, 8),
+            ],
+        );
+        b.alu(x(5), None, None);
+        b.build()
+    };
+
+    let baseline = run(CoreConfig::mega(), Scheme::Baseline, build());
+    assert!(
+        baseline.memory().probe_l1d(PROBE),
+        "unsafe baseline must leak through the cache side channel"
+    );
+
+    for scheme in Scheme::secure() {
+        let core = run(CoreConfig::mega(), scheme, build());
+        assert!(
+            !core.memory().probe_l1d(PROBE),
+            "{scheme} must block the transient transmit load"
+        );
+    }
+}
+
+/// NDA disables speculative load-hit scheduling, so it must record no
+/// replay events while the baseline does on a miss-heavy kernel.
+#[test]
+fn nda_has_no_load_hit_replays() {
+    let mut b = TraceBuilder::new("misses");
+    for i in 0..200u64 {
+        b.load(x(1), x(2), 0x500_0000 + i * 640, 8);
+        b.alu(x(3), Some(x(1)), None);
+    }
+    let t = b.build();
+    let base = run(CoreConfig::mega(), Scheme::Baseline, t.clone());
+    let nda = run(CoreConfig::mega(), Scheme::Nda, t);
+    assert!(base.stats().replay_events.get() > 0, "baseline replays on misses");
+    assert_eq!(nda.stats().replay_events.get(), 0, "NDA never replays (§5.1)");
+}
+
+/// The STT-Rename same-cycle YRoT chain depth grows with dispatch width
+/// on dependent code (§4.1): a 4-wide core sees deeper chains than a
+/// 1-wide core, feeding the timing model.
+#[test]
+fn rename_chain_depth_scales_with_width() {
+    let mut b = TraceBuilder::new("chain-width");
+    for i in 0..400u64 {
+        b.branch(Some(x(7)), None, false, false);
+        b.load(x(1), x(2), 0x2000 + (i % 4) * 64, 8);
+        b.alu(x(3), Some(x(1)), None);
+        b.alu(x(4), Some(x(3)), None);
+        b.alu(x(7), Some(x(4)), None);
+    }
+    let t = b.build();
+    let mega = run(CoreConfig::mega(), Scheme::SttRename, t.clone());
+    let small = run(CoreConfig::small(), Scheme::SttRename, t);
+    assert!(
+        mega.max_rename_chain() > small.max_rename_chain(),
+        "wider rename groups must produce deeper same-cycle chains ({} vs {})",
+        mega.max_rename_chain(),
+        small.max_rename_chain()
+    );
+    assert_eq!(small.max_rename_chain(), 1, "1-wide has no same-cycle deps");
+}
+
+/// Branch-tag exhaustion stalls rename (checkpoint pressure); STT's
+/// delayed branch resolution makes it worse than baseline.
+#[test]
+fn checkpoint_pressure_under_stt() {
+    let mut b = TraceBuilder::new("branchy");
+    for i in 0..400u64 {
+        b.load(x(1), x(2), 0x600_0000 + (i % 64) * 4096, 8);
+        b.branch(Some(x(1)), None, false, false);
+    }
+    let t = b.build();
+    let base = run(CoreConfig::small(), Scheme::Baseline, t.clone());
+    let stt = run(CoreConfig::small(), Scheme::SttRename, t);
+    assert!(
+        stt.stats().checkpoint_stalls.get() >= base.stats().checkpoint_stalls.get(),
+        "STT holds branches longer, so checkpoint stalls cannot shrink"
+    );
+}
+
+/// Loads and branch classes commit with correct per-class counters.
+#[test]
+fn per_class_commit_counters() {
+    let mut b = TraceBuilder::new("classes");
+    b.load(x(1), x(2), 0x40, 8);
+    b.store(x(2), x(1), 0x80, 8);
+    b.branch(Some(x(1)), None, false, false);
+    b.alu(x(3), None, None);
+    b.push(MicroOp::compute(OpClass::FpMul, ArchReg::fp(1), None, None));
+    let core = run(CoreConfig::small(), Scheme::Baseline, b.build());
+    let s = core.stats();
+    assert_eq!(s.committed.get(), 5);
+    assert_eq!(s.committed_loads.get(), 1);
+    assert_eq!(s.committed_stores.get(), 1);
+    assert_eq!(s.committed_branches.get(), 1);
+}
+
+/// §6's Futuristic extension: tracking M/E shadows in addition to C/D must
+/// cost additional IPC under every secure scheme (loads stay speculative
+/// until bound to commit).
+#[test]
+fn futuristic_threat_model_costs_more() {
+    use sb_core::{SchemeConfig, ThreatModel};
+    let mut b = TraceBuilder::new("futuristic");
+    for i in 0..300u64 {
+        // A cold independent load keeps commit (and thus M-shadow
+        // resolution) trailing far behind completion.
+        b.load(x(9), x(8), 0x700_0000 + i * 4096, 8);
+        // A hot load feeding a transmitter: no C/D shadow covers it, so
+        // only the Futuristic model delays the dependent load.
+        b.load(x(1), x(2), 0x2000 + (i % 4) * 64, 8);
+        b.alu(x(3), Some(x(1)), None);
+        b.load(x(4), x(3), 0x3000 + (i % 4) * 64, 8);
+    }
+    let t = b.build();
+    for scheme in Scheme::secure() {
+        let cycles_for = |model: ThreatModel| {
+            let cfg = SchemeConfig::rtl(scheme, 2).with_threat_model(model);
+            let mut core = Core::new(CoreConfig::mega(), cfg, t.clone());
+            core.run_to_completion(2_000_000);
+            core.stats().cycles.get()
+        };
+        let spectre = cycles_for(ThreatModel::Spectre);
+        let futuristic = cycles_for(ThreatModel::Futuristic);
+        assert!(
+            futuristic > spectre,
+            "{scheme}: Futuristic ({futuristic}) must cost more than Spectre ({spectre})"
+        );
+    }
+    // The unsafe baseline is unaffected by the threat model (no gating).
+    let base = |model: sb_core::ThreatModel| {
+        let cfg = sb_core::SchemeConfig::rtl(Scheme::Baseline, 2).with_threat_model(model);
+        let mut core = Core::new(CoreConfig::mega(), cfg, t.clone());
+        core.run_to_completion(2_000_000);
+        core.stats().cycles.get()
+    };
+    assert_eq!(
+        base(sb_core::ThreatModel::Spectre),
+        base(sb_core::ThreatModel::Futuristic)
+    );
+}
+
+/// The memory-dependence predictor stops a load from re-speculating against
+/// the same still-unresolved store after its first forwarding violation —
+/// exactly one flush, not a livelock.
+#[test]
+fn memdep_predictor_prevents_repeat_violations() {
+    let mut b = TraceBuilder::new("memdep");
+    // Store address takes a very long time: cold DRAM load + divide chain.
+    b.load(x(1), x(8), 0x700_0000, 8);
+    b.push(MicroOp::compute(OpClass::IntDiv, x(1), Some(x(1)), None));
+    b.push(MicroOp::compute(OpClass::IntDiv, x(1), Some(x(1)), None));
+    b.push(MicroOp::compute(OpClass::IntDiv, x(1), Some(x(1)), None));
+    b.store(x(1), x(3), 0xC000, 8);
+    // Aliasing load + dependents.
+    b.load(x(4), x(5), 0xC000, 8);
+    b.alu(x(6), Some(x(4)), None);
+    let t = b.build();
+    let mut core = Core::with_scheme(CoreConfig::mega(), Scheme::Baseline, t.clone());
+    core.run_to_completion(1_000_000);
+    assert_eq!(
+        core.stats().forwarding_errors.get(),
+        1,
+        "exactly one violation: the replay must wait, not re-speculate"
+    );
+    assert_eq!(core.stats().committed.get(), t.len() as u64);
+}
+
+/// TraceDoctor-style stall attribution (§7): every zero-retire cycle is
+/// attributed to exactly one cause; the baseline never blames the scheme;
+/// and a broadcast-starved transmitter at the ROB head is blamed on the
+/// scheme under STT.
+#[test]
+fn stall_attribution_is_complete_and_scheme_aware() {
+    // Baseline sanity on a memory-bound kernel.
+    let t = taint_kernel(150);
+    let base = run(CoreConfig::mega(), Scheme::Baseline, t.clone());
+    assert_eq!(base.stats().stalls.scheme.get(), 0, "baseline has no scheme stalls");
+    assert!(base.stats().stalls.memory.get() > 0, "cold loads are memory stalls");
+    assert!(base.stats().stalls.total() <= base.stats().cycles.get());
+
+    // Broadcast starvation: one long shadow covers a burst of loads; when
+    // it resolves, the untaint broadcasts drain at memory width, and the
+    // final masked transmitter reaches the head still waiting for its
+    // broadcast — a head-visible scheme stall.
+    let mut b = TraceBuilder::new("bcast-starve");
+    b.load(x(9), x(8), 0x900_0000, 8);
+    b.branch(Some(x(9)), None, false, false);
+    for i in 0..24u64 {
+        b.load(x((16 + i % 8) as u8), x(2), 0x2000 + (i % 8) * 64, 8);
+    }
+    b.alu(x(3), Some(x(23)), None);
+    b.load(x(4), x(3), 0xA000, 8); // transmitter fed by the last burst load
+    let starve = b.build();
+    let rename = run(CoreConfig::mega(), Scheme::SttRename, starve.clone());
+    assert!(
+        rename.stats().stalls.scheme.get() > 0,
+        "a broadcast-starved masked head must be attributed to the scheme: {}",
+        rename.stats().stalls
+    );
+    for scheme in Scheme::secure() {
+        let core = run(CoreConfig::mega(), scheme, t.clone());
+        assert!(core.stats().stalls.total() <= core.stats().cycles.get());
+    }
+}

@@ -1,0 +1,179 @@
+//! Transient-execution attack kernels — the BOOM-attacks analogue the paper
+//! uses to verify that the implemented schemes actually mitigate Spectre v1
+//! (§7), plus a Speculative Store Bypass kernel for the D-shadow side of
+//! the combined threat model (§2.4, §6).
+//!
+//! Each kernel is a trace whose wrong-path (transient) micro-ops encode a
+//! secret into a cache *probe array*: slot `s` of the array is touched iff
+//! the secret value is `s`. A `sb_mem::SideChannelObserver` over
+//! [`PROBE_BASE`]/[`PROBE_STRIDE`] recovers the leak — or verifies its
+//! absence under a secure scheme.
+
+use sb_isa::{ArchReg, MicroOp, OpClass, Trace, TraceBuilder};
+
+/// Base address of the attacker's probe array.
+pub const PROBE_BASE: u64 = 0x4000_0000;
+
+/// Stride between probe slots (one slot per page to avoid prefetch noise).
+pub const PROBE_STRIDE: u64 = 4096;
+
+/// A ready-to-run attack kernel.
+#[derive(Clone, Debug)]
+pub struct AttackKernel {
+    /// The victim+attacker instruction trace.
+    pub trace: Trace,
+    /// The secret value the transient path encodes (0..16).
+    pub secret: usize,
+}
+
+fn x(n: u8) -> ArchReg {
+    ArchReg::int(n)
+}
+
+/// Spectre v1: a bounds-check branch mispredicts; the transient path loads
+/// a secret and transmits it through a secret-dependent load address.
+///
+/// Under the unsafe baseline the probe slot for `secret` becomes cache
+/// resident; STT blocks the transmit load (its address is tainted by the
+/// transient secret load), and NDA never broadcasts the secret load's data.
+///
+/// # Panics
+///
+/// Panics if `secret >= 16` (the probe array has 16 slots).
+#[must_use]
+pub fn spectre_v1_kernel(secret: usize) -> AttackKernel {
+    assert!(secret < 16, "probe array has 16 slots");
+    let mut b = TraceBuilder::new("spectre-v1");
+
+    // Victim code warms the in-bounds data the transient load will hit
+    // (array1 in the classic gadget is architecturally accessible).
+    b.load(x(6), x(28), 0x2000_0000, 8);
+
+    // The bounds check: its operand arrives late (cold load + divides), so
+    // the mispredicted branch resolves long after the transient window
+    // opens.
+    b.load(x(9), x(28), 0x3000_0000, 8);
+    b.push(MicroOp::compute(OpClass::IntDiv, x(9), Some(x(9)), None));
+    b.push(MicroOp::compute(OpClass::IntDiv, x(9), Some(x(9)), None));
+    let br = b.branch(Some(x(9)), None, true, true);
+
+    // Transient path: read the secret (in-bounds warm line so it returns
+    // quickly), compute the probe index, transmit.
+    let probe_addr = PROBE_BASE + secret as u64 * PROBE_STRIDE;
+    b.wrong_path(
+        br,
+        vec![
+            MicroOp::load(x(1), x(2), 0x2000_0000, 8),
+            MicroOp::alu(x(3), Some(x(1)), None),
+            MicroOp::load(x(4), x(3), probe_addr, 8),
+        ],
+    );
+
+    // Correct path continues.
+    b.alu(x(5), None, None);
+    b.alu(x(5), Some(x(5)), None);
+    AttackKernel {
+        trace: b.build(),
+        secret,
+    }
+}
+
+/// Speculative Store Bypass (§6's D-shadow motivation): a store's address
+/// arrives late; a younger load speculatively bypasses it, reads the
+/// *stale* secret value, and transmits it before the forwarding error is
+/// detected.
+///
+/// The combined C+D-shadow tracking must treat the bypassing load's value
+/// as speculative (the unresolved store casts a D-shadow), so STT taints it
+/// and NDA withholds its broadcast.
+///
+/// # Panics
+///
+/// Panics if `secret >= 16`.
+#[must_use]
+pub fn ssb_kernel(secret: usize) -> AttackKernel {
+    assert!(secret < 16, "probe array has 16 slots");
+    let mut b = TraceBuilder::new("ssb");
+    const SLOT: u64 = 0x2100_0000;
+
+    // Warm the slot so the stale read returns quickly.
+    b.load(x(6), x(28), SLOT, 8);
+
+    // The store that should overwrite the stale secret: its address operand
+    // is produced by a cold load + divides, so address generation is late.
+    b.load(x(9), x(28), 0x3100_0000, 8);
+    b.push(MicroOp::compute(OpClass::IntDiv, x(9), Some(x(9)), None));
+    b.push(MicroOp::compute(OpClass::IntDiv, x(9), Some(x(9)), None));
+    b.store(x(9), x(28), SLOT, 8);
+
+    // The bypassing load (reads stale data long before the store address
+    // resolves), then the transmit chain.
+    let probe_addr = PROBE_BASE + secret as u64 * PROBE_STRIDE;
+    b.load(x(1), x(27), SLOT, 8);
+    b.alu(x(3), Some(x(1)), None);
+    b.load(x(4), x(3), probe_addr, 8);
+    b.alu(x(5), None, None);
+    AttackKernel {
+        trace: b.build(),
+        secret,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectre_kernel_shape() {
+        let k = spectre_v1_kernel(7);
+        assert_eq!(k.secret, 7);
+        let br_idx = (0..k.trace.len())
+            .find(|&i| k.trace.op(i).is_mispredicted())
+            .expect("has a mispredicted branch");
+        let wp = k.trace.wrong_path(br_idx).expect("wrong-path block");
+        assert_eq!(wp.ops.len(), 3);
+        let transmit = wp.ops[2];
+        assert!(transmit.is_load());
+        assert_eq!(
+            transmit.mem.unwrap().addr,
+            PROBE_BASE + 7 * PROBE_STRIDE,
+            "transmit address encodes the secret"
+        );
+    }
+
+    #[test]
+    fn ssb_kernel_has_late_store_and_bypassing_load() {
+        let k = ssb_kernel(3);
+        let store_idx = (0..k.trace.len())
+            .find(|&i| k.trace.op(i).is_store())
+            .unwrap();
+        let bypass_idx = (store_idx + 1..k.trace.len())
+            .find(|&i| k.trace.op(i).is_load())
+            .unwrap();
+        assert_eq!(
+            k.trace.op(store_idx).mem.unwrap().addr,
+            k.trace.op(bypass_idx).mem.unwrap().addr,
+            "the load must alias the late store"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "16 slots")]
+    fn secret_range_is_validated() {
+        let _ = spectre_v1_kernel(16);
+    }
+
+    #[test]
+    fn distinct_secrets_use_distinct_probe_slots() {
+        let a = spectre_v1_kernel(1);
+        let b = spectre_v1_kernel(2);
+        let addr = |k: &AttackKernel| {
+            let br = (0..k.trace.len())
+                .find(|&i| k.trace.op(i).is_mispredicted())
+                .unwrap();
+            k.trace.wrong_path(br).unwrap().ops[2].mem.unwrap().addr
+        };
+        assert_ne!(addr(&a), addr(&b));
+        assert_eq!(addr(&b) - addr(&a), PROBE_STRIDE);
+    }
+}

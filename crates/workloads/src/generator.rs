@@ -1,0 +1,339 @@
+//! Deterministic trace generation from a workload profile.
+//!
+//! The generator is seeded: the same `(profile, length, seed)` triple always
+//! yields the same trace, which the simulator's flush/replay machinery
+//! relies on and which makes every experiment reproducible.
+
+use crate::profiles::{AccessPattern, WorkloadProfile};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sb_isa::{ArchReg, MicroOp, OpClass, Trace, TraceBuilder};
+
+/// Base virtual address of a workload's data segment.
+const DATA_BASE: u64 = 0x1000_0000;
+
+/// Register-allocation conventions of the generator: a rotating window of
+/// compute destinations, a rotating window of load destinations, and a set
+/// of always-ready pointer registers for address formation.
+struct RegFile {
+    next_compute: u8,
+    next_load: u8,
+}
+
+impl RegFile {
+    fn new() -> Self {
+        RegFile {
+            next_compute: 0,
+            next_load: 0,
+        }
+    }
+
+    /// Compute destinations rotate through `x1..=x12`.
+    fn compute_dst(&mut self) -> ArchReg {
+        let r = ArchReg::int(1 + self.next_compute);
+        self.next_compute = (self.next_compute + 1) % 12;
+        r
+    }
+
+    /// Load destinations rotate through `x16..=x23`.
+    fn load_dst(&mut self) -> ArchReg {
+        let r = ArchReg::int(16 + self.next_load);
+        self.next_load = (self.next_load + 1) % 8;
+        r
+    }
+
+    /// Pointer registers `x24..=x28`: written once conceptually, always
+    /// ready.
+    fn pointer(&self, i: u8) -> ArchReg {
+        ArchReg::int(24 + i % 5)
+    }
+}
+
+/// Address stream for a profile's access pattern, confined to a window of
+/// the footprint. Loads and stores use separate windows (input vs output
+/// arrays), so store traffic does not detrain the stride prefetchers.
+struct AddrGen {
+    pattern: AccessPattern,
+    window_base: u64,
+    window_len: u64,
+    hot_frac: f64,
+    cursor: u64,
+}
+
+/// Size of the hot region cache-friendly accesses stay within.
+const HOT_REGION: u64 = 12 * 1024;
+
+impl AddrGen {
+    fn new(pattern: AccessPattern, window_base: u64, window_len: u64, hot_frac: f64) -> Self {
+        AddrGen {
+            pattern,
+            window_base,
+            window_len: window_len.max(4096),
+            hot_frac,
+            cursor: 0,
+        }
+    }
+
+    fn next(&mut self, rng: &mut SmallRng) -> u64 {
+        let off = match self.pattern {
+            AccessPattern::Streaming => {
+                self.cursor = (self.cursor + 64) % self.window_len;
+                self.cursor
+            }
+            AccessPattern::Strided { stride } => {
+                self.cursor = (self.cursor + stride) % self.window_len;
+                self.cursor
+            }
+            AccessPattern::Random | AccessPattern::PointerChase => {
+                let region = if rng.gen::<f64>() < self.hot_frac {
+                    HOT_REGION.min(self.window_len)
+                } else {
+                    self.window_len
+                };
+                rng.gen_range(0..region / 8) * 8
+            }
+        };
+        DATA_BASE + self.window_base + off
+    }
+}
+
+/// Fraction of pointer-chase loads that actually chase the previous load's
+/// value; the rest are independent accesses (real pointer-heavy code mixes
+/// both, which preserves some memory-level parallelism).
+const CHASE_FRAC: f64 = 0.4;
+
+/// Expands `profile` into a deterministic trace of `len` micro-ops.
+///
+/// # Example
+///
+/// ```
+/// use sb_workloads::{generate, spec2017_profiles};
+/// let profiles = spec2017_profiles();
+/// let t = generate(&profiles[2], 1000, 42); // 503.bwaves
+/// assert_eq!(t.len(), 1000);
+/// assert_eq!(t.name(), "503.bwaves");
+/// ```
+#[must_use]
+pub fn generate(profile: &WorkloadProfile, len: usize, seed: u64) -> Trace {
+    profile.validate();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5BAD_5EED);
+    let mut b = TraceBuilder::new(profile.name);
+    let mut regs = RegFile::new();
+    let half = profile.footprint / 2;
+    let mut load_addrs = AddrGen::new(profile.access, 0, half, profile.hot_frac);
+    let mut store_addrs = AddrGen::new(profile.access, half, half, profile.hot_frac);
+
+    // Recent architectural state the generator threads dependencies
+    // through.
+    let mut last_load_dst: Option<ArchReg> = None;
+    let mut last_compute_dst: Option<ArchReg> = None;
+    let mut recent_stores: Vec<u64> = Vec::with_capacity(8);
+
+    while b.len() < len {
+        let r: f64 = rng.gen();
+        if r < profile.load_frac {
+            // ---- load ----
+            let aliased = !recent_stores.is_empty() && rng.gen::<f64>() < profile.alias_rate;
+            let addr = if aliased {
+                recent_stores[rng.gen_range(0..recent_stores.len())]
+            } else {
+                load_addrs.next(&mut rng)
+            };
+            let chase = profile.access == AccessPattern::PointerChase
+                && rng.gen::<f64>() < CHASE_FRAC;
+            let addr_src = if chase {
+                // Chase: this load's address depends on the previous load.
+                last_load_dst.unwrap_or_else(|| regs.pointer(0))
+            } else if rng.gen::<f64>() < profile.addr_from_compute {
+                // Computed index: the address register comes off the
+                // compute chain, serializing the load behind its producers.
+                last_compute_dst.unwrap_or_else(|| regs.pointer(0))
+            } else {
+                regs.pointer(rng.gen_range(0..5))
+            };
+            let dst = regs.load_dst();
+            b.load(dst, addr_src, addr, 8);
+            last_load_dst = Some(dst);
+        } else if r < profile.load_frac + profile.store_frac {
+            // ---- store ----
+            let addr = store_addrs.next(&mut rng);
+            let data_src = if rng.gen::<f64>() < profile.store_data_from_load {
+                last_load_dst.unwrap_or_else(|| regs.pointer(1))
+            } else {
+                last_compute_dst.unwrap_or_else(|| regs.pointer(2))
+            };
+            let addr_src = regs.pointer(rng.gen_range(0..5));
+            b.store(addr_src, data_src, addr, 8);
+            recent_stores.push(addr);
+            if recent_stores.len() > 8 {
+                recent_stores.remove(0);
+            }
+        } else if r < profile.load_frac + profile.store_frac + profile.branch_frac {
+            // ---- branch ----
+            let src = if rng.gen::<f64>() < profile.load_use {
+                last_load_dst.unwrap_or_else(|| regs.pointer(3))
+            } else {
+                last_compute_dst.unwrap_or_else(|| regs.pointer(3))
+            };
+            let taken = rng.gen::<f64>() < 0.4;
+            let mispredicted = rng.gen::<f64>() < profile.mispredict_rate;
+            b.branch(Some(src), None, taken, mispredicted);
+        } else {
+            // ---- compute ----
+            let class = pick_compute_class(&mut rng, profile.fp_frac);
+            let dst = regs.compute_dst();
+            let src1 = if rng.gen::<f64>() < profile.dep_serial {
+                last_compute_dst.unwrap_or_else(|| regs.pointer(4))
+            } else {
+                ArchReg::int(1 + rng.gen_range(0..12))
+            };
+            let src2 = if rng.gen::<f64>() < profile.load_use {
+                last_load_dst
+            } else {
+                None
+            };
+            b.push(MicroOp::compute(class, dst, Some(src1), src2));
+            last_compute_dst = Some(dst);
+        }
+    }
+    b.build()
+}
+
+fn pick_compute_class(rng: &mut SmallRng, fp_frac: f64) -> OpClass {
+    let fp = rng.gen::<f64>() < fp_frac;
+    let heavy: f64 = rng.gen();
+    if fp {
+        if heavy < 0.01 {
+            OpClass::FpDiv
+        } else if heavy < 0.25 {
+            OpClass::FpMul
+        } else {
+            OpClass::FpAlu
+        }
+    } else if heavy < 0.01 {
+        OpClass::IntDiv
+    } else if heavy < 0.08 {
+        OpClass::IntMul
+    } else {
+        OpClass::IntAlu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::spec2017_profiles;
+
+    fn profile(name: &str) -> WorkloadProfile {
+        *spec2017_profiles()
+            .iter()
+            .find(|p| p.name.contains(name))
+            .unwrap()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = profile("gcc");
+        let a = generate(&p, 5000, 7);
+        let b = generate(&p, 5000, 7);
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.op(i), b.op(i), "op {i} differs");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = profile("gcc");
+        let a = generate(&p, 2000, 1);
+        let b = generate(&p, 2000, 2);
+        let same = (0..a.len()).filter(|&i| a.op(i) == b.op(i)).count();
+        assert!(same < a.len(), "seeds must matter");
+    }
+
+    #[test]
+    fn mix_matches_profile_within_tolerance() {
+        for p in spec2017_profiles() {
+            let t = generate(&p, 20_000, 3);
+            let loads = t.fraction(|o| o.is_load());
+            let stores = t.fraction(|o| o.is_store());
+            let branches = t.fraction(|o| o.is_branch());
+            assert!(
+                (loads - p.load_frac).abs() < 0.02,
+                "{}: load frac {loads} vs {}",
+                p.name,
+                p.load_frac
+            );
+            assert!((stores - p.store_frac).abs() < 0.02, "{}", p.name);
+            assert!((branches - p.branch_frac).abs() < 0.02, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn mispredict_rate_is_respected() {
+        let p = profile("deepsjeng"); // 3% mispredicts
+        let t = generate(&p, 50_000, 11);
+        let branches = t.iter().filter(|o| o.is_branch()).count();
+        let mispredicted = t.iter().filter(|o| o.is_mispredicted()).count();
+        let rate = mispredicted as f64 / branches as f64;
+        assert!((rate - 0.030).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn exchange2_generates_aliasing_loads() {
+        let p = profile("exchange2");
+        let t = generate(&p, 20_000, 5);
+        // Count loads whose address matches any store address in the trace.
+        let store_addrs: std::collections::HashSet<u64> = t
+            .iter()
+            .filter(|o| o.is_store())
+            .map(|o| o.mem.unwrap().addr)
+            .collect();
+        let aliasing = t
+            .iter()
+            .filter(|o| o.is_load() && store_addrs.contains(&o.mem.unwrap().addr))
+            .count();
+        let loads = t.iter().filter(|o| o.is_load()).count();
+        assert!(
+            aliasing as f64 / loads as f64 > 0.3,
+            "exchange2 must alias heavily ({aliasing}/{loads})"
+        );
+    }
+
+    #[test]
+    fn streaming_profiles_stay_sequential() {
+        let p = profile("bwaves");
+        let t = generate(&p, 5_000, 9);
+        let addrs: Vec<u64> = t
+            .iter()
+            .filter(|o| o.is_load())
+            .map(|o| o.mem.unwrap().addr)
+            .collect();
+        // The load address stream interleaves with stores, but deltas must
+        // be small and non-negative most of the time (one wrap allowed).
+        let increasing = addrs.windows(2).filter(|w| w[1] > w[0]).count();
+        assert!(
+            increasing as f64 / (addrs.len() - 1) as f64 > 0.95,
+            "streaming must be monotone"
+        );
+    }
+
+    #[test]
+    fn addresses_stay_within_footprint() {
+        for p in spec2017_profiles() {
+            let t = generate(&p, 5_000, 13);
+            for op in t.iter() {
+                if let Some(m) = op.mem {
+                    assert!(m.addr >= DATA_BASE);
+                    assert!(m.addr < DATA_BASE + p.footprint + 64, "{}", p.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn requested_length_is_exact() {
+        let p = profile("xz");
+        assert_eq!(generate(&p, 1234, 1).len(), 1234);
+    }
+}

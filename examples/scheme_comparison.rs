@@ -1,0 +1,63 @@
+//! Scheme comparison across core widths — a miniature of the paper's
+//! Figures 1/7/8: IPC, timing and combined performance for every scheme on
+//! all four BOOM configurations.
+//!
+//! ```sh
+//! cargo run --release --example scheme_comparison
+//! ```
+
+use shadowbinding::core::Scheme;
+use shadowbinding::stats::{suite_ipc, BenchResult};
+use shadowbinding::timing::{frequency_mhz, relative_timing};
+use shadowbinding::uarch::{Core, CoreConfig};
+use shadowbinding::workloads::{generate, spec2017_profiles};
+
+fn main() {
+    // A representative cross-section of the suite (memory-bound, compute-
+    // bound, branchy, forwarding-heavy).
+    let names = ["505.mcf", "538.imagick", "502.gcc", "548.exchange2", "503.bwaves"];
+    let profiles: Vec<_> = spec2017_profiles()
+        .into_iter()
+        .filter(|p| names.contains(&p.name))
+        .collect();
+    let ops = 20_000;
+
+    println!(
+        "{:<8} {:<12} {:>8} {:>9} {:>8} {:>12}",
+        "config", "scheme", "IPC", "rel IPC", "MHz", "performance"
+    );
+    for config in CoreConfig::boom_sweep() {
+        let mut baseline = 0.0;
+        for scheme in Scheme::all() {
+            let rows: Vec<BenchResult> = profiles
+                .iter()
+                .map(|p| {
+                    let trace = generate(p, ops, 7);
+                    let mut core = Core::with_scheme(config.clone(), scheme, trace);
+                    let stats = core.run(100_000_000);
+                    BenchResult::new(p.name, stats.committed.get(), stats.cycles.get())
+                })
+                .collect();
+            let ipc = suite_ipc(&rows);
+            if scheme == Scheme::Baseline {
+                baseline = ipc;
+            }
+            let rel_ipc = ipc / baseline;
+            let rel_t = relative_timing(&config, scheme);
+            println!(
+                "{:<8} {:<12} {:>8.3} {:>9.3} {:>8.1} {:>12.3}",
+                config.name,
+                scheme.label(),
+                ipc,
+                rel_ipc,
+                frequency_mhz(&config, scheme),
+                rel_ipc * rel_t,
+            );
+        }
+        println!();
+    }
+    println!(
+        "Performance = relative IPC x relative timing (§8.4). Note NDA overtaking \
+         both STT variants at the widest configuration despite losing in IPC."
+    );
+}
