@@ -30,7 +30,10 @@ fn bench_split_store_ablation(c: &mut Criterion) {
                 let trace = generate(&p, 4_000, 9);
                 let mut core = Core::new(CoreConfig::mega(), cfg, trace);
                 core.run(10_000_000);
-                black_box((core.stats().cycles.get(), core.stats().forwarding_errors.get()))
+                black_box((
+                    core.stats().cycles.get(),
+                    core.stats().forwarding_errors.get(),
+                ))
             });
         });
     }
@@ -72,7 +75,10 @@ fn bench_checkpoint_count_ablation(c: &mut Criterion) {
                 let trace = generate(&p, 4_000, 9);
                 let mut core = Core::with_scheme(config, Scheme::SttRename, trace);
                 core.run(10_000_000);
-                black_box((core.stats().cycles.get(), core.stats().checkpoint_stalls.get()))
+                black_box((
+                    core.stats().cycles.get(),
+                    core.stats().checkpoint_stalls.get(),
+                ))
             });
         });
     }

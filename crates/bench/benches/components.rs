@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sb_core::{
-    BroadcastQueue, IssueTaintUnit, RenameGroupOp, RenameTaintTracker, Scheme, SpeculationTracker,
-    ShadowKind,
+    BroadcastQueue, IssueTaintUnit, RenameGroupOp, RenameTaintTracker, Scheme, ShadowKind,
+    SpeculationTracker,
 };
 use sb_isa::{ArchReg, PhysReg, Seq};
 use sb_mem::{AccessKind, HierarchyConfig, MemoryHierarchy};
@@ -48,10 +48,11 @@ fn bench_taint_unit(c: &mut Criterion) {
                 }
             }
             b.iter(|| {
-                black_box(unit.compute_yrot(
-                    [Some(PhysReg::new(13)), Some(PhysReg::new(57))],
-                    |root| root > Seq::new(20),
-                ))
+                black_box(
+                    unit.compute_yrot([Some(PhysReg::new(13)), Some(PhysReg::new(57))], |root| {
+                        root > Seq::new(20)
+                    }),
+                )
             });
         });
     }
@@ -84,7 +85,11 @@ fn bench_shadow_tracker(c: &mut Criterion) {
         b.iter(|| {
             let mut t = SpeculationTracker::new();
             for i in 0..256u64 {
-                let kind = if i % 3 == 0 { ShadowKind::Control } else { ShadowKind::Data };
+                let kind = if i % 3 == 0 {
+                    ShadowKind::Control
+                } else {
+                    ShadowKind::Data
+                };
                 t.cast(Seq::new(i + 1), kind);
                 if i >= 8 {
                     t.resolve(Seq::new(i - 7));

@@ -1,0 +1,99 @@
+//! Scheduler microbenchmarks: the event-wheel wakeup/select against the
+//! reference full-ROB-scan scheduler, per configuration and scheme. These
+//! are the criterion-level counterpart of the `sb-experiments bench`
+//! subcommand's `BENCH_core.json` emitter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_core::Scheme;
+use sb_uarch::{Core, CoreConfig, SchedulerKind};
+use sb_workloads::{generate, spec2017_profiles};
+use std::hint::black_box;
+
+const OPS: usize = 4_000;
+
+/// The shared trace every point simulates (built once; the measured
+/// iteration pays only a clone, keeping trace generation out of the
+/// scheduler comparison).
+fn bench_trace() -> sb_isa::Trace {
+    let profiles = spec2017_profiles();
+    let profile = profiles
+        .iter()
+        .find(|p| p.name == "502.gcc")
+        .expect("profile exists");
+    generate(profile, OPS, 1)
+}
+
+fn run_point(
+    config: &CoreConfig,
+    kind: SchedulerKind,
+    scheme: Scheme,
+    trace: &sb_isa::Trace,
+) -> u64 {
+    let mut config = config.clone();
+    config.scheduler = kind;
+    let mut core = Core::with_scheme(config, scheme, trace.clone());
+    core.run(10_000_000);
+    core.stats().cycles.get()
+}
+
+/// The headline comparison: Mega × STT-Issue, both schedulers.
+fn bench_scheduler_mega_stt_issue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_mega_stt_issue");
+    g.sample_size(10);
+    let trace = bench_trace();
+    for kind in [SchedulerKind::EventWheel, SchedulerKind::Reference] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &k| {
+            b.iter(|| black_box(run_point(&CoreConfig::mega(), k, Scheme::SttIssue, &trace)));
+        });
+    }
+    g.finish();
+}
+
+/// ROB-size sensitivity: the reference scheduler degrades with ROB size,
+/// the wheel should not.
+fn bench_scheduler_rob_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_rob_sweep");
+    g.sample_size(10);
+    let trace = bench_trace();
+    for config in CoreConfig::boom_sweep() {
+        for kind in [SchedulerKind::EventWheel, SchedulerKind::Reference] {
+            g.bench_with_input(BenchmarkId::new(config.name, kind), &kind, |b, &k| {
+                b.iter(|| black_box(run_point(&config, k, Scheme::Baseline, &trace)));
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Scheme sensitivity on the event wheel (gating churn exercises the
+/// masked parking lot and unpark paths).
+fn bench_scheduler_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_wheel_schemes");
+    g.sample_size(10);
+    let trace = bench_trace();
+    for scheme in Scheme::all() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &s| {
+                b.iter(|| {
+                    black_box(run_point(
+                        &CoreConfig::mega(),
+                        SchedulerKind::EventWheel,
+                        s,
+                        &trace,
+                    ))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = scheduler;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scheduler_mega_stt_issue, bench_scheduler_rob_sweep,
+              bench_scheduler_schemes
+}
+criterion_main!(scheduler);

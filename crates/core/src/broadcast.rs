@@ -10,7 +10,7 @@
 //! bandwidth (unbounded in abstract fidelity).
 
 use sb_isa::Seq;
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 use std::fmt;
 
 /// A seq-ordered queue of pending broadcasts with per-cycle bandwidth.
@@ -35,7 +35,11 @@ use std::fmt;
 /// ```
 #[derive(Clone, Debug)]
 pub struct BroadcastQueue<T> {
-    pending: BTreeMap<Seq, T>,
+    /// Pending broadcasts, seq-sorted. Pushes are almost always in program
+    /// order (loads enqueue at rename), so this behaves as a plain
+    /// double-ended queue with a binary-search fallback for out-of-order
+    /// pushes — much cheaper than a tree for the per-cycle drain.
+    pending: VecDeque<(Seq, T)>,
     total_sent: u64,
     peak_pending: usize,
 }
@@ -51,7 +55,7 @@ impl<T> BroadcastQueue<T> {
     #[must_use]
     pub fn new() -> Self {
         BroadcastQueue {
-            pending: BTreeMap::new(),
+            pending: VecDeque::new(),
             total_sent: 0,
             peak_pending: 0,
         }
@@ -60,7 +64,16 @@ impl<T> BroadcastQueue<T> {
     /// Enqueues a broadcast for instruction `seq`. Re-pushing the same seq
     /// replaces the payload (idempotent for untaints).
     pub fn push(&mut self, seq: Seq, payload: T) {
-        self.pending.insert(seq, payload);
+        match self.pending.back() {
+            Some(&(last, _)) if last >= seq => {
+                // Out-of-order or duplicate push: keep the deque sorted.
+                match self.pending.binary_search_by(|&(s, _)| s.cmp(&seq)) {
+                    Ok(i) => self.pending[i].1 = payload,
+                    Err(i) => self.pending.insert(i, (seq, payload)),
+                }
+            }
+            _ => self.pending.push_back((seq, payload)),
+        }
         self.peak_pending = self.peak_pending.max(self.pending.len());
     }
 
@@ -76,26 +89,47 @@ impl<T> BroadcastQueue<T> {
         ready: impl Fn(Seq) -> bool,
         bandwidth: Option<usize>,
     ) -> Vec<(Seq, T)> {
-        let limit = bandwidth.unwrap_or(usize::MAX);
         let mut sent = Vec::new();
-        while sent.len() < limit {
-            let Some((&seq, _)) = self.pending.iter().next() else {
+        self.drain_ready_into(ready, bandwidth, &mut sent);
+        sent
+    }
+
+    /// [`BroadcastQueue::drain_ready`] into a caller-provided buffer, for
+    /// per-cycle callers that want to avoid allocating (the simulator
+    /// drains this queue every cycle).
+    pub fn drain_ready_into(
+        &mut self,
+        ready: impl Fn(Seq) -> bool,
+        bandwidth: Option<usize>,
+        sent: &mut Vec<(Seq, T)>,
+    ) {
+        let limit = bandwidth.unwrap_or(usize::MAX);
+        let start = sent.len();
+        while sent.len() - start < limit {
+            let Some(&(seq, _)) = self.pending.front() else {
                 break;
             };
             if !ready(seq) {
                 break;
             }
-            let payload = self.pending.remove(&seq).expect("peeked entry exists");
-            sent.push((seq, payload));
+            let entry = self.pending.pop_front().expect("peeked entry exists");
+            sent.push(entry);
         }
-        self.total_sent += sent.len() as u64;
-        sent
+        self.total_sent += (sent.len() - start) as u64;
     }
 
     /// Drops queued broadcasts for squashed instructions (younger than
     /// `seq`, exclusive).
     pub fn squash_younger(&mut self, seq: Seq) {
-        self.pending.retain(|&s, _| s <= seq);
+        while self.pending.back().is_some_and(|&(s, _)| s > seq) {
+            self.pending.pop_back();
+        }
+    }
+
+    /// Sequence number of the oldest pending broadcast, if any.
+    #[must_use]
+    pub fn peek_seq(&self) -> Option<Seq> {
+        self.pending.front().map(|&(s, _)| s)
     }
 
     /// Pending broadcast count.
@@ -125,7 +159,12 @@ impl<T> BroadcastQueue<T> {
 
 impl<T> fmt::Display for BroadcastQueue<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} pending, {} sent", self.pending.len(), self.total_sent)
+        write!(
+            f,
+            "{} pending, {} sent",
+            self.pending.len(),
+            self.total_sent
+        )
     }
 }
 
@@ -180,7 +219,10 @@ mod tests {
         q.squash_younger(s(5));
         assert_eq!(q.len(), 2, "seq 5 itself survives");
         let sent = q.drain_ready(|_| true, None);
-        assert_eq!(sent.iter().map(|(x, _)| *x).collect::<Vec<_>>(), vec![s(1), s(5)]);
+        assert_eq!(
+            sent.iter().map(|(x, _)| *x).collect::<Vec<_>>(),
+            vec![s(1), s(5)]
+        );
     }
 
     #[test]

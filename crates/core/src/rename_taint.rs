@@ -326,8 +326,15 @@ mod tests {
             ],
             |_| true,
         );
-        let out = t.rename_group(&[op(3, [Some(x(1)), Some(x(2))], Some(x(3)), false)], |_| true);
-        assert_eq!(out[0].yrot, Some(Seq::new(2)), "YRoT is the *youngest* root");
+        let out = t.rename_group(
+            &[op(3, [Some(x(1)), Some(x(2))], Some(x(3)), false)],
+            |_| true,
+        );
+        assert_eq!(
+            out[0].yrot,
+            Some(Seq::new(2)),
+            "YRoT is the *youngest* root"
+        );
     }
 
     #[test]
@@ -391,7 +398,10 @@ mod tests {
     #[test]
     fn comparisons_are_counted() {
         let mut t = RenameTaintTracker::new();
-        t.rename_group(&[op(1, [Some(x(2)), Some(x(3))], Some(x(1)), false)], |_| true);
+        t.rename_group(
+            &[op(1, [Some(x(2)), Some(x(3))], Some(x(1)), false)],
+            |_| true,
+        );
         assert_eq!(t.comparisons(), 2);
     }
 }

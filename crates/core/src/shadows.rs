@@ -120,8 +120,9 @@ impl SpeculationTracker {
     /// Marks the shadow cast by `seq` as resolved. No-op if `seq` casts no
     /// shadow (e.g. it was already retired or squashed).
     pub fn resolve(&mut self, seq: Seq) {
-        if let Some(s) = self.shadows.iter_mut().find(|s| s.seq == seq) {
-            s.resolved = true;
+        // Shadows are cast in program order, so the deque is seq-sorted.
+        if let Ok(i) = self.shadows.binary_search_by(|s| s.seq.cmp(&seq)) {
+            self.shadows[i].resolved = true;
         }
         self.retire_resolved_prefix();
     }

@@ -154,7 +154,10 @@ mod tests {
         let mut u = IssueTaintUnit::new(4);
         u.taint(p(0), s(5));
         u.taint(p(1), s(9));
-        assert_eq!(u.compute_yrot([Some(p(0)), Some(p(1))], |_| true), Some(s(9)));
+        assert_eq!(
+            u.compute_yrot([Some(p(0)), Some(p(1))], |_| true),
+            Some(s(9))
+        );
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! The `bench` subcommand: measures simulator throughput (simulated
+//! micro-ops per wall-clock second) per (config × scheme) point, compares
+//! the event-wheel scheduler against the reference full-scan scheduler,
+//! times the full grid under both, and emits `BENCH_core.json` so the
+//! performance trajectory is tracked from PR 1 on.
+
+use crate::{run_grid, RunSpec};
+use sb_core::Scheme;
+use sb_uarch::{Core, CoreConfig, SchedulerKind};
+use sb_workloads::{generate, spec2017_profiles};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Safety valve matching the experiment engine's.
+const MAX_CYCLES: u64 = 400_000_000;
+
+/// Knobs for the core throughput bench.
+#[derive(Clone, Debug)]
+pub struct BenchOptions {
+    /// Micro-ops per single-point throughput measurement.
+    pub ops: usize,
+    /// Micro-ops per benchmark for the full-grid wall-clock comparison
+    /// (smaller: the reference scheduler runs the grid too).
+    pub grid_ops: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            ops: 20_000,
+            grid_ops: 4_000,
+            seed: 2025,
+        }
+    }
+}
+
+/// One measured throughput point.
+#[derive(Clone, Debug)]
+pub struct ThroughputPoint {
+    /// Configuration name (e.g. `mega`).
+    pub config: String,
+    /// Scheme label (e.g. `STT-Issue`).
+    pub scheme: String,
+    /// Simulated micro-ops per wall-clock second, event-wheel scheduler.
+    pub event_wheel_ops_per_sec: f64,
+    /// Same measurement on the reference scheduler, where taken.
+    pub reference_ops_per_sec: Option<f64>,
+}
+
+impl ThroughputPoint {
+    /// Event-wheel speedup over the reference scheduler, where measured.
+    #[must_use]
+    pub fn speedup(&self) -> Option<f64> {
+        self.reference_ops_per_sec
+            .map(|r| self.event_wheel_ops_per_sec / r)
+    }
+}
+
+/// The full bench outcome.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Per-point throughput, all 4 configs × 4 schemes.
+    pub points: Vec<ThroughputPoint>,
+    /// Full-grid wall-clock seconds, event wheel.
+    pub grid_event_wheel_secs: f64,
+    /// Full-grid wall-clock seconds, reference scheduler.
+    pub grid_reference_secs: f64,
+    /// Options the bench ran with.
+    pub options: BenchOptions,
+}
+
+impl BenchReport {
+    /// Grid wall-clock speedup of the event wheel over the reference.
+    #[must_use]
+    pub fn grid_speedup(&self) -> f64 {
+        self.grid_reference_secs / self.grid_event_wheel_secs
+    }
+
+    /// The headline point: Mega × STT-Issue single-core speedup.
+    #[must_use]
+    pub fn mega_stt_issue_speedup(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.config == "mega" && p.scheme == Scheme::SttIssue.label())
+            .and_then(ThroughputPoint::speedup)
+    }
+
+    /// Serializes the report as `BENCH_core.json` (hand-rolled: the
+    /// workspace is offline and carries no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"ops_per_point\": {},", self.options.ops);
+        let _ = writeln!(
+            s,
+            "  \"grid_ops_per_benchmark\": {},",
+            self.options.grid_ops
+        );
+        let _ = writeln!(s, "  \"seed\": {},", self.options.seed);
+        s.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let reference = p
+                .reference_ops_per_sec
+                .map_or("null".to_string(), |v| format!("{v:.1}"));
+            let speedup = p
+                .speedup()
+                .map_or("null".to_string(), |v| format!("{v:.2}"));
+            let _ = write!(
+                s,
+                "    {{\"config\": \"{}\", \"scheme\": \"{}\", \
+                 \"event_wheel_ops_per_sec\": {:.1}, \
+                 \"reference_ops_per_sec\": {}, \"speedup\": {}}}",
+                p.config, p.scheme, p.event_wheel_ops_per_sec, reference, speedup
+            );
+            s.push_str(if i + 1 < self.points.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n");
+        let _ = writeln!(
+            s,
+            "  \"grid\": {{\"event_wheel_secs\": {:.3}, \"reference_secs\": {:.3}, \
+             \"speedup\": {:.2}}}",
+            self.grid_event_wheel_secs,
+            self.grid_reference_secs,
+            self.grid_speedup()
+        );
+        s.push_str("}\n");
+        s
+    }
+
+    /// Human-readable summary table.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "core throughput ({} uops/point, simulated ops/sec):",
+            self.options.ops
+        );
+        for p in &self.points {
+            let speedup = p
+                .speedup()
+                .map_or(String::new(), |v| format!("  ({v:.2}x vs reference)"));
+            let _ = writeln!(
+                s,
+                "  {:<8} {:<12} {:>12.0}{}",
+                p.config, p.scheme, p.event_wheel_ops_per_sec, speedup
+            );
+        }
+        let _ = writeln!(
+            s,
+            "grid wall-clock ({} uops/bench): event-wheel {:.2}s, reference {:.2}s ({:.2}x)",
+            self.options.grid_ops,
+            self.grid_event_wheel_secs,
+            self.grid_reference_secs,
+            self.grid_speedup()
+        );
+        s
+    }
+}
+
+/// The workload basket each point is measured over: one balanced profile
+/// (gcc), one memory-bound pointer chaser that keeps the ROB full (mcf —
+/// where a full-ROB scan hurts most), and one branchy profile (omnetpp).
+const BASKET: [&str; 3] = ["502.gcc", "505.mcf", "520.omnetpp"];
+
+/// Measures one point: simulated micro-ops per second across the basket
+/// (total ops / total wall time). Each trace runs three times and the
+/// fastest run counts (first touch pays allocation and cache warmup);
+/// trace generation is excluded from the timed region.
+fn measure_point(config: &CoreConfig, scheme: Scheme, opts: &BenchOptions) -> f64 {
+    let profiles = spec2017_profiles();
+    let mut total_secs = 0.0;
+    for name in BASKET {
+        let profile = profiles
+            .iter()
+            .find(|p| p.name == name)
+            .expect("basket profile exists");
+        let trace = generate(profile, opts.ops, opts.seed);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let mut core = Core::with_scheme(config.clone(), scheme, trace.clone());
+            let start = Instant::now();
+            core.run(MAX_CYCLES);
+            let secs = start.elapsed().as_secs_f64();
+            assert!(core.is_done(), "bench point did not finish");
+            best = best.min(secs);
+        }
+        total_secs += best;
+    }
+    (opts.ops * BASKET.len()) as f64 / total_secs
+}
+
+fn with_scheduler(config: &CoreConfig, kind: SchedulerKind) -> CoreConfig {
+    let mut c = config.clone();
+    c.scheduler = kind;
+    c
+}
+
+/// Runs the full core bench: per-point throughput (with reference-scheduler
+/// comparison points) plus the grid wall-clock comparison.
+#[must_use]
+pub fn run_core_bench(opts: &BenchOptions) -> BenchReport {
+    let configs = CoreConfig::boom_sweep();
+    let mut points = Vec::new();
+    for config in &configs {
+        for scheme in Scheme::all() {
+            let wheel = measure_point(
+                &with_scheduler(config, SchedulerKind::EventWheel),
+                scheme,
+                opts,
+            );
+            // Reference comparison on the headline config (all schemes) and
+            // on STT-Issue everywhere; measuring the slow scheduler on all
+            // 16 points would dominate bench time for no extra signal.
+            let reference = (config.name == "mega" || scheme == Scheme::SttIssue).then(|| {
+                measure_point(
+                    &with_scheduler(config, SchedulerKind::Reference),
+                    scheme,
+                    opts,
+                )
+            });
+            points.push(ThroughputPoint {
+                config: config.name.to_string(),
+                scheme: scheme.label().to_string(),
+                event_wheel_ops_per_sec: wheel,
+                reference_ops_per_sec: reference,
+            });
+        }
+    }
+
+    let spec = RunSpec {
+        ops: opts.grid_ops,
+        seed: opts.seed,
+    };
+    let wheel_configs: Vec<CoreConfig> = configs
+        .iter()
+        .map(|c| with_scheduler(c, SchedulerKind::EventWheel))
+        .collect();
+    let reference_configs: Vec<CoreConfig> = configs
+        .iter()
+        .map(|c| with_scheduler(c, SchedulerKind::Reference))
+        .collect();
+    let start = Instant::now();
+    let _ = run_grid(&wheel_configs, &spec);
+    let grid_event_wheel_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let _ = run_grid(&reference_configs, &spec);
+    let grid_reference_secs = start.elapsed().as_secs_f64();
+
+    BenchReport {
+        points,
+        grid_event_wheel_secs,
+        grid_reference_secs,
+        options: opts.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_sane() {
+        let report = BenchReport {
+            points: vec![ThroughputPoint {
+                config: "mega".into(),
+                scheme: "STT-Issue".into(),
+                event_wheel_ops_per_sec: 1_000_000.0,
+                reference_ops_per_sec: Some(200_000.0),
+            }],
+            grid_event_wheel_secs: 1.0,
+            grid_reference_secs: 6.0,
+            options: BenchOptions::default(),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"config\": \"mega\""));
+        assert!(json.contains("\"speedup\": 5.00"));
+        assert!((report.grid_speedup() - 6.0).abs() < 1e-9);
+        assert_eq!(report.mega_stt_issue_speedup(), Some(5.0));
+        assert!(report.summary().contains("grid wall-clock"));
+    }
+
+    #[test]
+    fn missing_reference_serializes_as_null() {
+        let report = BenchReport {
+            points: vec![ThroughputPoint {
+                config: "small".into(),
+                scheme: "Baseline".into(),
+                event_wheel_ops_per_sec: 5.0,
+                reference_ops_per_sec: None,
+            }],
+            grid_event_wheel_secs: 1.0,
+            grid_reference_secs: 1.0,
+            options: BenchOptions::default(),
+        };
+        assert!(report.to_json().contains("\"reference_ops_per_sec\": null"));
+        assert!(report.points[0].speedup().is_none());
+    }
+}

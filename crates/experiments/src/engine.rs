@@ -1,12 +1,16 @@
-//! The run grid: simulate every (config, scheme, benchmark) point, in
-//! parallel across OS threads, with deterministic seeding.
+//! The run grid: simulate every (config, scheme, benchmark) point, with
+//! deterministic seeding, over a bounded worker pool.
+//!
+//! All grid points are flattened into one job list (configs × schemes ×
+//! benchmarks) so the pool stays saturated end-to-end instead of
+//! serializing on (config, scheme) suite boundaries.
 
+use crate::pool;
 use sb_core::Scheme;
 use sb_stats::{BenchResult, SimStats, SuiteSummary};
 use sb_uarch::{Core, CoreConfig};
 use sb_workloads::{generate, spec2017_profiles, WorkloadProfile};
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 /// Safety valve: no benchmark may run longer than this many cycles.
 const MAX_CYCLES: u64 = 400_000_000;
@@ -38,8 +42,27 @@ pub fn run_bench(
     profile: &WorkloadProfile,
     spec: &RunSpec,
 ) -> (BenchResult, SimStats) {
+    let trace = bench_trace(profile, spec);
+    run_bench_on_trace(config, scheme, profile, trace)
+}
+
+/// The deterministic trace `run_bench` simulates for `profile` under
+/// `spec` (exposed so the grid can generate each benchmark's trace once
+/// and share it across every (config, scheme) point).
+#[must_use]
+pub fn bench_trace(profile: &WorkloadProfile, spec: &RunSpec) -> sb_isa::Trace {
     let seed = spec.seed ^ fxhash(profile.name);
-    let trace = generate(profile, spec.ops, seed);
+    generate(profile, spec.ops, seed)
+}
+
+/// [`run_bench`] on a pre-generated trace.
+#[must_use]
+pub fn run_bench_on_trace(
+    config: &CoreConfig,
+    scheme: Scheme,
+    profile: &WorkloadProfile,
+    trace: sb_isa::Trace,
+) -> (BenchResult, SimStats) {
     let mut core = Core::with_scheme(config.clone(), scheme, trace);
     core.run(MAX_CYCLES);
     assert!(
@@ -57,33 +80,19 @@ pub fn run_bench(
 
 fn fxhash(s: &str) -> u64 {
     // Small deterministic string hash for per-benchmark seeds.
-    s.bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3))
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    })
 }
 
-/// Runs the full 22-benchmark suite on one (config, scheme) point, in
-/// parallel across benchmarks.
+/// Runs the full 22-benchmark suite on one (config, scheme) point over the
+/// bounded worker pool (previously: one unbounded OS thread per benchmark).
 #[must_use]
 pub fn run_suite(config: &CoreConfig, scheme: Scheme, spec: &RunSpec) -> Vec<BenchResult> {
     let profiles = spec2017_profiles();
-    let results = Mutex::new(vec![None; profiles.len()]);
-    std::thread::scope(|s| {
-        for (i, p) in profiles.iter().enumerate() {
-            let results = &results;
-            let spec = spec.clone();
-            let config = config.clone();
-            s.spawn(move || {
-                let (row, _) = run_bench(&config, scheme, p, &spec);
-                results.lock().expect("no poisoned runs")[i] = Some(row);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("scope joined")
-        .into_iter()
-        .map(|r| r.expect("every benchmark ran"))
-        .collect()
+    pool::run_indexed(profiles.len(), pool::default_workers(), |i| {
+        run_bench(config, scheme, &profiles[i], spec).0
+    })
 }
 
 /// All suite results for a set of configurations and schemes.
@@ -122,15 +131,31 @@ impl GridResults {
     }
 }
 
-/// Runs the whole grid: every scheme on every given configuration.
+/// Runs the whole grid: every scheme on every given configuration. All
+/// (config, scheme, benchmark) points run as one flat job list over the
+/// bounded pool, so wide machines parallelize across the entire grid and
+/// narrow machines never oversubscribe.
 #[must_use]
 pub fn run_grid(configs: &[CoreConfig], spec: &RunSpec) -> GridResults {
+    let profiles = spec2017_profiles();
+    let points: Vec<(&CoreConfig, Scheme)> = configs
+        .iter()
+        .flat_map(|c| Scheme::all().into_iter().map(move |s| (c, s)))
+        .collect();
+    // Each benchmark's trace is identical across all (config, scheme)
+    // points: generate once, share, and clone per run (a memcpy, far
+    // cheaper than regeneration).
+    let traces: Vec<sb_isa::Trace> = profiles.iter().map(|p| bench_trace(p, spec)).collect();
+    let jobs = points.len() * profiles.len();
+    let rows = pool::run_indexed(jobs, pool::default_workers(), |k| {
+        let (config, scheme) = points[k / profiles.len()];
+        let b = k % profiles.len();
+        run_bench_on_trace(config, scheme, &profiles[b], traces[b].clone()).0
+    });
     let mut grid = GridResults::default();
-    for config in configs {
-        for scheme in Scheme::all() {
-            let rows = run_suite(config, scheme, spec);
-            grid.suites.insert((config.name.to_string(), scheme), rows);
-        }
+    for ((config, scheme), suite) in points.iter().zip(rows.chunks(profiles.len())) {
+        grid.suites
+            .insert((config.name.to_string(), *scheme), suite.to_vec());
     }
     grid
 }

@@ -6,13 +6,17 @@
 //! criterion benches in `sb-bench` reuse the same entry points at reduced
 //! trace lengths.
 
+pub mod bench;
 mod engine;
+pub mod pool;
 mod render;
 mod reports;
 
-pub use engine::{run_bench, run_grid, run_suite, GridResults, RunSpec};
+pub use engine::{
+    bench_trace, run_bench, run_bench_on_trace, run_grid, run_suite, GridResults, RunSpec,
+};
 pub use render::{bar, format_table};
 pub use reports::{
-    fig1_table3_report, fig6_report, fig7_report, fig8_report, fig9_report, fig10_report,
+    fig10_report, fig1_table3_report, fig6_report, fig7_report, fig8_report, fig9_report,
     sec92_report, security_report, table1_report, table4_report, table5_report,
 };

@@ -1,30 +1,41 @@
-//! `sb-experiments`: regenerate every table and figure of the paper.
+//! `sb-experiments`: regenerate every table and figure of the paper, or
+//! benchmark the simulator itself.
 //!
 //! ```text
 //! sb-experiments [--ops N] [--seed S] [--out DIR] [EXPERIMENT...]
+//! sb-experiments bench [--ops N] [--seed S] [--bench-json PATH]
 //! ```
 //!
 //! Experiments: `table1 fig6 fig7 fig8 fig9 fig10 table3 table4 table5
 //! sec92 security` or `all` (default). CSVs land in `--out`
 //! (default `results/`).
+//!
+//! `bench` measures simulated-ops/sec for every (config × scheme) point on
+//! both schedulers plus full-grid wall clock, and writes `BENCH_core.json`
+//! (default path `BENCH_core.json`; override with `--bench-json`).
 
+use sb_experiments::bench::{run_core_bench, BenchOptions};
 use sb_experiments::{
-    fig10_report, fig1_table3_report, fig6_report, fig7_report, fig8_report, fig9_report,
-    run_grid, sec92_report, security_report, table1_report, table4_report, table5_report,
-    GridResults, RunSpec,
+    fig10_report, fig1_table3_report, fig6_report, fig7_report, fig8_report, fig9_report, run_grid,
+    sec92_report, security_report, table1_report, table4_report, table5_report, GridResults,
+    RunSpec,
 };
 use sb_uarch::CoreConfig;
 use std::path::PathBuf;
 
 struct Args {
     spec: RunSpec,
+    ops_overridden: bool,
     out: PathBuf,
+    bench_json: PathBuf,
     experiments: Vec<String>,
 }
 
 fn parse_args() -> Args {
     let mut spec = RunSpec::default();
+    let mut ops_overridden = false;
     let mut out = PathBuf::from("results");
+    let mut bench_json = PathBuf::from("BENCH_core.json");
     let mut experiments = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -34,6 +45,7 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--ops needs a number");
+                ops_overridden = true;
             }
             "--seed" => {
                 spec.seed = it
@@ -44,10 +56,14 @@ fn parse_args() -> Args {
             "--out" => {
                 out = PathBuf::from(it.next().expect("--out needs a path"));
             }
+            "--bench-json" => {
+                bench_json = PathBuf::from(it.next().expect("--bench-json needs a path"));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: sb-experiments [--ops N] [--seed S] [--out DIR] [EXPERIMENT...]\n\
-                     experiments: table1 fig6 fig7 fig8 fig9 fig10 table3 table4 table5 sec92 security all"
+                     experiments: table1 fig6 fig7 fig8 fig9 fig10 table3 table4 table5 sec92 security all\n\
+                     or: sb-experiments bench [--ops N] [--seed S] [--bench-json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -59,19 +75,46 @@ fn parse_args() -> Args {
     }
     Args {
         spec,
+        ops_overridden,
         out,
+        bench_json,
         experiments,
     }
 }
 
+/// The `bench` subcommand: core throughput + grid wall-clock comparison.
+fn run_bench_command(args: &Args) {
+    let mut opts = BenchOptions {
+        seed: args.spec.seed,
+        ..BenchOptions::default()
+    };
+    if args.ops_overridden {
+        opts.ops = args.spec.ops;
+    }
+    eprintln!(
+        "benchmarking core throughput: 4 configs x 4 schemes x {} uops (+ reference comparison)...",
+        opts.ops
+    );
+    let report = run_core_bench(&opts);
+    print!("{}", report.summary());
+    std::fs::write(&args.bench_json, report.to_json()).expect("write bench json");
+    eprintln!("wrote {}", args.bench_json.display());
+}
+
 fn main() {
     let args = parse_args();
+    if args.experiments.iter().any(|e| e == "bench") {
+        run_bench_command(&args);
+        return;
+    }
     let all = args.experiments.iter().any(|e| e == "all");
     let wants = |name: &str| all || args.experiments.iter().any(|e| e == name);
 
-    let needs_grid = ["table1", "fig6", "fig7", "fig8", "fig10", "table3", "fig1", "table5"]
-        .iter()
-        .any(|e| wants(e));
+    let needs_grid = [
+        "table1", "fig6", "fig7", "fig8", "fig10", "table3", "fig1", "table5",
+    ]
+    .iter()
+    .any(|e| wants(e));
     let grid: Option<GridResults> = needs_grid.then(|| {
         eprintln!(
             "running grid: 4 configs x 4 schemes x 22 benchmarks, {} uops each...",

@@ -1,0 +1,93 @@
+//! A bounded worker pool for embarrassingly-parallel simulation jobs.
+//!
+//! The grid runner used to spawn one OS thread per benchmark (22 at a
+//! time) while iterating (config, scheme) points serially — oversubscribed
+//! on small machines, underparallelized on large ones, and pathological
+//! when suites nest inside grids. This pool caps concurrency at the
+//! machine's parallelism and lets callers flatten *all* their work into
+//! one job list.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The pool's default width: one worker per available hardware thread.
+#[must_use]
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f(0..n)` across at most `workers` scoped threads, returning the
+/// results in index order. Jobs are pulled from a shared counter, so
+/// stragglers never leave workers idle while work remains.
+///
+/// # Panics
+///
+/// Propagates the first panic from any job after all workers join.
+pub fn run_indexed<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        // Single worker: skip the thread machinery entirely (also the path
+        // taken by nested pools, keeping nesting from oversubscribing).
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job ran")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let out = run_indexed(100, 8, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let out: Vec<u32> = run_indexed(0, 4, |_| unreachable!("no jobs"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        // More workers than jobs, and a requested width of zero, both work.
+        assert_eq!(run_indexed(3, 64, |i| i), vec![0, 1, 2]);
+        assert_eq!(run_indexed(3, 0, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

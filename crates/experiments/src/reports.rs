@@ -65,7 +65,10 @@ pub fn table1_report(grid: &GridResults) -> Report {
         ));
     }
     Report {
-        text: format!("Table 1: BOOM configurations, baseline IPC\n{}", format_table(&rows)),
+        text: format!(
+            "Table 1: BOOM configurations, baseline IPC\n{}",
+            format_table(&rows)
+        ),
         csv: vec![("table1.csv".into(), csv)],
     }
 }
@@ -93,7 +96,10 @@ pub fn fig6_report(grid: &GridResults) -> Report {
         row.extend(vals.iter().map(|v| format!("{v:.3}")));
         row.push(bar(vals[2], 20));
         rows.push(row);
-        csv.push_str(&format!("{name},{:.4},{:.4},{:.4}\n", vals[0], vals[1], vals[2]));
+        csv.push_str(&format!(
+            "{name},{:.4},{:.4},{:.4}\n",
+            vals[0], vals[1], vals[2]
+        ));
     }
     let means: Vec<f64> = summaries.iter().map(|s| s.mean_normalized_ipc()).collect();
     let mut mean_row = vec!["arithmetic-mean".to_string()];
@@ -146,7 +152,10 @@ pub fn fig7_report(grid: &GridResults) -> Report {
         }
         let mut mean = vec!["arithmetic-mean".to_string()];
         for c in BOOM_NAMES {
-            mean.push(format!("{:.3}", grid.summary(c, scheme).mean_normalized_ipc()));
+            mean.push(format!(
+                "{:.3}",
+                grid.summary(c, scheme).mean_normalized_ipc()
+            ));
         }
         rows.push(mean);
         text.push_str(&format!("\n({})\n{}", scheme, format_table(&rows)));
@@ -157,7 +166,11 @@ pub fn fig7_report(grid: &GridResults) -> Report {
     }
 }
 
-fn scheme_trend(grid: &GridResults, value: impl Fn(&str, Scheme) -> f64, scheme: Scheme) -> Vec<TrendPoint> {
+fn scheme_trend(
+    grid: &GridResults,
+    value: impl Fn(&str, Scheme) -> f64,
+    scheme: Scheme,
+) -> Vec<TrendPoint> {
     BOOM_NAMES
         .iter()
         .map(|c| TrendPoint::new(grid.baseline_ipc(c), value(c, scheme)))
@@ -180,7 +193,11 @@ pub fn fig8_report(grid: &GridResults) -> Report {
     ]];
     let mut csv = String::from("scheme,config,abs_ipc,rel_ipc\n");
     for scheme in Scheme::secure() {
-        let pts = scheme_trend(grid, |c, s| grid.summary(c, s).mean_normalized_ipc(), scheme);
+        let pts = scheme_trend(
+            grid,
+            |c, s| grid.summary(c, s).mean_normalized_ipc(),
+            scheme,
+        );
         let fit = LinearFit::fit(&pts);
         let mut row = vec![scheme.label().to_string()];
         for (c, p) in BOOM_NAMES.iter().zip(&pts) {
@@ -321,7 +338,11 @@ pub fn fig1_table3_report(grid: &GridResults) -> Report {
 pub fn table4_report(spec: &RunSpec) -> Report {
     let mega = CoreConfig::mega();
     let base_area = area_estimate(&mega, Scheme::Baseline);
-    let paper = [(1.060, 1.094, 1.008), (1.059, 1.039, 1.026), (0.980, 1.027, 0.936)];
+    let paper = [
+        (1.060, 1.094, 1.008),
+        (1.059, 1.039, 1.026),
+        (0.980, 1.027, 0.936),
+    ];
     let mut rows = vec![vec![
         "Scheme".to_string(),
         "LUTs".into(),
@@ -402,7 +423,12 @@ pub fn table5_report(grid: &GridResults, spec: &RunSpec) -> Report {
     }
     // gem5-like rows: abstract fidelity, the original papers' configs.
     let gem5_points = [
-        (CoreConfig::gem5_stt(), Scheme::SttRename, 17.2, "gem5 (STT cfg)"),
+        (
+            CoreConfig::gem5_stt(),
+            Scheme::SttRename,
+            17.2,
+            "gem5 (STT cfg)",
+        ),
         (CoreConfig::gem5_nda(), Scheme::Nda, 13.0, "gem5 (NDA cfg)"),
     ];
     for (config, scheme, paper_loss, label) in gem5_points {
@@ -414,9 +440,17 @@ pub fn table5_report(grid: &GridResults, spec: &RunSpec) -> Report {
         rows.push(vec![
             label.to_string(),
             format!("{ipc:.2}"),
-            if scheme == Scheme::SttRename { format!("{loss:.1}") } else { "-".into() },
+            if scheme == Scheme::SttRename {
+                format!("{loss:.1}")
+            } else {
+                "-".into()
+            },
             "-".into(),
-            if scheme == Scheme::Nda { format!("{loss:.1}") } else { "-".into() },
+            if scheme == Scheme::Nda {
+                format!("{loss:.1}")
+            } else {
+                "-".into()
+            },
             format!("{paper_loss}"),
         ]);
         csv.push_str(&format!("{},{ipc:.4},{loss:.2},,\n", config.name));
@@ -450,7 +484,12 @@ pub fn sec92_report(spec: &RunSpec) -> Report {
     let mut csv = String::from("scheme,ipc,fwd_errors\n");
     let mut nda_errors = 1u64;
     let mut entries = Vec::new();
-    for scheme in [Scheme::Baseline, Scheme::Nda, Scheme::SttIssue, Scheme::SttRename] {
+    for scheme in [
+        Scheme::Baseline,
+        Scheme::Nda,
+        Scheme::SttIssue,
+        Scheme::SttRename,
+    ] {
         let (row, stats) = run_bench(&mega, scheme, &exchange2, spec);
         if scheme == Scheme::Nda {
             nda_errors = stats.forwarding_errors.get().max(1);
@@ -479,7 +518,10 @@ pub fn sec92_report(spec: &RunSpec) -> Report {
         split_errs.to_string(),
         format!("{:.0}x", split_errs as f64 / nda_errors as f64),
     ]);
-    csv.push_str(&format!("stt-rename-split,{:.4},{split_errs}\n", split.stats().ipc()));
+    csv.push_str(&format!(
+        "stt-rename-split,{:.4},{split_errs}\n",
+        split.stats().ipc()
+    ));
     let text = format!(
         "Section 9.2: exchange2 store-to-load forwarding errors (paper: \
          STT-Rename has ~1350x NDA's count; NDA IPC 1.77 vs STT-Rename 1.44)\n{}",
@@ -503,7 +545,10 @@ pub fn security_report() -> Report {
     let mut csv = String::from("kernel,scheme,leaked,recovered\n");
     let observer = SideChannelObserver::new(PROBE_BASE, PROBE_STRIDE, 16);
     for (kname, build) in [
-        ("spectre-v1", spectre_v1_kernel as fn(usize) -> sb_workloads::AttackKernel),
+        (
+            "spectre-v1",
+            spectre_v1_kernel as fn(usize) -> sb_workloads::AttackKernel,
+        ),
         ("ssb", ssb_kernel),
     ] {
         for scheme in Scheme::all() {
@@ -533,7 +578,11 @@ pub fn security_report() -> Report {
             rows.push(vec![
                 kname.to_string(),
                 scheme.label().to_string(),
-                if leaked { "LEAKED".into() } else { "blocked".into() },
+                if leaked {
+                    "LEAKED".into()
+                } else {
+                    "blocked".into()
+                },
                 format!("{recovered:?}"),
             ]);
             csv.push_str(&format!("{kname},{scheme},{leaked},{recovered:?}\n"));
@@ -557,8 +606,16 @@ mod tests {
 
     fn tiny_grid() -> GridResults {
         run_grid(
-            &[CoreConfig::small(), CoreConfig::medium(), CoreConfig::large(), CoreConfig::mega()],
-            &RunSpec { ops: 2_000, seed: 3 },
+            &[
+                CoreConfig::small(),
+                CoreConfig::medium(),
+                CoreConfig::large(),
+                CoreConfig::mega(),
+            ],
+            &RunSpec {
+                ops: 2_000,
+                seed: 3,
+            },
         )
     }
 
@@ -566,7 +623,10 @@ mod tests {
     fn fig9_report_is_grid_free() {
         let r = fig9_report();
         assert!(r.text.contains("mega"));
-        assert!(r.csv[0].1.lines().count() > 16, "4 configs x 4 schemes + header");
+        assert!(
+            r.csv[0].1.lines().count() > 16,
+            "4 configs x 4 schemes + header"
+        );
     }
 
     #[test]
@@ -581,7 +641,10 @@ mod tests {
     #[ignore = "several seconds; run with --ignored or the binary"]
     fn full_reports_render() {
         let grid = tiny_grid();
-        let spec = RunSpec { ops: 2_000, seed: 3 };
+        let spec = RunSpec {
+            ops: 2_000,
+            seed: 3,
+        };
         for r in [
             table1_report(&grid),
             fig6_report(&grid),

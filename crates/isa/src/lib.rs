@@ -27,10 +27,12 @@
 //! assert!(trace.op(0).is_load());
 //! ```
 
+mod hash;
 mod ids;
 mod op;
 mod trace;
 
+pub use hash::MixHasher;
 pub use ids::{ArchReg, PhysReg, Seq, NUM_ARCH_REGS};
 pub use op::{CtrlFlow, ExecClass, MemAccess, MicroOp, OpClass};
 pub use trace::{Trace, TraceBuilder, WrongPathBlock};

@@ -368,9 +368,18 @@ mod tests {
 
     #[test]
     fn mem_overlap_detects_aliasing() {
-        let a = MemAccess { addr: 100, bytes: 8 };
-        let b = MemAccess { addr: 104, bytes: 8 };
-        let c = MemAccess { addr: 108, bytes: 4 };
+        let a = MemAccess {
+            addr: 100,
+            bytes: 8,
+        };
+        let b = MemAccess {
+            addr: 104,
+            bytes: 8,
+        };
+        let c = MemAccess {
+            addr: 108,
+            bytes: 4,
+        };
         assert!(a.overlaps(&b));
         assert!(b.overlaps(&a));
         assert!(!a.overlaps(&c));
@@ -379,7 +388,11 @@ mod tests {
 
     #[test]
     fn zero_register_sources_are_skipped() {
-        let op = MicroOp::alu(ArchReg::int(1), Some(ArchReg::int(0)), Some(ArchReg::int(2)));
+        let op = MicroOp::alu(
+            ArchReg::int(1),
+            Some(ArchReg::int(0)),
+            Some(ArchReg::int(2)),
+        );
         let srcs: Vec<_> = op.sources().collect();
         assert_eq!(srcs, vec![ArchReg::int(2)]);
     }
@@ -393,7 +406,11 @@ mod tests {
     #[test]
     fn store_operand_convention() {
         let st = MicroOp::store(ArchReg::int(3), ArchReg::int(4), 0x80, 8);
-        assert_eq!(st.src1, Some(ArchReg::int(3)), "src1 is the address operand");
+        assert_eq!(
+            st.src1,
+            Some(ArchReg::int(3)),
+            "src1 is the address operand"
+        );
         assert_eq!(st.src2, Some(ArchReg::int(4)), "src2 is the data operand");
         assert!(st.dest().is_none());
     }

@@ -162,7 +162,13 @@ impl TraceBuilder {
     }
 
     /// Appends a load; returns its trace index.
-    pub fn load(&mut self, dst: crate::ArchReg, addr_src: crate::ArchReg, addr: u64, bytes: u8) -> usize {
+    pub fn load(
+        &mut self,
+        dst: crate::ArchReg,
+        addr_src: crate::ArchReg,
+        addr: u64,
+        bytes: u8,
+    ) -> usize {
         self.push(MicroOp::load(dst, addr_src, addr, bytes))
     }
 

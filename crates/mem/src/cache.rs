@@ -58,14 +58,13 @@ impl fmt::Display for CacheConfig {
     }
 }
 
-#[derive(Clone, Debug)]
-struct Line {
-    tag: u64,
-    /// Monotonic timestamp of last touch, for LRU.
-    last_use: u64,
-}
-
 /// A set-associative, true-LRU cache model (tags only; no data payload).
+///
+/// Storage is two flat arrays (`sets * ways` tags and LRU timestamps) plus
+/// a per-set occupancy count: the hit probe touches one contiguous run of
+/// tags, which matters because this sits under every simulated memory
+/// access. LRU timestamps are unique (one monotone tick per access), so
+/// victim selection is identical to any ordering of the ways.
 ///
 /// # Example
 ///
@@ -79,7 +78,12 @@ struct Line {
 #[derive(Clone, Debug)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// Line tags, `ways` consecutive entries per set (valid ones first).
+    tags: Vec<u64>,
+    /// Monotonic last-touch timestamps, parallel to `tags`.
+    last_use: Vec<u64>,
+    /// Valid lines per set (lines fill from the front of the set's run).
+    filled: Vec<u32>,
     tick: u64,
 }
 
@@ -99,7 +103,9 @@ impl Cache {
         assert!(config.ways > 0, "associativity must be positive");
         Cache {
             config,
-            sets: vec![Vec::new(); config.sets],
+            tags: vec![0; config.sets * config.ways],
+            last_use: vec![0; config.sets * config.ways],
+            filled: vec![0; config.sets],
             tick: 0,
         }
     }
@@ -116,30 +122,41 @@ impl Cache {
         (idx, line)
     }
 
+    /// Range of `tags` / `last_use` slots backing set `idx`, and the number
+    /// of valid lines in it.
+    fn set_run(&self, idx: usize) -> (usize, usize) {
+        let start = idx * self.config.ways;
+        (start, self.filled[idx] as usize)
+    }
+
     /// Accesses `addr`: returns `true` on hit. On a miss the line is filled
     /// (evicting LRU if needed).
     pub fn access(&mut self, addr: u64) -> bool {
         self.tick += 1;
         let (idx, tag) = self.index_and_tag(addr);
         let tick = self.tick;
-        let set = &mut self.sets[idx];
-        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
-            line.last_use = tick;
+        let (start, len) = self.set_run(idx);
+        let ways = &self.tags[start..start + len];
+        if let Some(w) = ways.iter().position(|&t| t == tag) {
+            self.last_use[start + w] = tick;
             return true;
         }
-        if set.len() == self.config.ways {
-            let victim = set
+        let slot = if len == self.config.ways {
+            // Evict LRU: timestamps are unique, so this is the one line
+            // least recently touched regardless of way order.
+            let lru = self.last_use[start..start + len]
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, l)| l.last_use)
-                .map(|(i, _)| i)
+                .min_by_key(|&(_, &t)| t)
+                .map(|(w, _)| w)
                 .expect("nonempty set");
-            set.swap_remove(victim);
-        }
-        set.push(Line {
-            tag,
-            last_use: tick,
-        });
+            start + lru
+        } else {
+            self.filled[idx] += 1;
+            start + len
+        };
+        self.tags[slot] = tag;
+        self.last_use[slot] = tick;
         false
     }
 
@@ -148,33 +165,36 @@ impl Cache {
     #[must_use]
     pub fn probe(&self, addr: u64) -> bool {
         let (idx, tag) = self.index_and_tag(addr);
-        self.sets[idx].iter().any(|l| l.tag == tag)
+        let (start, len) = self.set_run(idx);
+        self.tags[start..start + len].contains(&tag)
     }
 
     /// Evicts `addr`'s line if present — the attacker's flush primitive.
     /// Returns whether a line was evicted.
     pub fn flush_line(&mut self, addr: u64) -> bool {
         let (idx, tag) = self.index_and_tag(addr);
-        let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|l| l.tag == tag) {
-            set.swap_remove(pos);
-            true
-        } else {
-            false
-        }
+        let (start, len) = self.set_run(idx);
+        let Some(w) = self.tags[start..start + len].iter().position(|&t| t == tag) else {
+            return false;
+        };
+        // Keep valid lines contiguous: move the last valid line into the
+        // vacated slot (way order carries no meaning; LRU state rides the
+        // timestamps).
+        self.tags[start + w] = self.tags[start + len - 1];
+        self.last_use[start + w] = self.last_use[start + len - 1];
+        self.filled[idx] -= 1;
+        true
     }
 
     /// Empties the cache.
     pub fn flush_all(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.filled.fill(0);
     }
 
     /// Number of resident lines.
     #[must_use]
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.filled.iter().map(|&n| n as usize).sum()
     }
 }
 

@@ -100,6 +100,9 @@ pub struct MemoryHierarchy {
     l2: Cache,
     l1_prefetcher: Option<StridePrefetcher>,
     l2_prefetcher: Option<StridePrefetcher>,
+    /// Recycled buffer for prefetch targets (the access path runs once per
+    /// simulated memory operation).
+    prefetch_scratch: Vec<u64>,
     demand_accesses: u64,
     prefetches: u64,
 }
@@ -116,6 +119,7 @@ impl MemoryHierarchy {
             l2_prefetcher: (config.l2_prefetch_degree > 0)
                 .then(|| StridePrefetcher::new(config.l2_prefetch_degree)),
             config,
+            prefetch_scratch: Vec::new(),
             demand_accesses: 0,
             prefetches: 0,
         }
@@ -137,7 +141,10 @@ impl MemoryHierarchy {
         } else {
             let l2_hit = self.l2.access(addr);
             if l2_hit {
-                (self.config.l1d.latency + self.config.l2.latency, ServedBy::L2)
+                (
+                    self.config.l1d.latency + self.config.l2.latency,
+                    ServedBy::L2,
+                )
             } else {
                 (
                     self.config.l1d.latency + self.config.l2.latency + self.config.dram_latency,
@@ -147,19 +154,25 @@ impl MemoryHierarchy {
         };
 
         let mut prefetches_issued = 0;
+        let mut targets = std::mem::take(&mut self.prefetch_scratch);
         if let Some(pf) = &mut self.l1_prefetcher {
-            for target in pf.observe(addr) {
+            targets.clear();
+            pf.observe_into(addr, &mut targets);
+            for &target in &targets {
                 self.l1d.access(target);
                 self.l2.access(target);
                 prefetches_issued += 1;
             }
         }
         if let Some(pf) = &mut self.l2_prefetcher {
-            for target in pf.observe(addr) {
+            targets.clear();
+            pf.observe_into(addr, &mut targets);
+            for &target in &targets {
                 self.l2.access(target);
                 prefetches_issued += 1;
             }
         }
+        self.prefetch_scratch = targets;
         self.prefetches += u64::from(prefetches_issued);
 
         AccessOutcome {

@@ -8,7 +8,9 @@
 //! secure schemes — their loads hit in cache regardless of delayed
 //! broadcasts.
 
+use sb_isa::MixHasher;
 use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
 
 #[derive(Clone, Copy, Debug)]
 struct StreamEntry {
@@ -20,7 +22,7 @@ struct StreamEntry {
 /// A per-region stride detector with configurable prefetch degree.
 #[derive(Clone, Debug)]
 pub struct StridePrefetcher {
-    table: HashMap<u64, StreamEntry>,
+    table: HashMap<u64, StreamEntry, BuildHasherDefault<MixHasher>>,
     degree: usize,
     max_entries: usize,
 }
@@ -35,7 +37,7 @@ impl StridePrefetcher {
     pub fn new(degree: usize) -> Self {
         assert!(degree > 0, "prefetch degree must be positive");
         StridePrefetcher {
-            table: HashMap::new(),
+            table: HashMap::default(),
             degree,
             max_entries: 64,
         }
@@ -44,6 +46,14 @@ impl StridePrefetcher {
     /// Observes a demand access and returns the addresses to prefetch (empty
     /// until the stream is confident).
     pub fn observe(&mut self, addr: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.observe_into(addr, &mut out);
+        out
+    }
+
+    /// [`StridePrefetcher::observe`] into a caller-provided buffer, for the
+    /// per-access hot path (targets are appended).
+    pub fn observe_into(&mut self, addr: u64, out: &mut Vec<u64>) {
         let region = addr >> 12;
         if self.table.len() >= self.max_entries && !self.table.contains_key(&region) {
             // Simple capacity bound: drop the whole table rather than model
@@ -56,7 +66,6 @@ impl StridePrefetcher {
             confidence: 0,
         });
         let stride = addr as i64 - entry.last_addr as i64;
-        let mut out = Vec::new();
         if stride != 0 {
             if stride == entry.stride {
                 entry.confidence = entry.confidence.saturating_add(1);
@@ -74,7 +83,6 @@ impl StridePrefetcher {
             }
         }
         entry.last_addr = addr;
-        out
     }
 
     /// Forgets all trained streams.
@@ -91,7 +99,10 @@ mod tests {
     fn trains_on_constant_stride() {
         let mut p = StridePrefetcher::new(2);
         assert!(p.observe(0x1000).is_empty(), "first access");
-        assert!(p.observe(0x1040).is_empty(), "stride learned, not confident");
+        assert!(
+            p.observe(0x1040).is_empty(),
+            "stride learned, not confident"
+        );
         let pf = p.observe(0x1080);
         assert_eq!(pf, vec![0x10C0, 0x1100]);
     }
@@ -114,7 +125,10 @@ mod tests {
         assert!(p.observe(0x1038).is_empty());
         let _ = p.observe(0x1a10); // irregular follow-up in the same region
         let pf = p.observe(0x1990);
-        assert!(pf.is_empty(), "no repeated stride -> no prefetch, got {pf:?}");
+        assert!(
+            pf.is_empty(),
+            "no repeated stride -> no prefetch, got {pf:?}"
+        );
     }
 
     #[test]

@@ -114,7 +114,11 @@ impl SuiteSummary {
             .iter()
             .zip(&self.scheme)
             .map(|(b, s)| {
-                let norm = if b.ipc() == 0.0 { 0.0 } else { s.ipc() / b.ipc() };
+                let norm = if b.ipc() == 0.0 {
+                    0.0
+                } else {
+                    s.ipc() / b.ipc()
+                };
                 (b.name.clone(), norm)
             })
             .collect()

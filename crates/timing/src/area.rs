@@ -157,7 +157,11 @@ mod tests {
         for c in CoreConfig::boom_sweep() {
             let (l, _) =
                 area_estimate(&c, Scheme::Nda).relative_to(&area_estimate(&c, Scheme::Baseline));
-            assert!(l < 1.0, "{}: NDA must shed the hit-spec logic ({l:.3})", c.name);
+            assert!(
+                l < 1.0,
+                "{}: NDA must shed the hit-spec logic ({l:.3})",
+                c.name
+            );
         }
     }
 
@@ -165,8 +169,7 @@ mod tests {
     fn overheads_are_positive_for_stt() {
         for c in CoreConfig::boom_sweep() {
             for s in [Scheme::SttRename, Scheme::SttIssue] {
-                let (l, f) =
-                    area_estimate(&c, s).relative_to(&area_estimate(&c, Scheme::Baseline));
+                let (l, f) = area_estimate(&c, s).relative_to(&area_estimate(&c, Scheme::Baseline));
                 assert!(l > 1.0 && f > 1.0, "{} {s}: ({l:.3},{f:.3})", c.name);
             }
         }

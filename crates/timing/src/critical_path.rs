@@ -129,7 +129,10 @@ mod tests {
     fn stt_rename_hits_80_percent_at_mega() {
         let g = CoreConfig::mega();
         let rel = relative_timing(&g, Scheme::SttRename);
-        assert!((rel - 0.80).abs() < 0.03, "§8.3: Mega STT-Rename ≈ 80%, got {rel:.3}");
+        assert!(
+            (rel - 0.80).abs() < 0.03,
+            "§8.3: Mega STT-Rename ≈ 80%, got {rel:.3}"
+        );
     }
 
     #[test]
@@ -143,22 +146,27 @@ mod tests {
     fn stt_issue_flat_cost_but_better_scaling() {
         let [s, _, _, g] = cfgs();
         // Worse than STT-Rename on the smallest core (flat cost)...
-        assert!(
-            relative_timing(&s, Scheme::SttIssue) <= relative_timing(&s, Scheme::SttRename),
-        );
+        assert!(relative_timing(&s, Scheme::SttIssue) <= relative_timing(&s, Scheme::SttRename),);
         // ...but clearly better on the widest (no chain).
         assert!(
             relative_timing(&g, Scheme::SttIssue) > relative_timing(&g, Scheme::SttRename) + 0.04,
         );
         let rel = relative_timing(&g, Scheme::SttIssue);
-        assert!((rel - 0.87).abs() < 0.03, "Mega STT-Issue ≈ 0.86-0.87, got {rel:.3}");
+        assert!(
+            (rel - 0.87).abs() < 0.03,
+            "Mega STT-Issue ≈ 0.86-0.87, got {rel:.3}"
+        );
     }
 
     #[test]
     fn nda_matches_or_beats_baseline_everywhere() {
         for c in cfgs() {
             let rel = relative_timing(&c, Scheme::Nda);
-            assert!(rel >= 1.0, "{}: NDA {rel:.3} must not lose frequency", c.name);
+            assert!(
+                rel >= 1.0,
+                "{}: NDA {rel:.3} must not lose frequency",
+                c.name
+            );
             assert!(rel < 1.06, "{}: NDA gain should be modest", c.name);
         }
     }

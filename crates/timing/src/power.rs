@@ -95,7 +95,11 @@ pub fn power_estimate(config: &CoreConfig, scheme: Scheme, activity: &ActivityPr
 #[must_use]
 pub fn relative_power(config: &CoreConfig, scheme: Scheme, activity: &ActivityProfile) -> f64 {
     power_estimate(config, scheme, activity)
-        / power_estimate(config, Scheme::Baseline, &ActivityProfile::typical(Scheme::Baseline))
+        / power_estimate(
+            config,
+            Scheme::Baseline,
+            &ActivityProfile::typical(Scheme::Baseline),
+        )
 }
 
 #[cfg(test)]
@@ -103,7 +107,11 @@ mod tests {
     use super::*;
 
     fn mega_rel(scheme: Scheme) -> f64 {
-        relative_power(&CoreConfig::mega(), scheme, &ActivityProfile::typical(scheme))
+        relative_power(
+            &CoreConfig::mega(),
+            scheme,
+            &ActivityProfile::typical(scheme),
+        )
     }
 
     #[test]

@@ -31,6 +31,30 @@ impl fmt::Display for Fidelity {
     }
 }
 
+/// Which wakeup/select implementation the simulator runs.
+///
+/// Both produce cycle-for-cycle identical [`sb_stats::SimStats`]; the
+/// reference path exists as the oracle for the event wheel's golden-stats
+/// regression tests and as the baseline for its throughput benches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum SchedulerKind {
+    /// Event-driven scheduler: ready queue + waiter lists + calendar
+    /// queue; per-cycle work proportional to events, not ROB occupancy.
+    #[default]
+    EventWheel,
+    /// The straightforward scheduler: full-ROB scan every cycle.
+    Reference,
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SchedulerKind::EventWheel => "event-wheel",
+            SchedulerKind::Reference => "reference",
+        })
+    }
+}
+
 /// A core design point.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CoreConfig {
@@ -64,6 +88,9 @@ pub struct CoreConfig {
     pub hierarchy: HierarchyConfig,
     /// Modelling fidelity.
     pub fidelity: Fidelity,
+    /// Wakeup/select implementation (performance of the *simulator*, not
+    /// the simulated core; statistics are identical between kinds).
+    pub scheduler: SchedulerKind,
 }
 
 impl CoreConfig {
@@ -84,6 +111,7 @@ impl CoreConfig {
             dispatch_latency: 3,
             hierarchy: HierarchyConfig::rtl_default(),
             fidelity: Fidelity::Rtl,
+            scheduler: SchedulerKind::EventWheel,
         }
     }
 
@@ -104,6 +132,7 @@ impl CoreConfig {
             dispatch_latency: 3,
             hierarchy: HierarchyConfig::rtl_default(),
             fidelity: Fidelity::Rtl,
+            scheduler: SchedulerKind::EventWheel,
         }
     }
 
@@ -124,6 +153,7 @@ impl CoreConfig {
             dispatch_latency: 3,
             hierarchy: HierarchyConfig::rtl_default(),
             fidelity: Fidelity::Rtl,
+            scheduler: SchedulerKind::EventWheel,
         }
     }
 
@@ -145,6 +175,7 @@ impl CoreConfig {
             dispatch_latency: 3,
             hierarchy: HierarchyConfig::rtl_default(),
             fidelity: Fidelity::Rtl,
+            scheduler: SchedulerKind::EventWheel,
         }
     }
 
@@ -179,6 +210,7 @@ impl CoreConfig {
             dispatch_latency: 1,
             hierarchy: HierarchyConfig::abstract_default(),
             fidelity: Fidelity::Abstract,
+            scheduler: SchedulerKind::EventWheel,
         }
     }
 
@@ -200,6 +232,7 @@ impl CoreConfig {
             dispatch_latency: 1,
             hierarchy: HierarchyConfig::abstract_default(),
             fidelity: Fidelity::Abstract,
+            scheduler: SchedulerKind::EventWheel,
         }
     }
 

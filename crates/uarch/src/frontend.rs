@@ -160,6 +160,16 @@ impl Frontend {
     pub fn is_stalled(&self) -> bool {
         matches!(self.mode, Mode::Stalled | Mode::WrongPath { .. })
     }
+
+    /// The cycle an in-progress redirect ends, if one is in progress (the
+    /// event-driven scheduler uses this to bound idle-cycle skips).
+    #[must_use]
+    pub fn redirect_resume_cycle(&self) -> Option<u64> {
+        match self.mode {
+            Mode::RedirectUntil(at) => Some(at),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

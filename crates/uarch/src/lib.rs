@@ -35,9 +35,10 @@ mod frontend;
 mod inst;
 mod memdep;
 mod rename;
+mod sched;
 
 pub use crate::core::Core;
-pub use config::{CoreConfig, Fidelity};
+pub use config::{CoreConfig, Fidelity, SchedulerKind};
 pub use frontend::{Fetched, Frontend};
 pub use inst::{Inst, Phase};
 pub use memdep::MemDepPredictor;

@@ -12,7 +12,9 @@
 //! operand can livelock: speculate → flush → replay → speculate against
 //! the *same* still-unresolved store. With it, the second attempt waits.
 
+use sb_isa::MixHasher;
 use std::collections::HashSet;
+use std::hash::BuildHasherDefault;
 
 /// Learns which loads must not bypass unresolved store addresses.
 ///
@@ -21,7 +23,7 @@ use std::collections::HashSet;
 /// re-train on their next violation.
 #[derive(Clone, Debug)]
 pub struct MemDepPredictor {
-    violators: HashSet<usize>,
+    violators: HashSet<usize, BuildHasherDefault<MixHasher>>,
     capacity: usize,
     trained: u64,
 }
@@ -36,7 +38,7 @@ impl MemDepPredictor {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "predictor needs capacity");
         MemDepPredictor {
-            violators: HashSet::new(),
+            violators: HashSet::default(),
             capacity,
             trained: 0,
         }
@@ -46,7 +48,9 @@ impl MemDepPredictor {
     /// store with an unknown address.
     #[must_use]
     pub fn may_bypass(&self, trace_idx: usize) -> bool {
-        !self.violators.contains(&trace_idx)
+        // Fast path: most runs never record a violation, and this check
+        // sits on the load-issue hot path.
+        self.violators.is_empty() || !self.violators.contains(&trace_idx)
     }
 
     /// Records a forwarding violation by the load at `trace_idx`.

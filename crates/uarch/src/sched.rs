@@ -1,0 +1,451 @@
+//! Event-wheel scheduling substrate for the out-of-order core.
+//!
+//! The reference scheduler re-walks the whole ROB every cycle; everything
+//! in this module exists to make per-cycle work proportional to *events*
+//! instead:
+//!
+//! * [`Calendar`] — a bucketed calendar queue (ring of reusable `Vec`
+//!   buckets keyed by `cycle & mask`, with a `BTreeMap` overflow for
+//!   beyond-horizon entries) replacing the `BTreeMap<u64, Vec<_>>` event
+//!   queue. Draining a cycle is O(items due); pushing is O(1).
+//! * [`WastedRing`] — the same idea for the replay-wasted issue slots.
+//! * [`Part`] — the schedulable unit: whole micro-ops, or the address /
+//!   data halves of a unified store (which issue independently, §9.2).
+//! * [`SchedState`] — the wheel's bookkeeping: the age-ordered ready set,
+//!   per-physical-register waiter lists, the taint-masked parking lot
+//!   (keyed by youngest root of taint), per-store waiter lists for loads
+//!   blocked in the LSU, LQ/SQ arrival indexes, and per-preg dependent
+//!   counts.
+//!
+//! Instructions are identified by their *arrival index*: a monotone count
+//! of ROB pushes. Because the ROB only ever pushes at the back and pops at
+//! either end, the live window of arrival indexes is contiguous, so
+//! `arrival - arrival_base` recovers a ROB position in O(1). Squashes can
+//! recycle arrival indexes for different instructions, so every reference
+//! carries the (never reused) sequence number as a validity check.
+
+use sb_isa::Seq;
+use std::collections::BTreeMap;
+
+/// Number of calendar buckets. Must exceed the longest schedulable latency
+/// (worst demand access: L1 + L2 + DRAM ≈ 100 cycles on the RTL presets);
+/// anything further out lands in the overflow map.
+pub(crate) const HORIZON: usize = 256;
+
+/// The schedulable unit of one instruction.
+///
+/// Ordering matters: the reference scheduler visits a store entry once per
+/// cycle, attempting the address part before the data part, so the ready
+/// set orders `StoreAddr` before `StoreData` at equal age.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) enum Part {
+    /// A load, branch, or single-issue compute op.
+    Whole,
+    /// The address-generation half of a unified store micro-op.
+    StoreAddr,
+    /// The data half of a unified store micro-op.
+    StoreData,
+}
+
+/// A validated reference to one schedulable part of an in-flight
+/// instruction: `(arrival index, part, sequence number)`.
+pub(crate) type PartRef = (u64, Part, u64);
+
+/// A bucketed calendar queue: O(1) push, O(due) drain per cycle. A
+/// word-level occupancy bitmap mirrors the buckets so "when is the next
+/// scheduled cycle?" is a four-word scan.
+#[derive(Clone, Debug)]
+pub(crate) struct Calendar<T> {
+    buckets: Vec<Vec<T>>,
+    /// Bit `at & mask` set iff the corresponding bucket is non-empty.
+    occupied: [u64; HORIZON / 64],
+    overflow: BTreeMap<u64, Vec<T>>,
+    mask: u64,
+}
+
+impl<T> Calendar<T> {
+    /// A calendar with `HORIZON` ring buckets.
+    pub(crate) fn new() -> Self {
+        debug_assert!(HORIZON.is_power_of_two());
+        Calendar {
+            buckets: std::iter::repeat_with(Vec::new).take(HORIZON).collect(),
+            occupied: [0; HORIZON / 64],
+            overflow: BTreeMap::new(),
+            mask: (HORIZON - 1) as u64,
+        }
+    }
+
+    /// Schedules `item` for cycle `at` (`at >= now`; the bucket for a cycle
+    /// is only reusable because every cycle is drained exactly once).
+    pub(crate) fn push(&mut self, now: u64, at: u64, item: T) {
+        debug_assert!(at >= now, "cannot schedule into the past");
+        if at - now < HORIZON as u64 {
+            let slot = (at & self.mask) as usize;
+            self.buckets[slot].push(item);
+            self.occupied[slot / 64] |= 1 << (slot % 64);
+        } else {
+            self.overflow.entry(at).or_default().push(item);
+        }
+    }
+
+    /// Drains everything due at `now` into `out`, preserving global
+    /// insertion order: overflow entries were necessarily pushed at least a
+    /// horizon earlier than ring entries for the same cycle, so they come
+    /// first.
+    pub(crate) fn drain_into(&mut self, now: u64, out: &mut Vec<T>) {
+        if !self.overflow.is_empty() {
+            if let Some(mut v) = self.overflow.remove(&now) {
+                out.append(&mut v);
+            }
+        }
+        let slot = (now & self.mask) as usize;
+        let bucket = &mut self.buckets[slot];
+        if !bucket.is_empty() {
+            out.append(bucket);
+            self.occupied[slot / 64] &= !(1 << (slot % 64));
+        }
+    }
+
+    /// Whether nothing is scheduled anywhere (diagnostics).
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.overflow.is_empty() && self.buckets.iter().all(Vec::is_empty)
+    }
+
+    /// The first cycle in `(now, now + HORIZON)` with something scheduled,
+    /// if any — also considering overflow entries. Used to bound idle-cycle
+    /// skips; `None` means nothing due within the horizon.
+    pub(crate) fn next_occupied(&self, now: u64) -> Option<u64> {
+        let mut ring_hit = None;
+        let mut at = now + 1;
+        let end = now + HORIZON as u64;
+        while at < end {
+            let slot = (at & self.mask) as usize;
+            let bits = self.occupied[slot / 64] >> (slot % 64);
+            if bits != 0 {
+                let cand = at + u64::from(bits.trailing_zeros());
+                // Bits later in the word may belong to cycles <= now (the
+                // lap wraps inside a word); only accept in-range hits.
+                if cand < end {
+                    ring_hit = Some(cand);
+                    break;
+                }
+            }
+            at += u64::from(64 - (slot % 64) as u32);
+        }
+        let overflow_hit = self.overflow.range(now + 1..).next().map(|(&at, _)| at);
+        match (ring_hit, overflow_hit) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// Replay-wasted issue slots per future cycle, as a ring.
+#[derive(Clone, Debug)]
+pub(crate) struct WastedRing {
+    slots: Vec<usize>,
+    mask: u64,
+}
+
+impl WastedRing {
+    pub(crate) fn new() -> Self {
+        WastedRing {
+            slots: vec![0; HORIZON],
+            mask: (HORIZON - 1) as u64,
+        }
+    }
+
+    /// Adds `n` wasted slots at cycle `at`.
+    pub(crate) fn add(&mut self, now: u64, at: u64, n: usize) {
+        assert!(
+            at >= now && at - now < HORIZON as u64,
+            "wasted-slot horizon exceeded (at {at}, now {now})"
+        );
+        self.slots[(at & self.mask) as usize] += n;
+    }
+
+    /// Takes (and clears) the wasted slots charged to cycle `now`.
+    pub(crate) fn take(&mut self, now: u64) -> usize {
+        std::mem::take(&mut self.slots[(now & self.mask) as usize])
+    }
+}
+
+/// A wake-up processed at the start of a cycle's issue stage.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Wake {
+    /// A physical register's value became available: re-examine everything
+    /// on its waiter list.
+    Preg(usize),
+    /// A specific part reached its earliest legal issue cycle
+    /// (dispatch latency) with operands already available.
+    Retry(PartRef),
+}
+
+/// The age-ordered ready set, as a ring bitmap: two bits per ROB slot
+/// (store-address/whole, then store-data), keyed by the *packed position*
+/// `arrival * 2 + part_bit`, which is monotone in age and — because the
+/// ring covers a full ROB's worth of slots — never aliases across live
+/// instructions. Insert/remove are O(1); finding the next ready part is a
+/// word scan (4 words for a 128-entry ROB).
+///
+/// Unlike the lazily-cleaned waiter containers, the ring is maintained
+/// *exactly*: bits are set only for live, operand-ready, age-eligible
+/// parts and cleared on issue, park, and squash, so no sequence-number
+/// validation is needed.
+#[derive(Clone, Debug)]
+pub(crate) struct ReadyRing {
+    words: Vec<u64>,
+    /// `window * 2 - 1`, where `window` is a power of two ≥ ROB entries.
+    pos_mask: u64,
+}
+
+/// Packed age position of one schedulable part.
+pub(crate) fn pack_pos(arrival: u64, part: Part) -> u64 {
+    arrival * 2 + u64::from(part == Part::StoreData)
+}
+
+impl ReadyRing {
+    pub(crate) fn new(rob_entries: usize) -> Self {
+        let window = rob_entries.next_power_of_two().max(32);
+        ReadyRing {
+            words: vec![0; window * 2 / 64],
+            pos_mask: (window as u64) * 2 - 1,
+        }
+    }
+
+    fn locate(&self, pos: u64) -> (usize, u32) {
+        let ring = pos & self.pos_mask;
+        ((ring / 64) as usize, (ring % 64) as u32)
+    }
+
+    pub(crate) fn insert(&mut self, pos: u64) {
+        let (w, b) = self.locate(pos);
+        self.words[w] |= 1 << b;
+    }
+
+    pub(crate) fn remove(&mut self, pos: u64) {
+        let (w, b) = self.locate(pos);
+        self.words[w] &= !(1 << b);
+    }
+
+    pub(crate) fn contains(&self, pos: u64) -> bool {
+        let (w, b) = self.locate(pos);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Whether no part is ready at all (the idle-skip precondition).
+    pub(crate) fn is_clear(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Smallest set position in `[from, end)`, where the whole range is
+    /// within one ring lap (guaranteed: live arrivals span at most the ROB).
+    pub(crate) fn next_ready(&self, from: u64, end: u64) -> Option<u64> {
+        let mut pos = from;
+        while pos < end {
+            let (w, b) = self.locate(pos);
+            let bits = self.words[w] >> b;
+            if bits != 0 {
+                let found = pos + u64::from(bits.trailing_zeros());
+                debug_assert!(found < end, "stale ready bit past the ROB tail");
+                return Some(found);
+            }
+            pos += u64::from(64 - b);
+        }
+        None
+    }
+
+    /// Clears both part bits for every arrival in `[from, to)` (squash).
+    pub(crate) fn clear_arrivals(&mut self, from: u64, to: u64) {
+        for arrival in from..to {
+            self.remove(pack_pos(arrival, Part::StoreAddr));
+            self.remove(pack_pos(arrival, Part::StoreData));
+        }
+    }
+}
+
+/// The event-wheel scheduler's bookkeeping.
+///
+/// Invariant: every not-yet-issued part of a live instruction lives in
+/// exactly one container — `ready`, one preg waiter list, `masked`, one
+/// store waiter list, or a pending `Retry` wake. Squashed instructions may
+/// leave stale references behind; consumers validate the stored sequence
+/// number before acting.
+#[derive(Clone, Debug)]
+pub(crate) struct SchedState {
+    /// Age-ordered issue candidates whose operands are ready and whose
+    /// dispatch latency has elapsed.
+    pub(crate) ready: ReadyRing,
+    /// `preg index -> parts waiting on that register` (each part is
+    /// registered on at most one register: its first unready source).
+    pub(crate) preg_waiters: Vec<Vec<PartRef>>,
+    /// Recycled drain buffer for `preg_waiters` (avoids reallocating a
+    /// list on every wakeup).
+    pub(crate) waiter_scratch: Vec<PartRef>,
+    /// Taint-masked parts parked until the untaint broadcast passes their
+    /// youngest root of taint: `(root seq value, arrival, part) -> seq`.
+    pub(crate) masked: BTreeMap<(u64, u64, Part), u64>,
+    /// Loads the LSU refused (older store with unknown address or pending
+    /// data), keyed by the blocking store's arrival index.
+    pub(crate) store_waiters: BTreeMap<u64, Vec<PartRef>>,
+    /// Wake-up calendar, drained at the start of every issue stage.
+    pub(crate) wakes: Calendar<Wake>,
+    /// Scratch buffer for draining `wakes` without aliasing `self`.
+    pub(crate) wake_scratch: Vec<Wake>,
+}
+
+impl SchedState {
+    pub(crate) fn new(phys_regs: usize, rob_entries: usize) -> Self {
+        SchedState {
+            ready: ReadyRing::new(rob_entries),
+            preg_waiters: vec![Vec::new(); phys_regs],
+            waiter_scratch: Vec::new(),
+            masked: BTreeMap::new(),
+            store_waiters: BTreeMap::new(),
+            wakes: Calendar::new(),
+            wake_scratch: Vec::new(),
+        }
+    }
+
+    /// Discards every reference to arrivals in `[first_arrival, end)` from
+    /// the eagerly-cleaned containers (squash). Waiter lists, the masked
+    /// map and pending wakes are cleaned lazily via seq validation.
+    pub(crate) fn squash_from(&mut self, first_arrival: u64, end: u64) {
+        self.ready.clear_arrivals(first_arrival, end);
+        let _ = self.store_waiters.split_off(&first_arrival);
+    }
+
+    /// Pops every masked part whose root is now at or past the visibility
+    /// point `safe`, appending them to `out` for revalidation.
+    pub(crate) fn unpark_safe(&mut self, safe: Seq, out: &mut Vec<PartRef>) {
+        while let Some((&(root, arrival, part), &seq)) = self.masked.first_key_value() {
+            if root > safe.value() {
+                break;
+            }
+            self.masked.remove(&(root, arrival, part));
+            out.push((arrival, part, seq));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calendar_roundtrip_preserves_order() {
+        let mut c: Calendar<u32> = Calendar::new();
+        c.push(0, 5, 1);
+        c.push(0, 5, 2);
+        c.push(3, 5, 3);
+        let mut out = Vec::new();
+        c.drain_into(4, &mut out);
+        assert!(out.is_empty());
+        c.drain_into(5, &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn calendar_overflow_entries_come_back_first() {
+        let far = HORIZON as u64 + 10;
+        let mut c: Calendar<u32> = Calendar::new();
+        c.push(0, far, 7); // beyond horizon at insertion: overflow
+        c.push(far - 1, far, 8); // within horizon: ring bucket
+        let mut out = Vec::new();
+        c.drain_into(far, &mut out);
+        assert_eq!(out, vec![7, 8], "older insertions drain first");
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn calendar_buckets_are_reusable_across_laps() {
+        let mut c: Calendar<u32> = Calendar::new();
+        let mut out = Vec::new();
+        for lap in 0u64..3 {
+            let at = lap * HORIZON as u64 + 2;
+            c.push(at - 1, at, lap as u32);
+            c.drain_into(at, &mut out);
+        }
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn wasted_ring_takes_and_clears() {
+        let mut w = WastedRing::new();
+        w.add(10, 14, 2);
+        w.add(11, 14, 1);
+        assert_eq!(w.take(13), 0);
+        assert_eq!(w.take(14), 3);
+        assert_eq!(w.take(14), 0, "take clears the bucket");
+    }
+
+    #[test]
+    fn ready_ring_orders_by_age_then_store_part() {
+        let mut r = ReadyRing::new(128);
+        r.insert(pack_pos(7, Part::StoreData));
+        r.insert(pack_pos(7, Part::StoreAddr));
+        r.insert(pack_pos(6, Part::Whole));
+        let end = pack_pos(130, Part::StoreAddr);
+        let a = r.next_ready(0, end).unwrap();
+        assert_eq!(a, pack_pos(6, Part::Whole));
+        r.remove(a);
+        let b = r.next_ready(a, end).unwrap();
+        assert_eq!(b, pack_pos(7, Part::StoreAddr));
+        let c = r.next_ready(b + 1, end).unwrap();
+        assert_eq!(c, pack_pos(7, Part::StoreData));
+    }
+
+    #[test]
+    fn ready_ring_wraps_without_aliasing() {
+        let mut r = ReadyRing::new(32);
+        // Live window far past the first lap of the ring.
+        let base = 1000u64;
+        r.insert(pack_pos(base + 3, Part::Whole));
+        r.insert(pack_pos(base + 30, Part::StoreData));
+        let end = pack_pos(base + 32, Part::StoreAddr);
+        let first = r.next_ready(pack_pos(base, Part::StoreAddr), end).unwrap();
+        assert_eq!(first, pack_pos(base + 3, Part::Whole));
+        let second = r.next_ready(first + 1, end).unwrap();
+        assert_eq!(second, pack_pos(base + 30, Part::StoreData));
+        r.remove(first);
+        r.remove(second);
+        assert_eq!(r.next_ready(pack_pos(base, Part::StoreAddr), end), None);
+    }
+
+    #[test]
+    fn squash_from_trims_ready_and_store_waiters() {
+        let mut s = SchedState::new(8, 32);
+        s.ready.insert(pack_pos(3, Part::Whole));
+        s.ready.insert(pack_pos(5, Part::Whole));
+        s.store_waiters
+            .entry(4)
+            .or_default()
+            .push((6, Part::Whole, 60));
+        s.store_waiters
+            .entry(2)
+            .or_default()
+            .push((3, Part::Whole, 30));
+        s.squash_from(4, 8);
+        assert!(s.ready.contains(pack_pos(3, Part::Whole)));
+        assert!(!s.ready.contains(pack_pos(5, Part::Whole)));
+        assert!(s.store_waiters.contains_key(&2));
+        assert!(!s.store_waiters.contains_key(&4));
+    }
+
+    #[test]
+    fn unpark_safe_pops_in_root_order_up_to_the_frontier() {
+        let mut s = SchedState::new(4, 32);
+        s.masked.insert((5, 10, Part::Whole), 100);
+        s.masked.insert((7, 11, Part::StoreAddr), 110);
+        s.masked.insert((9, 12, Part::Whole), 120);
+        let mut out = Vec::new();
+        s.unpark_safe(Seq::new(7), &mut out);
+        assert_eq!(
+            out,
+            vec![(10, Part::Whole, 100), (11, Part::StoreAddr, 110)]
+        );
+        assert_eq!(s.masked.len(), 1);
+    }
+}

@@ -122,7 +122,10 @@ fn stt_delays_tainted_transmitters() {
         "STT-Issue must pay for taint gating"
     );
     assert!(rename.stats().delayed_transmitters.get() > 0);
-    assert!(issue.stats().wasted_issue_slots.get() > 0, "nop-issued slots");
+    assert!(
+        issue.stats().wasted_issue_slots.get() > 0,
+        "nop-issued slots"
+    );
     assert_eq!(base.stats().wasted_issue_slots.get(), 0);
     assert!(base.stats().delayed_transmitters.get() == 0);
 }
@@ -269,7 +272,10 @@ fn mispredict_recovery_is_exact() {
     let core = run(CoreConfig::large(), Scheme::Baseline, t.clone());
     assert_eq!(core.stats().committed.get(), t.len() as u64);
     assert_eq!(core.stats().branch_mispredicts.get(), 100);
-    assert!(core.stats().squashed.get() >= 100, "wrong-path ops squashed");
+    assert!(
+        core.stats().squashed.get() >= 100,
+        "wrong-path ops squashed"
+    );
 }
 
 /// The Spectre-v1 shape: a transient (wrong-path) secret-dependent load
@@ -332,8 +338,15 @@ fn nda_has_no_load_hit_replays() {
     let t = b.build();
     let base = run(CoreConfig::mega(), Scheme::Baseline, t.clone());
     let nda = run(CoreConfig::mega(), Scheme::Nda, t);
-    assert!(base.stats().replay_events.get() > 0, "baseline replays on misses");
-    assert_eq!(nda.stats().replay_events.get(), 0, "NDA never replays (§5.1)");
+    assert!(
+        base.stats().replay_events.get() > 0,
+        "baseline replays on misses"
+    );
+    assert_eq!(
+        nda.stats().replay_events.get(),
+        0,
+        "NDA never replays (§5.1)"
+    );
 }
 
 /// The STT-Rename same-cycle YRoT chain depth grows with dispatch width
@@ -476,8 +489,15 @@ fn stall_attribution_is_complete_and_scheme_aware() {
     // Baseline sanity on a memory-bound kernel.
     let t = taint_kernel(150);
     let base = run(CoreConfig::mega(), Scheme::Baseline, t.clone());
-    assert_eq!(base.stats().stalls.scheme.get(), 0, "baseline has no scheme stalls");
-    assert!(base.stats().stalls.memory.get() > 0, "cold loads are memory stalls");
+    assert_eq!(
+        base.stats().stalls.scheme.get(),
+        0,
+        "baseline has no scheme stalls"
+    );
+    assert!(
+        base.stats().stalls.memory.get() > 0,
+        "cold loads are memory stalls"
+    );
     assert!(base.stats().stalls.total() <= base.stats().cycles.get());
 
     // Broadcast starvation: one long shadow covers a burst of loads; when

@@ -1,0 +1,149 @@
+//! Golden-stats differential tests: the event-wheel scheduler must be
+//! cycle-for-cycle indistinguishable from the reference full-scan
+//! scheduler. Every counter in [`sb_stats::SimStats`] — committed ops,
+//! cycles, the full stall breakdown, scheme counters, cache counters — has
+//! to match exactly, for every scheme, on both an RTL and an abstract
+//! configuration, across several workload profiles and seeds.
+
+use sb_core::{Scheme, SchemeConfig};
+use sb_stats::SimStats;
+use sb_uarch::{Core, CoreConfig, SchedulerKind};
+use sb_workloads::{generate, spec2017_profiles, spectre_v1_kernel, ssb_kernel};
+
+const MAX_CYCLES: u64 = 10_000_000;
+
+fn run(config: &CoreConfig, scheme_cfg: SchemeConfig, trace: sb_isa::Trace) -> SimStats {
+    let mut core = Core::new(config.clone(), scheme_cfg, trace);
+    core.run_to_completion(MAX_CYCLES);
+    core.stats().clone()
+}
+
+fn with_scheduler(config: &CoreConfig, kind: SchedulerKind) -> CoreConfig {
+    let mut c = config.clone();
+    c.scheduler = kind;
+    c
+}
+
+/// Runs one (config, scheme-config, trace) point under both schedulers and
+/// asserts every statistic matches.
+fn assert_golden(config: &CoreConfig, scheme_cfg: SchemeConfig, trace: &sb_isa::Trace, tag: &str) {
+    let reference = run(
+        &with_scheduler(config, SchedulerKind::Reference),
+        scheme_cfg,
+        trace.clone(),
+    );
+    let wheel = run(
+        &with_scheduler(config, SchedulerKind::EventWheel),
+        scheme_cfg,
+        trace.clone(),
+    );
+    assert_eq!(
+        reference.committed.get(),
+        wheel.committed.get(),
+        "{tag}: committed diverged"
+    );
+    assert_eq!(
+        reference.cycles.get(),
+        wheel.cycles.get(),
+        "{tag}: cycles diverged"
+    );
+    assert_eq!(
+        reference.stalls, wheel.stalls,
+        "{tag}: stall breakdown diverged"
+    );
+    assert_eq!(reference, wheel, "{tag}: full statistics diverged");
+}
+
+fn scheme_variants(config: &CoreConfig) -> Vec<(String, SchemeConfig)> {
+    let mut out = Vec::new();
+    for scheme in Scheme::all() {
+        let cfg = match config.fidelity {
+            sb_uarch::Fidelity::Rtl => SchemeConfig::rtl(scheme, config.mem_ports),
+            sb_uarch::Fidelity::Abstract => SchemeConfig::abstract_sim(scheme),
+        };
+        out.push((scheme.to_string(), cfg));
+    }
+    // The fifth evaluated variant: STT-Rename with the §9.2 split-store
+    // ablation, which exercises the per-part taint parking paths.
+    let mut split = SchemeConfig::rtl(Scheme::SttRename, config.mem_ports);
+    split.split_store_taints = true;
+    out.push(("STT-Rename+split".to_string(), split));
+    out
+}
+
+#[test]
+fn golden_stats_mega_all_schemes() {
+    let config = CoreConfig::mega();
+    let profiles = spec2017_profiles();
+    for name in ["502.gcc", "505.mcf", "548.exchange2"] {
+        let profile = profiles.iter().find(|p| p.name.contains(name)).unwrap();
+        let trace = generate(profile, 4_000, 0xC0FFEE);
+        for (tag, scheme_cfg) in scheme_variants(&config) {
+            assert_golden(&config, scheme_cfg, &trace, &format!("mega/{name}/{tag}"));
+        }
+    }
+}
+
+#[test]
+fn golden_stats_small_all_schemes() {
+    // The small config stresses resource-stall paths (8-entry queues).
+    let config = CoreConfig::small();
+    let profiles = spec2017_profiles();
+    let profile = profiles
+        .iter()
+        .find(|p| p.name.contains("520.omnetpp"))
+        .unwrap();
+    for seed in [1u64, 2, 3] {
+        let trace = generate(profile, 3_000, seed);
+        for (tag, scheme_cfg) in scheme_variants(&config) {
+            assert_golden(&config, scheme_cfg, &trace, &format!("small/s{seed}/{tag}"));
+        }
+    }
+}
+
+#[test]
+fn golden_stats_abstract_fidelity() {
+    // Abstract fidelity: 1-cycle dispatch, unbounded broadcast, split
+    // store taints — different wake timing than the RTL presets.
+    let config = CoreConfig::gem5_stt();
+    let profiles = spec2017_profiles();
+    let profile = profiles
+        .iter()
+        .find(|p| p.name.contains("541.leela"))
+        .unwrap();
+    let trace = generate(profile, 3_000, 0xBEEF);
+    for (tag, scheme_cfg) in scheme_variants(&config) {
+        assert_golden(&config, scheme_cfg, &trace, &format!("gem5/{tag}"));
+    }
+}
+
+#[test]
+fn golden_stats_attack_kernels() {
+    // The attack kernels drive explicit wrong-path injection, squash and
+    // forwarding-error flushes through both schedulers.
+    let config = CoreConfig::mega();
+    for secret in [3usize, 11] {
+        let spectre = spectre_v1_kernel(secret);
+        let ssb = ssb_kernel(secret);
+        for (tag, scheme_cfg) in scheme_variants(&config) {
+            assert_golden(
+                &config,
+                scheme_cfg,
+                &spectre.trace,
+                &format!("spectre/{secret}/{tag}"),
+            );
+            assert_golden(
+                &config,
+                scheme_cfg,
+                &ssb.trace,
+                &format!("ssb/{secret}/{tag}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn event_wheel_is_the_default() {
+    assert_eq!(CoreConfig::mega().scheduler, SchedulerKind::EventWheel);
+    assert_eq!(SchedulerKind::default(), SchedulerKind::EventWheel);
+}

@@ -139,8 +139,8 @@ pub fn generate(profile: &WorkloadProfile, len: usize, seed: u64) -> Trace {
             } else {
                 load_addrs.next(&mut rng)
             };
-            let chase = profile.access == AccessPattern::PointerChase
-                && rng.gen::<f64>() < CHASE_FRAC;
+            let chase =
+                profile.access == AccessPattern::PointerChase && rng.gen::<f64>() < CHASE_FRAC;
             let addr_src = if chase {
                 // Chase: this load's address depends on the previous load.
                 last_load_dst.unwrap_or_else(|| regs.pointer(0))

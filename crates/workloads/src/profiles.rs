@@ -88,7 +88,11 @@ impl WorkloadProfile {
             self.addr_from_compute,
         ];
         for f in fracs {
-            assert!((0.0..=1.0).contains(&f), "{}: fraction {f} out of range", self.name);
+            assert!(
+                (0.0..=1.0).contains(&f),
+                "{}: fraction {f} out of range",
+                self.name
+            );
         }
         assert!(
             self.load_frac + self.store_frac + self.branch_frac < 1.0,

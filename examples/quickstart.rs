@@ -15,7 +15,10 @@ fn main() {
         .find(|p| p.name == "502.gcc")
         .expect("gcc profile exists");
     let ops = 30_000;
-    println!("workload: {} ({ops} micro-ops), config: Mega BOOM\n", profile.name);
+    println!(
+        "workload: {} ({ops} micro-ops), config: Mega BOOM\n",
+        profile.name
+    );
 
     let mut baseline_ipc = 0.0;
     for scheme in Scheme::all() {

@@ -15,7 +15,13 @@ use shadowbinding::workloads::{generate, spec2017_profiles};
 fn main() {
     // A representative cross-section of the suite (memory-bound, compute-
     // bound, branchy, forwarding-heavy).
-    let names = ["505.mcf", "538.imagick", "502.gcc", "548.exchange2", "503.bwaves"];
+    let names = [
+        "505.mcf",
+        "538.imagick",
+        "502.gcc",
+        "548.exchange2",
+        "503.bwaves",
+    ];
     let profiles: Vec<_> = spec2017_profiles()
         .into_iter()
         .filter(|p| names.contains(&p.name))

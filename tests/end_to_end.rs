@@ -109,7 +109,10 @@ fn mega_scheme_ordering_matches_paper() {
             let s = core.run_to_completion(400_000_000);
             rows.push(BenchResult::new(p.name, s.committed.get(), s.cycles.get()));
         }
-        means.push((scheme, SuiteSummary::new(base_rows, rows).mean_normalized_ipc()));
+        means.push((
+            scheme,
+            SuiteSummary::new(base_rows, rows).mean_normalized_ipc(),
+        ));
     }
     let get = |s: Scheme| means.iter().find(|(m, _)| *m == s).unwrap().1;
     assert!(
@@ -171,7 +174,10 @@ fn exchange2_forwarding_error_pathology() {
         rename > 20 * nda.max(1),
         "STT-Rename ({rename}) must dwarf NDA ({nda}) in forwarding errors"
     );
-    assert!(rename > issue, "STT-Issue's natural split avoids the pathology");
+    assert!(
+        rename > issue,
+        "STT-Issue's natural split avoids the pathology"
+    );
 }
 
 /// §9.5's mechanical core, deconfounded from baseline-IPC shifts: on the

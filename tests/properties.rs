@@ -13,10 +13,24 @@ use shadowbinding::uarch::{Core, CoreConfig};
 /// A tiny op-level program description proptest can generate.
 #[derive(Clone, Debug)]
 enum GenOp {
-    Alu { dst: u8, src: u8 },
-    Load { dst: u8, addr_src: u8, slot: u8 },
-    Store { addr_src: u8, data_src: u8, slot: u8 },
-    Branch { src: u8, mispredicted: bool },
+    Alu {
+        dst: u8,
+        src: u8,
+    },
+    Load {
+        dst: u8,
+        addr_src: u8,
+        slot: u8,
+    },
+    Store {
+        addr_src: u8,
+        data_src: u8,
+        slot: u8,
+    },
+    Branch {
+        src: u8,
+        mispredicted: bool,
+    },
 }
 
 fn gen_op() -> impl Strategy<Value = GenOp> {
@@ -48,7 +62,11 @@ fn build(ops: &[GenOp]) -> shadowbinding::isa::Trace {
             GenOp::Alu { dst, src } => {
                 b.alu(ArchReg::int(dst), Some(ArchReg::int(src)), None);
             }
-            GenOp::Load { dst, addr_src, slot } => {
+            GenOp::Load {
+                dst,
+                addr_src,
+                slot,
+            } => {
                 b.load(
                     ArchReg::int(dst),
                     ArchReg::int(addr_src),

@@ -82,7 +82,11 @@ fn futuristic_model_blocks_at_least_as_much() {
         let mut core = Core::new(CoreConfig::mega(), cfg, kernel.trace);
         obs.prime(core.memory_mut());
         core.run_to_completion(1_000_000);
-        assert_eq!(obs.recover(core.memory()), None, "{scheme}/Futuristic must block");
+        assert_eq!(
+            obs.recover(core.memory()),
+            None,
+            "{scheme}/Futuristic must block"
+        );
     }
 }
 
@@ -113,7 +117,11 @@ fn unbounded_broadcast_does_not_weaken_security() {
         let mut core = Core::new(CoreConfig::mega(), cfg, kernel.trace);
         obs.prime(core.memory_mut());
         core.run_to_completion(1_000_000);
-        assert_eq!(obs.recover(core.memory()), None, "{scheme} abstract must block");
+        assert_eq!(
+            obs.recover(core.memory()),
+            None,
+            "{scheme} abstract must block"
+        );
     }
 }
 
