@@ -139,12 +139,24 @@ fn bench_simulator_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-/// Trace generation throughput.
+/// Trace generation throughput: the batched block-RNG generator against
+/// the reference per-op walk (both produce identical traces; the batched
+/// path is the default).
 fn bench_trace_generation(c: &mut Criterion) {
-    c.bench_function("workload_generation_10k", |b| {
-        let profile = spec2017_profiles()[3]; // 505.mcf
-        b.iter(|| black_box(generate(&profile, 10_000, 5)));
-    });
+    use sb_workloads::{generate_with, GeneratorKind};
+    let mut g = c.benchmark_group("workload_generation_10k");
+    g.sample_size(10);
+    let profile = spec2017_profiles()[3]; // 505.mcf
+    for kind in [GeneratorKind::Batched, GeneratorKind::Reference] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &k| {
+                b.iter(|| black_box(generate_with(k, &profile, 10_000, 5)));
+            },
+        );
+    }
+    g.finish();
 }
 
 criterion_group! {

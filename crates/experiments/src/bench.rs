@@ -7,7 +7,7 @@
 use crate::{run_grid, RunSpec};
 use sb_core::Scheme;
 use sb_uarch::{Core, CoreConfig, SchedulerKind};
-use sb_workloads::{generate, spec2017_profiles};
+use sb_workloads::{generate, generate_with, spec2017_profiles, GeneratorKind, TraceStore};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -58,6 +58,46 @@ impl ThroughputPoint {
     }
 }
 
+/// Trace-generation timings: the batched generator against the reference
+/// per-op walk, and the persistent store's cold (generate + serialize)
+/// against warm (deserialize-only) paths, each totalled over the full
+/// 22-profile suite.
+#[derive(Clone, Debug, Default)]
+pub struct TraceGenReport {
+    /// Seconds to generate all 22 traces with the reference generator.
+    pub reference_secs: f64,
+    /// Seconds to generate all 22 traces with the batched generator.
+    pub batched_secs: f64,
+    /// Seconds for a cold store pass (generate, encode, write).
+    pub cold_store_secs: f64,
+    /// Seconds for a warm store pass (read, validate, decode).
+    pub warm_store_secs: f64,
+}
+
+impl TraceGenReport {
+    /// Batched-generator speedup over the reference per-op walk (0 when
+    /// unmeasured, keeping the JSON serialization finite).
+    #[must_use]
+    pub fn batched_speedup(&self) -> f64 {
+        if self.batched_secs > 0.0 {
+            self.reference_secs / self.batched_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Warm-cache speedup over regenerating with the reference generator
+    /// (0 when unmeasured).
+    #[must_use]
+    pub fn warm_speedup(&self) -> f64 {
+        if self.warm_store_secs > 0.0 {
+            self.reference_secs / self.warm_store_secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The full bench outcome.
 #[derive(Clone, Debug)]
 pub struct BenchReport {
@@ -67,6 +107,8 @@ pub struct BenchReport {
     pub grid_event_wheel_secs: f64,
     /// Full-grid wall-clock seconds, reference scheduler.
     pub grid_reference_secs: f64,
+    /// Trace-generation cold/warm comparison.
+    pub tracegen: TraceGenReport,
     /// Options the bench ran with.
     pub options: BenchOptions,
 }
@@ -124,6 +166,18 @@ impl BenchReport {
         s.push_str("  ],\n");
         let _ = writeln!(
             s,
+            "  \"tracegen\": {{\"reference_secs\": {:.4}, \"batched_secs\": {:.4}, \
+             \"cold_store_secs\": {:.4}, \"warm_store_secs\": {:.4}, \
+             \"batched_speedup\": {:.2}, \"warm_speedup\": {:.2}}},",
+            self.tracegen.reference_secs,
+            self.tracegen.batched_secs,
+            self.tracegen.cold_store_secs,
+            self.tracegen.warm_store_secs,
+            self.tracegen.batched_speedup(),
+            self.tracegen.warm_speedup()
+        );
+        let _ = writeln!(
+            s,
             "  \"grid\": {{\"event_wheel_secs\": {:.3}, \"reference_secs\": {:.3}, \
              \"speedup\": {:.2}}}",
             self.grid_event_wheel_secs,
@@ -153,6 +207,18 @@ impl BenchReport {
                 p.config, p.scheme, p.event_wheel_ops_per_sec, speedup
             );
         }
+        let _ = writeln!(
+            s,
+            "trace generation (22 profiles x {} uops): reference {:.3}s, batched {:.3}s \
+             ({:.2}x), store cold {:.3}s, store warm {:.3}s ({:.2}x vs reference)",
+            self.options.ops,
+            self.tracegen.reference_secs,
+            self.tracegen.batched_secs,
+            self.tracegen.batched_speedup(),
+            self.tracegen.cold_store_secs,
+            self.tracegen.warm_store_secs,
+            self.tracegen.warm_speedup()
+        );
         let _ = writeln!(
             s,
             "grid wall-clock ({} uops/bench): event-wheel {:.2}s, reference {:.2}s ({:.2}x)",
@@ -203,6 +269,62 @@ fn with_scheduler(config: &CoreConfig, kind: SchedulerKind) -> CoreConfig {
     c
 }
 
+/// Times trace production over the full 22-profile suite at `ops` micro-ops
+/// each: both generator kinds (best of three passes after an untimed warmup,
+/// matching `measure_point`'s discipline), then a cold store pass (into a
+/// scratch cache directory) and a warm pass over the files it wrote (best of
+/// three; the cold pass is inherently single-shot per directory, so it takes
+/// the best over three fresh directories).
+fn measure_tracegen(ops: usize, seed: u64) -> TraceGenReport {
+    let profiles = spec2017_profiles();
+    let timed = |f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        f();
+        start.elapsed().as_secs_f64()
+    };
+    let best3 = |f: &mut dyn FnMut()| {
+        f(); // untimed warmup: first touch pays allocation and page faults
+        (0..3).map(|_| timed(f)).fold(f64::INFINITY, f64::min)
+    };
+
+    let reference_secs = best3(&mut || {
+        for p in &profiles {
+            std::hint::black_box(generate_with(GeneratorKind::Reference, p, ops, seed));
+        }
+    });
+    let batched_secs = best3(&mut || {
+        for p in &profiles {
+            std::hint::black_box(generate_with(GeneratorKind::Batched, p, ops, seed));
+        }
+    });
+
+    let scratch = std::env::temp_dir().join(format!("sb-tracegen-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let mut cold_store_secs = f64::INFINITY;
+    let mut warm_store_secs = f64::INFINITY;
+    for round in 0..3 {
+        let store = TraceStore::new(scratch.join(round.to_string()));
+        cold_store_secs = cold_store_secs.min(timed(&mut || {
+            for p in &profiles {
+                std::hint::black_box(store.load_or_generate(p, ops, seed));
+            }
+        }));
+        warm_store_secs = warm_store_secs.min(best3(&mut || {
+            for p in &profiles {
+                std::hint::black_box(store.load_or_generate(p, ops, seed));
+            }
+        }));
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    TraceGenReport {
+        reference_secs,
+        batched_secs,
+        cold_store_secs,
+        warm_store_secs,
+    }
+}
+
 /// Runs the full core bench: per-point throughput (with reference-scheduler
 /// comparison points) plus the grid wall-clock comparison.
 #[must_use]
@@ -235,10 +357,19 @@ pub fn run_core_bench(opts: &BenchOptions) -> BenchReport {
         }
     }
 
+    let tracegen = measure_tracegen(opts.ops, opts.seed);
+
     let spec = RunSpec {
         ops: opts.grid_ops,
         seed: opts.seed,
     };
+    // Pre-warm the persistent trace store for this spec so both timed
+    // grids see identical (warm) trace-production state — otherwise the
+    // first grid pays cold generate+encode+write and the comparison is
+    // biased against it.
+    for p in &spec2017_profiles() {
+        let _ = crate::bench_trace(p, &spec);
+    }
     let wheel_configs: Vec<CoreConfig> = configs
         .iter()
         .map(|c| with_scheduler(c, SchedulerKind::EventWheel))
@@ -258,6 +389,7 @@ pub fn run_core_bench(opts: &BenchOptions) -> BenchReport {
         points,
         grid_event_wheel_secs,
         grid_reference_secs,
+        tracegen,
         options: opts.clone(),
     }
 }
@@ -277,14 +409,26 @@ mod tests {
             }],
             grid_event_wheel_secs: 1.0,
             grid_reference_secs: 6.0,
+            tracegen: TraceGenReport {
+                reference_secs: 0.8,
+                batched_secs: 0.4,
+                cold_store_secs: 0.5,
+                warm_store_secs: 0.1,
+            },
             options: BenchOptions::default(),
         };
         let json = report.to_json();
         assert!(json.contains("\"config\": \"mega\""));
         assert!(json.contains("\"speedup\": 5.00"));
+        assert!(json.contains("\"tracegen\""));
+        assert!(json.contains("\"batched_speedup\": 2.00"));
+        assert!(json.contains("\"warm_speedup\": 8.00"));
         assert!((report.grid_speedup() - 6.0).abs() < 1e-9);
         assert_eq!(report.mega_stt_issue_speedup(), Some(5.0));
+        assert!((report.tracegen.batched_speedup() - 2.0).abs() < 1e-9);
+        assert!((report.tracegen.warm_speedup() - 8.0).abs() < 1e-9);
         assert!(report.summary().contains("grid wall-clock"));
+        assert!(report.summary().contains("trace generation"));
     }
 
     #[test]
@@ -298,9 +442,19 @@ mod tests {
             }],
             grid_event_wheel_secs: 1.0,
             grid_reference_secs: 1.0,
+            tracegen: TraceGenReport::default(),
             options: BenchOptions::default(),
         };
         assert!(report.to_json().contains("\"reference_ops_per_sec\": null"));
         assert!(report.points[0].speedup().is_none());
+    }
+
+    #[test]
+    fn tracegen_measurement_produces_positive_timings() {
+        let t = measure_tracegen(300, 3);
+        assert!(t.reference_secs > 0.0);
+        assert!(t.batched_secs > 0.0);
+        assert!(t.cold_store_secs > 0.0);
+        assert!(t.warm_store_secs > 0.0);
     }
 }

@@ -9,7 +9,7 @@ use crate::pool;
 use sb_core::Scheme;
 use sb_stats::{BenchResult, SimStats, SuiteSummary};
 use sb_uarch::{Core, CoreConfig};
-use sb_workloads::{generate, spec2017_profiles, WorkloadProfile};
+use sb_workloads::{cached_generate, spec2017_profiles, WorkloadProfile};
 use std::collections::HashMap;
 
 /// Safety valve: no benchmark may run longer than this many cycles.
@@ -48,11 +48,17 @@ pub fn run_bench(
 
 /// The deterministic trace `run_bench` simulates for `profile` under
 /// `spec` (exposed so the grid can generate each benchmark's trace once
-/// and share it across every (config, scheme) point).
+/// and share it across every (config, scheme) point). Backed by the
+/// persistent trace store: repeated CLI invocations and benches load the
+/// serialized trace instead of regenerating (disable or redirect via
+/// [`sb_workloads::TRACE_CACHE_ENV`]). Caching cannot change results — the
+/// store validates checksums and falls back to regeneration, and the
+/// golden/regression suites assert cached and fresh traces simulate
+/// identically.
 #[must_use]
 pub fn bench_trace(profile: &WorkloadProfile, spec: &RunSpec) -> sb_isa::Trace {
     let seed = spec.seed ^ fxhash(profile.name);
-    generate(profile, spec.ops, seed)
+    cached_generate(profile, spec.ops, seed)
 }
 
 /// [`run_bench`] on a pre-generated trace.

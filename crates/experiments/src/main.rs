@@ -2,13 +2,18 @@
 //! benchmark the simulator itself.
 //!
 //! ```text
-//! sb-experiments [--ops N] [--seed S] [--out DIR] [EXPERIMENT...]
+//! sb-experiments [--ops N] [--seed S] [--out DIR] [--no-trace-cache] [EXPERIMENT...]
 //! sb-experiments bench [--ops N] [--seed S] [--bench-json PATH]
 //! ```
 //!
 //! Experiments: `table1 fig6 fig7 fig8 fig9 fig10 table3 table4 table5
 //! sec92 security` or `all` (default). CSVs land in `--out`
 //! (default `results/`).
+//!
+//! Workload traces are memoized on disk (default `target/trace-cache/`),
+//! so repeated invocations skip generation; `--no-trace-cache` disables
+//! the store for this run, and the `SB_TRACE_CACHE` environment variable
+//! disables (`0`/`off`) or redirects (a path) it globally.
 //!
 //! `bench` measures simulated-ops/sec for every (config × scheme) point on
 //! both schedulers plus full-grid wall clock, and writes `BENCH_core.json`
@@ -59,11 +64,15 @@ fn parse_args() -> Args {
             "--bench-json" => {
                 bench_json = PathBuf::from(it.next().expect("--bench-json needs a path"));
             }
+            "--no-trace-cache" => {
+                std::env::set_var(sb_workloads::TRACE_CACHE_ENV, "0");
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: sb-experiments [--ops N] [--seed S] [--out DIR] [EXPERIMENT...]\n\
+                    "usage: sb-experiments [--ops N] [--seed S] [--out DIR] [--no-trace-cache] [EXPERIMENT...]\n\
                      experiments: table1 fig6 fig7 fig8 fig9 fig10 table3 table4 table5 sec92 security all\n\
-                     or: sb-experiments bench [--ops N] [--seed S] [--bench-json PATH]"
+                     or: sb-experiments bench [--ops N] [--seed S] [--bench-json PATH]\n\
+                     traces are cached under target/trace-cache/ (SB_TRACE_CACHE=0 or --no-trace-cache disables)"
                 );
                 std::process::exit(0);
             }

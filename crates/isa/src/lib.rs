@@ -27,11 +27,13 @@
 //! assert!(trace.op(0).is_load());
 //! ```
 
+mod codec;
 mod hash;
 mod ids;
 mod op;
 mod trace;
 
+pub use codec::{decode_trace, encode_trace, CodecError, TRACE_FORMAT_VERSION, TRACE_MAGIC};
 pub use hash::MixHasher;
 pub use ids::{ArchReg, PhysReg, Seq, NUM_ARCH_REGS};
 pub use op::{CtrlFlow, ExecClass, MemAccess, MicroOp, OpClass};

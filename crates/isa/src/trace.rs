@@ -38,7 +38,7 @@ pub struct WrongPathBlock {
 /// assert_eq!(t.len(), 2);
 /// assert!(t.wrong_path(1).is_none());
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Trace {
     name: String,
     ops: Vec<MicroOp>,
@@ -104,6 +104,12 @@ impl Trace {
     /// Iterates over the correct-path micro-ops.
     pub fn iter(&self) -> std::slice::Iter<'_, MicroOp> {
         self.ops.iter()
+    }
+
+    /// Iterates over all wrong-path blocks as `(branch index, block)` pairs,
+    /// in unspecified order (sort by index for a canonical serialization).
+    pub fn wrong_paths(&self) -> impl Iterator<Item = (usize, &WrongPathBlock)> {
+        self.wrong_paths.iter().map(|(&i, b)| (i, b))
     }
 
     /// Fraction of ops in the trace matching a predicate — handy for

@@ -8,7 +8,7 @@
 use sb_core::{Scheme, SchemeConfig};
 use sb_stats::SimStats;
 use sb_uarch::{Core, CoreConfig, SchedulerKind};
-use sb_workloads::{generate, spec2017_profiles, spectre_v1_kernel, ssb_kernel};
+use sb_workloads::{generate, spec2017_profiles, spectre_v1_kernel, ssb_kernel, TraceStore};
 
 const MAX_CYCLES: u64 = 10_000_000;
 
@@ -140,6 +140,43 @@ fn golden_stats_attack_kernels() {
             );
         }
     }
+}
+
+#[test]
+fn golden_stats_store_loaded_traces() {
+    // Closes the loop on the persistent trace store: a trace that went
+    // through serialize → disk → deserialize must drive both schedulers to
+    // statistics identical to the freshly generated trace, for every
+    // scheme variant.
+    let dir = std::env::temp_dir().join(format!("sb-golden-stats-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = TraceStore::new(&dir);
+    let config = CoreConfig::mega();
+    let profiles = spec2017_profiles();
+    let profile = profiles
+        .iter()
+        .find(|p| p.name.contains("505.mcf"))
+        .unwrap();
+
+    let fresh = generate(profile, 3_000, 0xFEED);
+    let cold = store.load_or_generate(profile, 3_000, 0xFEED);
+    let loaded = store.load_or_generate(profile, 3_000, 0xFEED);
+    assert_eq!(fresh, cold, "cold store pass altered the trace");
+    assert_eq!(fresh, loaded, "store round-trip altered the trace");
+
+    for (tag, scheme_cfg) in scheme_variants(&config) {
+        for kind in [SchedulerKind::Reference, SchedulerKind::EventWheel] {
+            let from_fresh = run(&with_scheduler(&config, kind), scheme_cfg, fresh.clone());
+            let from_store = run(&with_scheduler(&config, kind), scheme_cfg, loaded.clone());
+            assert_eq!(
+                from_fresh, from_store,
+                "store/{tag}/{kind:?}: cached trace diverged from fresh"
+            );
+        }
+        // And the cached trace still satisfies the cross-scheduler oracle.
+        assert_golden(&config, scheme_cfg, &loaded, &format!("store/{tag}"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

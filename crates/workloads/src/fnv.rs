@@ -1,0 +1,20 @@
+//! Crate-shared FNV-1a fold constants and helpers, so cache-key name
+//! hashing and profile fingerprints use one definition instead of
+//! copy-pasted folds (the byte path matches `sb_isa::MixHasher`'s).
+
+/// FNV-1a 64-bit offset basis.
+pub(crate) const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub(crate) const PRIME: u64 = 0x100_0000_01b3;
+
+/// One xor-then-multiply fold step.
+#[inline]
+pub(crate) fn fold(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(PRIME)
+}
+
+/// Byte-wise FNV-1a over a string.
+pub(crate) fn hash_str(s: &str) -> u64 {
+    s.bytes().fold(OFFSET, |h, b| fold(h, u64::from(b)))
+}

@@ -17,9 +17,12 @@
 //! taint causes forwarding-error storms, §9.2), `mcf` chases pointers.
 
 mod attacks;
+mod fnv;
 mod generator;
 mod profiles;
+mod store;
 
 pub use attacks::{spectre_v1_kernel, ssb_kernel, AttackKernel, PROBE_BASE, PROBE_STRIDE};
-pub use generator::generate;
+pub use generator::{generate, generate_with, GeneratorKind};
 pub use profiles::{spec2017_profiles, AccessPattern, WorkloadProfile};
+pub use store::{cached_generate, TraceStore, TRACE_CACHE_ENV};

@@ -1,0 +1,316 @@
+//! Persistent trace store: memoizes generated workload traces on disk so
+//! repeated CLI invocations and benches skip generation entirely.
+//!
+//! Traces are serialized with `sb-isa`'s versioned, checksummed binary
+//! codec into one file per `(workload name, ops, seed, content fingerprint,
+//! format version)` key under a cache directory (default
+//! `target/trace-cache/`). The fingerprint
+//! ([`WorkloadProfile::fingerprint`]) covers every profile parameter and
+//! the generator revision, so recalibrated profiles or generator changes
+//! read as misses even against a cache directory persisted across commits
+//! (as CI does). Writes go
+//! through a unique temporary file followed by an atomic rename, so
+//! concurrent producers (parallel test binaries, a grid run racing a bench)
+//! can only ever observe a complete file. Any read-side failure — missing
+//! file, bad magic, stale format version, checksum mismatch, or a key
+//! collision on a different workload — is a cache miss: the trace is
+//! regenerated and the entry rewritten, so a corrupted cache can never
+//! change simulation results.
+//!
+//! [`cached_generate`] is the drop-in entry point the experiment engine
+//! uses: store-backed by default, disabled by setting the
+//! [`TRACE_CACHE_ENV`] environment variable to `0` or `off` (or redirected
+//! by setting it to a directory path).
+
+use crate::generator::{generate_with, GeneratorKind};
+use crate::profiles::WorkloadProfile;
+use sb_isa::{decode_trace, encode_trace, Trace, TRACE_FORMAT_VERSION};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Environment variable controlling the default trace cache: unset keeps
+/// the default directory, `0`/`off` disables caching, anything else is used
+/// as the cache directory.
+pub const TRACE_CACHE_ENV: &str = "SB_TRACE_CACHE";
+
+/// Distinguishes concurrent writers' temporary files within one process.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory of serialized traces keyed by
+/// `(workload name, ops, seed, format version)`.
+#[derive(Clone, Debug)]
+pub struct TraceStore {
+    dir: PathBuf,
+}
+
+impl TraceStore {
+    /// A store rooted at `dir` (created lazily on first write).
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        TraceStore { dir: dir.into() }
+    }
+
+    /// The store honoring [`TRACE_CACHE_ENV`]: `None` when caching is
+    /// disabled, otherwise a store on the requested (or default) directory.
+    #[must_use]
+    pub fn from_env() -> Option<TraceStore> {
+        match std::env::var(TRACE_CACHE_ENV) {
+            Ok(v) if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off") => None,
+            Ok(dir) => Some(TraceStore::new(dir)),
+            Err(_) => Some(TraceStore::new(Self::default_dir())),
+        }
+    }
+
+    /// The default cache directory: `$CARGO_TARGET_DIR/trace-cache` when
+    /// set, else the workspace `target/trace-cache`.
+    #[must_use]
+    pub fn default_dir() -> PathBuf {
+        if let Ok(target) = std::env::var("CARGO_TARGET_DIR") {
+            return Path::new(&target).join("trace-cache");
+        }
+        // sb-workloads lives at <workspace>/crates/workloads; resolve the
+        // workspace target dir relative to the compiled crate so the cache
+        // is shared no matter which package's test binary is running.
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/trace-cache")
+            .components()
+            .collect()
+    }
+
+    /// The directory this store reads and writes.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The cache file path for a `(name, ops, seed, fingerprint)` key under
+    /// the current format version. `fp` is a content fingerprint of
+    /// whatever besides `(ops, seed)` determines the trace — for profile
+    /// workloads, [`WorkloadProfile::fingerprint`]; use `0` for traces
+    /// whose content is fixed by the build (e.g. attack kernels).
+    #[must_use]
+    pub fn path_for(&self, name: &str, ops: usize, seed: u64, fp: u64) -> PathBuf {
+        let mut sanitized: String = name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        if sanitized != name {
+            // Distinct raw names may sanitize identically; disambiguate so
+            // the two keys don't perpetually evict each other.
+            #[allow(clippy::cast_possible_truncation)]
+            let name_hash = crate::fnv::hash_str(name) as u32;
+            sanitized.push_str(&format!("_{name_hash:08x}"));
+        }
+        self.dir.join(format!(
+            "{sanitized}-{ops}-{seed:016x}-{fp:016x}-v{TRACE_FORMAT_VERSION}.sbtrace"
+        ))
+    }
+
+    /// Loads the cached trace for a key, or `None` on miss or on *any*
+    /// validation failure (which also removes the bad entry, best-effort).
+    #[must_use]
+    pub fn load(&self, name: &str, ops: usize, seed: u64, fp: u64) -> Option<Trace> {
+        let path = self.path_for(name, ops, seed, fp);
+        let bytes = fs::read(&path).ok()?;
+        match decode_trace(&bytes) {
+            Ok(trace) if trace.name() == name && trace.len() == ops => Some(trace),
+            _ => {
+                // Corrupt, stale, or colliding entry: drop it so the next
+                // write heals the cache.
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Serializes `trace` under its key via write-to-temporary plus atomic
+    /// rename.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (callers treat a failed save as a
+    /// cache bypass, never as a run failure).
+    pub fn save(&self, trace: &Trace, seed: u64, fp: u64) -> io::Result<PathBuf> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.path_for(trace.name(), trace.len(), seed, fp);
+        let tmp = self.dir.join(format!(
+            ".{}.{}.{}.tmp",
+            path.file_name().unwrap_or_default().to_string_lossy(),
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, encode_trace(trace))?;
+        match fs::rename(&tmp, &path) {
+            Ok(()) => Ok(path),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// The store-backed generation entry point: cache hit, or generate with
+    /// the default (batched) generator and populate the cache.
+    #[must_use]
+    pub fn load_or_generate(&self, profile: &WorkloadProfile, ops: usize, seed: u64) -> Trace {
+        self.load_or_generate_with(GeneratorKind::Batched, profile, ops, seed)
+    }
+
+    /// [`TraceStore::load_or_generate`] with an explicit generator kind for
+    /// the miss path (both kinds produce identical traces, so the cache key
+    /// does not include the kind — it does include the profile fingerprint,
+    /// so profile or generator changes invalidate stale entries).
+    #[must_use]
+    pub fn load_or_generate_with(
+        &self,
+        kind: GeneratorKind,
+        profile: &WorkloadProfile,
+        ops: usize,
+        seed: u64,
+    ) -> Trace {
+        let fp = profile.fingerprint();
+        if let Some(trace) = self.load(profile.name, ops, seed, fp) {
+            return trace;
+        }
+        let trace = generate_with(kind, profile, ops, seed);
+        let _ = self.save(&trace, seed, fp);
+        trace
+    }
+}
+
+/// [`crate::generate`] behind the process-default trace store: reads and
+/// populates the cache unless [`TRACE_CACHE_ENV`] disables it.
+#[must_use]
+pub fn cached_generate(profile: &WorkloadProfile, ops: usize, seed: u64) -> Trace {
+    match TraceStore::from_env() {
+        Some(store) => store.load_or_generate(profile, ops, seed),
+        None => crate::generate(profile, ops, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use crate::profiles::spec2017_profiles;
+
+    fn temp_store(tag: &str) -> TraceStore {
+        let dir =
+            std::env::temp_dir().join(format!("sb-trace-store-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        TraceStore::new(dir)
+    }
+
+    fn cleanup(store: &TraceStore) {
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn miss_generates_and_populates() {
+        let store = temp_store("miss");
+        let p = spec2017_profiles()[1]; // 502.gcc
+        assert!(store.load(p.name, 500, 9, p.fingerprint()).is_none());
+        let cold = store.load_or_generate(&p, 500, 9);
+        assert_eq!(cold, generate(&p, 500, 9));
+        let warm = store
+            .load(p.name, 500, 9, p.fingerprint())
+            .expect("populated");
+        assert_eq!(cold, warm);
+        cleanup(&store);
+    }
+
+    #[test]
+    fn keys_are_disjoint_per_name_ops_seed_and_fingerprint() {
+        let store = temp_store("keys");
+        let p = spec2017_profiles();
+        let fp = p[0].fingerprint();
+        let a = store.path_for(p[0].name, 100, 1, fp);
+        assert_ne!(a, store.path_for(p[1].name, 100, 1, p[1].fingerprint()));
+        assert_ne!(a, store.path_for(p[0].name, 101, 1, fp));
+        assert_ne!(a, store.path_for(p[0].name, 100, 2, fp));
+        assert_ne!(a, store.path_for(p[0].name, 100, 1, fp ^ 1));
+        assert!(a.to_string_lossy().contains("-v1.sbtrace"));
+        cleanup(&store);
+    }
+
+    #[test]
+    fn profile_changes_change_the_fingerprint() {
+        // A recalibrated profile must key to a different cache file, so a
+        // persisted cache (CI restores target/trace-cache across commits)
+        // can never serve traces generated from old parameters.
+        let mut p = spec2017_profiles()[0];
+        let before = p.fingerprint();
+        p.load_frac += 0.01;
+        assert_ne!(before, p.fingerprint());
+        let mut q = spec2017_profiles()[0];
+        q.footprint *= 2;
+        assert_ne!(before, q.fingerprint());
+    }
+
+    #[test]
+    fn sanitized_name_collisions_stay_disjoint() {
+        let store = temp_store("sanitize");
+        // Distinct raw names with identical sanitized forms must not share
+        // a cache file.
+        let a = store.path_for("spectre v1", 100, 1, 0);
+        let b = store.path_for("spectre_v1", 100, 1, 0);
+        let c = store.path_for("spectre:v1", 100, 1, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        cleanup(&store);
+    }
+
+    #[test]
+    fn corrupt_entry_is_dropped_and_healed() {
+        let store = temp_store("corrupt");
+        let p = spec2017_profiles()[3]; // 505.mcf
+        let fp = p.fingerprint();
+        let fresh = store.load_or_generate(&p, 400, 77);
+        let path = store.path_for(p.name, 400, 77, fp);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+        // The corrupt entry must read as a miss (and be removed)...
+        assert!(store.load(p.name, 400, 77, fp).is_none());
+        assert!(!path.exists());
+        // ...and the regeneration path must heal it with identical data.
+        let healed = store.load_or_generate(&p, 400, 77);
+        assert_eq!(fresh, healed);
+        assert!(store.load(p.name, 400, 77, fp).is_some());
+        cleanup(&store);
+    }
+
+    #[test]
+    fn key_collision_on_other_workload_is_a_miss() {
+        let store = temp_store("collision");
+        let profiles = spec2017_profiles();
+        let (a, b) = (profiles[0], profiles[1]);
+        let trace = generate(&a, 300, 5);
+        // Write a's trace under b's key: name validation must reject it.
+        let path = store.path_for(b.name, 300, 5, b.fingerprint());
+        fs::create_dir_all(store.dir()).unwrap();
+        fs::write(&path, sb_isa::encode_trace(&trace)).unwrap();
+        assert!(store.load(b.name, 300, 5, b.fingerprint()).is_none());
+        cleanup(&store);
+    }
+
+    #[test]
+    fn reference_and_batched_miss_paths_cache_identically() {
+        let store = temp_store("kinds");
+        let p = spec2017_profiles()[7]; // 511.povray
+        let via_ref = store.load_or_generate_with(GeneratorKind::Reference, &p, 600, 2);
+        // Second call hits the cache written by the reference path.
+        let via_batched = store.load_or_generate_with(GeneratorKind::Batched, &p, 600, 2);
+        assert_eq!(via_ref, via_batched);
+        cleanup(&store);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the trace codec and the persistent store (via the
+//! offline proptest shim): any generated trace round-trips through
+//! encode/decode bit-exactly, and any single-byte corruption of a cache
+//! file is detected — the store falls back to regeneration instead of ever
+//! handing a damaged trace to the simulator.
+
+use proptest::prelude::*;
+use sb_isa::{decode_trace, encode_trace};
+use sb_workloads::{generate, spec2017_profiles, spectre_v1_kernel, ssb_kernel, TraceStore};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unique per-case scratch directory (cases within one property run on one
+/// thread, but properties run in parallel).
+fn scratch_store(tag: &str) -> TraceStore {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "sb-store-props-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    TraceStore::new(dir)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// encode ∘ decode is the identity on every generated trace.
+    #[test]
+    fn encode_decode_round_trips(
+        profile_idx in 0usize..22,
+        len in 16usize..600,
+        seed in 0u64..1_000_000,
+    ) {
+        let profile = spec2017_profiles()[profile_idx];
+        let trace = generate(&profile, len, seed);
+        let bytes = encode_trace(&trace);
+        let decoded = decode_trace(&bytes);
+        prop_assert!(decoded.is_ok(), "decode failed: {:?}", decoded.err());
+        prop_assert_eq!(trace, decoded.unwrap());
+    }
+
+    /// Attack kernels (wrong-path blocks included) round-trip too.
+    #[test]
+    fn kernel_encode_decode_round_trips(secret in 0usize..16, spectre in any::<bool>()) {
+        let kernel = if spectre { spectre_v1_kernel(secret) } else { ssb_kernel(secret) };
+        let decoded = decode_trace(&encode_trace(&kernel.trace));
+        prop_assert!(decoded.is_ok());
+        prop_assert_eq!(kernel.trace, decoded.unwrap());
+    }
+
+    /// Flipping any single byte of an encoded trace makes decode fail —
+    /// nothing slips past the magic/version/checksum validation.
+    #[test]
+    fn any_byte_flip_is_detected(
+        profile_idx in 0usize..22,
+        len in 16usize..200,
+        seed in 0u64..1_000_000,
+        pos_draw in 0usize..1_000_000,
+        mask in 1u8..255,
+    ) {
+        let profile = spec2017_profiles()[profile_idx];
+        let mut bytes = encode_trace(&generate(&profile, len, seed));
+        let pos = pos_draw % bytes.len();
+        bytes[pos] ^= mask;
+        prop_assert!(
+            decode_trace(&bytes).is_err(),
+            "flip of byte {pos} with mask {mask:#x} went undetected"
+        );
+    }
+
+    /// A corrupted cache file is a miss: the store regenerates the exact
+    /// trace and heals the entry, so corruption can never change a run.
+    #[test]
+    fn corrupted_cache_file_falls_back_to_regeneration(
+        profile_idx in 0usize..22,
+        len in 16usize..200,
+        seed in 0u64..1_000_000,
+        pos_draw in 0usize..1_000_000,
+        mask in 1u8..255,
+    ) {
+        let store = scratch_store("corrupt");
+        let profile = spec2017_profiles()[profile_idx];
+        let fresh = store.load_or_generate(&profile, len, seed);
+        let path = store.path_for(profile.name, len, seed, profile.fingerprint());
+        let mut bytes = std::fs::read(&path).expect("cache file written");
+        let pos = pos_draw % bytes.len();
+        bytes[pos] ^= mask;
+        std::fs::write(&path, &bytes).expect("corrupt the entry");
+        let after = store.load_or_generate(&profile, len, seed);
+        prop_assert_eq!(&fresh, &after, "corruption changed the trace");
+        // The store must have healed the entry with a valid copy.
+        let healed = store.load(profile.name, len, seed, profile.fingerprint());
+        prop_assert!(healed.is_some(), "entry not healed");
+        prop_assert_eq!(fresh, healed.unwrap());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    /// Truncating an encoded trace at any point fails decode.
+    #[test]
+    fn truncation_is_detected(
+        len in 16usize..200,
+        seed in 0u64..1_000_000,
+        keep_draw in 0usize..1_000_000,
+    ) {
+        let profile = spec2017_profiles()[0];
+        let bytes = encode_trace(&generate(&profile, len, seed));
+        let keep = keep_draw % bytes.len(); // strictly shorter than full
+        prop_assert!(decode_trace(&bytes[..keep]).is_err(), "kept {keep} bytes");
+    }
+}
