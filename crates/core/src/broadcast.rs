@@ -118,6 +118,19 @@ impl<T> BroadcastQueue<T> {
         self.total_sent += (sent.len() - start) as u64;
     }
 
+    /// Sends the oldest pending broadcast if `ready` accepts it — the
+    /// allocation-free single-step variant of
+    /// [`BroadcastQueue::drain_ready_into`] for per-cycle hot loops that
+    /// do not need to collect the payloads.
+    pub fn pop_ready(&mut self, ready: impl Fn(Seq) -> bool) -> Option<(Seq, T)> {
+        let &(seq, _) = self.pending.front()?;
+        if !ready(seq) {
+            return None;
+        }
+        self.total_sent += 1;
+        self.pending.pop_front()
+    }
+
     /// Drops queued broadcasts for squashed instructions (younger than
     /// `seq`, exclusive).
     pub fn squash_younger(&mut self, seq: Seq) {

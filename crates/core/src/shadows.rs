@@ -91,6 +91,13 @@ struct Shadow {
 pub struct SpeculationTracker {
     /// Shadow-casting instructions in program order.
     shadows: VecDeque<Shadow>,
+    /// Token of the shadow currently at the deque front. A token is a
+    /// *virtual deque position* (front pops advance it, back pops do
+    /// not), so `token - front_token` resolves a live caster's shadow in
+    /// O(1). Tokens are NOT unique across time: a squash recycles the
+    /// popped positions for later casts — see the holder contract on
+    /// [`SpeculationTracker::cast`].
+    front_token: u64,
 }
 
 impl SpeculationTracker {
@@ -100,13 +107,23 @@ impl SpeculationTracker {
         SpeculationTracker::default()
     }
 
-    /// Registers a shadow cast by instruction `seq`.
+    /// Registers a shadow cast by instruction `seq`, returning the cast
+    /// token for [`SpeculationTracker::resolve_at`].
+    ///
+    /// Holder contract: the token is a deque *position*, not a unique id —
+    /// a squash pops younger shadows and later casts reuse their
+    /// positions (and therefore their token values). A token must only be
+    /// stored where it dies together with its caster (the caster's own
+    /// ROB record, as `sb-uarch` does in `ColdInst`), never in a lazily
+    /// cleaned container that can outlive a squash. Within that contract
+    /// resolution is safe: the caster is live, so its position still names
+    /// its own shadow, and resolving an already-retired token is a no-op.
     ///
     /// # Panics
     ///
     /// Panics if `seq` is not younger than every tracked shadow — shadows
     /// must be cast in program order.
-    pub fn cast(&mut self, seq: Seq, kind: ShadowKind) {
+    pub fn cast(&mut self, seq: Seq, kind: ShadowKind) -> u64 {
         if let Some(last) = self.shadows.back() {
             assert!(seq > last.seq, "shadows must be cast in program order");
         }
@@ -115,6 +132,7 @@ impl SpeculationTracker {
             kind,
             resolved: false,
         });
+        self.front_token + self.shadows.len() as u64 - 1
     }
 
     /// Marks the shadow cast by `seq` as resolved. No-op if `seq` casts no
@@ -127,9 +145,22 @@ impl SpeculationTracker {
         self.retire_resolved_prefix();
     }
 
+    /// Marks the shadow behind cast token `token` as resolved in O(1) —
+    /// the hot-path equivalent of [`SpeculationTracker::resolve`]. No-op
+    /// for already-retired tokens.
+    pub fn resolve_at(&mut self, token: u64) {
+        if let Some(i) = token.checked_sub(self.front_token) {
+            if let Some(s) = self.shadows.get_mut(i as usize) {
+                s.resolved = true;
+            }
+        }
+        self.retire_resolved_prefix();
+    }
+
     fn retire_resolved_prefix(&mut self) {
         while self.shadows.front().is_some_and(|s| s.resolved) {
             self.shadows.pop_front();
+            self.front_token += 1;
         }
     }
 

@@ -98,6 +98,42 @@ impl TraceGenReport {
     }
 }
 
+/// One profile's wheel-vs-reference measurement for the hot/cold
+/// instruction-layout tracking (`inst_layout` in `BENCH_core.json`).
+#[derive(Clone, Debug)]
+pub struct LayoutPoint {
+    /// Profile name (e.g. `502.gcc`).
+    pub profile: String,
+    /// Why the profile is in the basket: `compute-bound` profiles are
+    /// where shared per-op costs dominate the simulator (the gap the
+    /// hot/cold split closes), `memory-bound` ones keep the ROB full.
+    pub class: &'static str,
+    /// Simulated micro-ops per second, event-wheel scheduler.
+    pub event_wheel_ops_per_sec: f64,
+    /// Simulated micro-ops per second, reference scheduler.
+    pub reference_ops_per_sec: f64,
+}
+
+impl LayoutPoint {
+    /// Event-wheel speedup over the reference scheduler.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.event_wheel_ops_per_sec / self.reference_ops_per_sec
+    }
+}
+
+/// The hot/cold `Inst` layout section: record sizes plus per-profile
+/// wheel-vs-reference throughput on Mega × STT-Issue.
+#[derive(Clone, Debug, Default)]
+pub struct InstLayoutReport {
+    /// `size_of::<sb_uarch::HotInst>()` — pinned ≤ 64 by tests.
+    pub hot_inst_bytes: usize,
+    /// `size_of::<sb_uarch::ColdInst>()`.
+    pub cold_inst_bytes: usize,
+    /// Per-profile measurements.
+    pub points: Vec<LayoutPoint>,
+}
+
 /// The full bench outcome.
 #[derive(Clone, Debug)]
 pub struct BenchReport {
@@ -109,6 +145,8 @@ pub struct BenchReport {
     pub grid_reference_secs: f64,
     /// Trace-generation cold/warm comparison.
     pub tracegen: TraceGenReport,
+    /// Hot/cold instruction-layout comparison.
+    pub inst_layout: InstLayoutReport,
     /// Options the bench ran with.
     pub options: BenchOptions,
 }
@@ -166,6 +204,30 @@ impl BenchReport {
         s.push_str("  ],\n");
         let _ = writeln!(
             s,
+            "  \"inst_layout\": {{\"hot_inst_bytes\": {}, \"cold_inst_bytes\": {}, \"points\": [",
+            self.inst_layout.hot_inst_bytes, self.inst_layout.cold_inst_bytes
+        );
+        for (i, p) in self.inst_layout.points.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"profile\": \"{}\", \"class\": \"{}\", \
+                 \"event_wheel_ops_per_sec\": {:.1}, \"reference_ops_per_sec\": {:.1}, \
+                 \"speedup\": {:.2}}}",
+                p.profile,
+                p.class,
+                p.event_wheel_ops_per_sec,
+                p.reference_ops_per_sec,
+                p.speedup()
+            );
+            s.push_str(if i + 1 < self.inst_layout.points.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]},\n");
+        let _ = writeln!(
+            s,
             "  \"tracegen\": {{\"reference_secs\": {:.4}, \"batched_secs\": {:.4}, \
              \"cold_store_secs\": {:.4}, \"warm_store_secs\": {:.4}, \
              \"batched_speedup\": {:.2}, \"warm_speedup\": {:.2}}},",
@@ -221,6 +283,22 @@ impl BenchReport {
         );
         let _ = writeln!(
             s,
+            "inst layout (hot {} B / cold {} B, mega x STT-Issue ops/sec):",
+            self.inst_layout.hot_inst_bytes, self.inst_layout.cold_inst_bytes
+        );
+        for p in &self.inst_layout.points {
+            let _ = writeln!(
+                s,
+                "  {:<14} {:<13} wheel {:>10.0}  reference {:>10.0}  ({:.2}x)",
+                p.profile,
+                p.class,
+                p.event_wheel_ops_per_sec,
+                p.reference_ops_per_sec,
+                p.speedup()
+            );
+        }
+        let _ = writeln!(
+            s,
             "grid wall-clock ({} uops/bench): event-wheel {:.2}s, reference {:.2}s ({:.2}x)",
             self.options.grid_ops,
             self.grid_event_wheel_secs,
@@ -267,6 +345,62 @@ fn with_scheduler(config: &CoreConfig, kind: SchedulerKind) -> CoreConfig {
     let mut c = config.clone();
     c.scheduler = kind;
     c
+}
+
+/// The `inst_layout` basket: the compute-bound profiles are where shared
+/// per-op simulator costs (dispatch/rename, `Inst` movement, the cache
+/// model) dominate and the event wheel's advantage used to collapse; the
+/// memory-bound ones keep the ROB full, where the reference full-scan
+/// hurts most. Guard: the split must lift the former without regressing
+/// the latter.
+const LAYOUT_BASKET: [(&str, &str); 4] = [
+    ("502.gcc", "compute-bound"),
+    ("538.imagick", "compute-bound"),
+    ("505.mcf", "memory-bound"),
+    // Streams through the prefetchers: the ROB never fills, so its
+    // simulator cost profile is compute-like despite the memory traffic.
+    ("503.bwaves", "streaming"),
+];
+
+/// Measures the hot/cold layout section: Mega × STT-Issue per profile,
+/// both schedulers interleaved (best of `reps` each, which suppresses the
+/// run-to-run drift of a shared CPU better than back-to-back blocks).
+fn measure_inst_layout(opts: &BenchOptions) -> InstLayoutReport {
+    let profiles = spec2017_profiles();
+    let mut points = Vec::new();
+    for (name, class) in LAYOUT_BASKET {
+        let profile = profiles
+            .iter()
+            .find(|p| p.name == name)
+            .expect("layout profile exists");
+        let trace = generate(profile, opts.ops, opts.seed);
+        let mut best = [f64::INFINITY; 2];
+        for _ in 0..5 {
+            for (i, kind) in [SchedulerKind::EventWheel, SchedulerKind::Reference]
+                .into_iter()
+                .enumerate()
+            {
+                let config = with_scheduler(&CoreConfig::mega(), kind);
+                let mut core = Core::with_scheme(config, Scheme::SttIssue, trace.clone());
+                let start = Instant::now();
+                core.run(MAX_CYCLES);
+                let secs = start.elapsed().as_secs_f64();
+                assert!(core.is_done(), "layout point did not finish");
+                best[i] = best[i].min(secs);
+            }
+        }
+        points.push(LayoutPoint {
+            profile: name.to_string(),
+            class,
+            event_wheel_ops_per_sec: opts.ops as f64 / best[0],
+            reference_ops_per_sec: opts.ops as f64 / best[1],
+        });
+    }
+    InstLayoutReport {
+        hot_inst_bytes: std::mem::size_of::<sb_uarch::HotInst>(),
+        cold_inst_bytes: std::mem::size_of::<sb_uarch::ColdInst>(),
+        points,
+    }
 }
 
 /// Times trace production over the full 22-profile suite at `ops` micro-ops
@@ -358,6 +492,7 @@ pub fn run_core_bench(opts: &BenchOptions) -> BenchReport {
     }
 
     let tracegen = measure_tracegen(opts.ops, opts.seed);
+    let inst_layout = measure_inst_layout(opts);
 
     let spec = RunSpec {
         ops: opts.grid_ops,
@@ -390,6 +525,7 @@ pub fn run_core_bench(opts: &BenchOptions) -> BenchReport {
         grid_event_wheel_secs,
         grid_reference_secs,
         tracegen,
+        inst_layout,
         options: opts.clone(),
     }
 }
@@ -415,10 +551,25 @@ mod tests {
                 cold_store_secs: 0.5,
                 warm_store_secs: 0.1,
             },
+            inst_layout: InstLayoutReport {
+                hot_inst_bytes: 64,
+                cold_inst_bytes: 80,
+                points: vec![LayoutPoint {
+                    profile: "502.gcc".into(),
+                    class: "compute-bound",
+                    event_wheel_ops_per_sec: 4_800_000.0,
+                    reference_ops_per_sec: 2_000_000.0,
+                }],
+            },
             options: BenchOptions::default(),
         };
         let json = report.to_json();
         assert!(json.contains("\"config\": \"mega\""));
+        assert!(json.contains("\"inst_layout\""));
+        assert!(json.contains("\"hot_inst_bytes\": 64"));
+        assert!(json.contains("\"class\": \"compute-bound\""));
+        assert!(json.contains("\"speedup\": 2.40"));
+        assert!(report.summary().contains("inst layout"));
         assert!(json.contains("\"speedup\": 5.00"));
         assert!(json.contains("\"tracegen\""));
         assert!(json.contains("\"batched_speedup\": 2.00"));
@@ -443,6 +594,7 @@ mod tests {
             grid_event_wheel_secs: 1.0,
             grid_reference_secs: 1.0,
             tracegen: TraceGenReport::default(),
+            inst_layout: InstLayoutReport::default(),
             options: BenchOptions::default(),
         };
         assert!(report.to_json().contains("\"reference_ops_per_sec\": null"));

@@ -84,6 +84,10 @@ pub struct Cache {
     last_use: Vec<u64>,
     /// Valid lines per set (lines fill from the front of the set's run).
     filled: Vec<u32>,
+    /// `log2(line_bytes)`, precomputed: the index/tag split runs on every
+    /// simulated memory access, and the compiler cannot know the runtime
+    /// divisor is a power of two.
+    line_shift: u32,
     tick: u64,
 }
 
@@ -106,6 +110,7 @@ impl Cache {
             tags: vec![0; config.sets * config.ways],
             last_use: vec![0; config.sets * config.ways],
             filled: vec![0; config.sets],
+            line_shift: config.line_bytes.trailing_zeros(),
             tick: 0,
         }
     }
@@ -117,7 +122,7 @@ impl Cache {
     }
 
     fn index_and_tag(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.config.line_bytes as u64;
+        let line = addr >> self.line_shift;
         let idx = (line as usize) & (self.config.sets - 1);
         (idx, line)
     }

@@ -7,6 +7,14 @@
 //! cycles, not the single cycle that made earlier STT evaluations optimistic.
 //! The abstract (gem5-like) fidelity mode of `sb-uarch` overrides the L1
 //! latency to 1 cycle to reproduce that effect.
+//!
+//! Cross-crate data flow: `sb-uarch`'s LSU and commit stages call
+//! [`MemoryHierarchy::access`] for every simulated load/store (it sits on
+//! the simulator's hottest shared path — keep it lean), and the attack
+//! examples use [`SideChannelObserver`] to probe which lines a transient
+//! access left behind. Behaviour here is part of the golden-stats
+//! contract: any change to hit/miss or prefetch decisions changes
+//! `SimStats` and trips the differential tests.
 
 mod cache;
 mod hierarchy;

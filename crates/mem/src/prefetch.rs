@@ -55,16 +55,25 @@ impl StridePrefetcher {
     /// per-access hot path (targets are appended).
     pub fn observe_into(&mut self, addr: u64, out: &mut Vec<u64>) {
         let region = addr >> 12;
-        if self.table.len() >= self.max_entries && !self.table.contains_key(&region) {
-            // Simple capacity bound: drop the whole table rather than model
-            // replacement; streams re-train in two accesses.
-            self.table.clear();
-        }
-        let entry = self.table.entry(region).or_insert(StreamEntry {
-            last_addr: addr,
-            stride: 0,
-            confidence: 0,
-        });
+        // Single-lookup hit path: steady state is an existing stream, and
+        // this sits under every simulated memory access.
+        let Some(entry) = self.table.get_mut(&region) else {
+            if self.table.len() >= self.max_entries {
+                // Simple capacity bound: drop the whole table rather than
+                // model replacement; streams re-train in two accesses.
+                self.table.clear();
+            }
+            // A fresh stream observes no stride and emits nothing.
+            self.table.insert(
+                region,
+                StreamEntry {
+                    last_addr: addr,
+                    stride: 0,
+                    confidence: 0,
+                },
+            );
+            return;
+        };
         let stride = addr as i64 - entry.last_addr as i64;
         if stride != 0 {
             if stride == entry.stride {

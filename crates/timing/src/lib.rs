@@ -10,6 +10,12 @@
 //! stage-delay, register-count and activity formulas whose constants are
 //! calibrated against the paper's measured anchors (Figure 9, Table 4);
 //! the *scaling shape* is the model, the constants are the fit.
+//!
+//! Cross-crate data flow: inputs come from `sb-uarch` core configurations
+//! (width, PRF size, branch tags) and measured per-run activity
+//! (`sb-stats` counters, the rename chain depth the core observed);
+//! `sb-experiments` multiplies the resulting relative timing into
+//! relative IPC to reproduce the paper's combined performance figures.
 
 mod area;
 mod critical_path;

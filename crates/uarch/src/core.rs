@@ -24,24 +24,42 @@
 //!   touches only instructions whose operand just became ready), a
 //!   taint-masked parking lot keyed by youngest root of taint (drained as
 //!   the untaint visibility point advances), per-store waiter lists for
-//!   loads the LSU refused, dedicated LQ/SQ arrival indexes bounding the
-//!   store-search and forwarding-error scans by queue occupancy, per-preg
-//!   dependent counts making the load-hit-speculation replay check O(1),
-//!   a bucketed calendar queue replacing the `BTreeMap` event queue, O(1)
-//!   event-to-ROB-slot resolution via a monotone arrival index instead of
-//!   a per-event binary search, and idle-cycle fast-forward (provably
-//!   empty cycles jump straight to the next scheduled event, replicating
-//!   their stall statistics).
+//!   loads the LSU refused, dispatch-time LQ/SQ queue marks that slice
+//!   the store-search and forwarding-error scans directly (no per-load
+//!   binary search), per-preg dependent counts making the
+//!   load-hit-speculation replay check O(1), a bucketed calendar queue
+//!   replacing the `BTreeMap` event queue, and idle-cycle fast-forward
+//!   (provably empty cycles jump straight to the next scheduled event,
+//!   replicating their stall statistics). Operand-ready parts enter the
+//!   ready ring directly at dispatch; the age-ordered scan stops at the
+//!   first entry below the minimum issue age (dispatch cycles are
+//!   monotone in arrival order), which removes the per-op retry-wake
+//!   round trip entirely.
+//!
+//! # Instruction layout
+//!
+//! The ROB is a fixed-capacity arena ([`crate::rob::RobArena`]) of
+//! in-place slots, split into a hot, cache-line-sized scheduling record
+//! ([`HotInst`], ≤64 bytes — the only thing the per-cycle loops touch)
+//! and a cold sidecar ([`ColdInst`]: the decoded micro-op, squash-walk
+//! rename state, shadow tokens). Dispatch constructs entries directly in
+//! the slab, commit and squash move window bounds instead of moving
+//! instructions, and every cross-container reference is a
+//! generation-checked [`RobHandle`] so recycled slots can never be read
+//! through a stale reference. See `docs/ARCHITECTURE.md` for the
+//! field-by-field split and the measured effect.
 //!
 //! Measured on this repository's `BENCH_core.json` emitter
 //! (`cargo run -p sb-experiments --release -- bench`, single shared CPU,
-//! basket of gcc/mcf/omnetpp-like profiles): the event wheel simulates
-//! ≈2.5–3× more micro-ops per second than the reference scheduler on the
-//! Mega configuration (≈3.4M vs ≈1.2M ops/s for STT-Issue), up to ≈3.5×
-//! on memory-bound profiles where the ROB stays full, and cuts full-grid
-//! wall clock ≈1.9× on one core (the grid is additionally a flat job list
-//! over a bounded pool, so multi-core machines parallelize across all 352
-//! points).
+//! Mega × STT-Issue): the event wheel simulates ≈2.2× more micro-ops
+//! per second than the reference scheduler on compute-bound profiles
+//! (gcc/imagick-like, where shared per-op costs dominate; ≈1.9× before
+//! the hot/cold split — against the *pre-split* reference the wheel is
+//! now ≈2.6–2.7×) and ≈4× on memory-bound profiles where the ROB stays
+//! full (mcf-like). The split sped the reference scheduler up too (≈1.3×:
+//! its full-ROB scans stream 64-byte records instead of ~200-byte
+//! structs), so the wheel-vs-reference ratio understates the absolute
+//! win: the wheel itself got ≈1.35× faster on gcc-like profiles.
 //!
 //! # Modelled behaviours
 //!
@@ -62,10 +80,11 @@
 
 use crate::config::{CoreConfig, Fidelity, SchedulerKind};
 use crate::frontend::{Fetched, Frontend};
-use crate::inst::{Inst, Phase};
+use crate::inst::{ColdInst, HotInst, Phase};
 use crate::memdep::MemDepPredictor;
 use crate::rename::{FreeList, Rat};
-use crate::sched::{pack_pos, Calendar, Part, PartRef, SchedState, Wake, WastedRing};
+use crate::rob::{RobArena, RobHandle};
+use crate::sched::{pack_pos, ArrivalRing, Calendar, Part, PartRef, SchedState, Wake, WastedRing};
 use sb_core::{
     BroadcastQueue, IssueTaintUnit, RenameGroupOp, RenameTaintTracker, Scheme, SchemeConfig,
     ShadowKind, SpeculationTracker, ThreatModel,
@@ -73,7 +92,7 @@ use sb_core::{
 use sb_isa::{OpClass, PhysReg, Seq, Trace};
 use sb_mem::{AccessKind, MemoryHierarchy, ServedBy};
 use sb_stats::SimStats;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
 /// Store-to-load forwarding latency in cycles.
 const FORWARD_LATENCY: u32 = 3;
@@ -93,18 +112,21 @@ enum Event {
 }
 
 /// One scheduled pipeline event. The arrival index resolves the ROB slot in
-/// O(1); the sequence number detects references left dangling by a squash.
+/// O(1); the slot generation detects references left dangling by a squash
+/// (see [`RobHandle`]).
 #[derive(Clone, Copy, Debug)]
 struct Scheduled {
     arrival: u64,
-    seq: u64,
+    gen: u32,
     event: Event,
 }
 
 /// The pipeline event queue: a sorted map for the reference scheduler
-/// (matching the seed implementation's cost model: the consumer resolves
-/// each event's ROB slot by binary search), a bucketed calendar for the
-/// event wheel (consumer resolves slots in O(1) from the arrival index).
+/// (matching the seed implementation's event ordering), a bucketed
+/// calendar for the event wheel. Both consumers resolve each event's ROB
+/// slot through the arena's O(1) generation-checked lookup — the arena
+/// made the former per-event binary search free, so the reference path
+/// keeps only the seed's queue *ordering* cost model.
 #[derive(Debug)]
 enum EventQueue {
     Map(BTreeMap<u64, Vec<Scheduled>>),
@@ -226,11 +248,11 @@ pub struct Core {
 
     cycle: u64,
     next_seq: u64,
-    rob: VecDeque<Inst>,
-    /// Arrival index of the ROB head. Arrival indexes count ROB pushes;
-    /// because the ROB mutates only at its ends, slot `i` holds arrival
-    /// `arrival_base + i`.
-    arrival_base: u64,
+    /// The reorder buffer: hot/cold instruction slabs with generation-
+    /// checked handles. Arrival indexes count ROB pushes; because the ROB
+    /// mutates only at its ends, live position `i` holds arrival
+    /// `rob.head_arrival() + i`.
+    rob: RobArena,
 
     rat: Rat,
     free_list: FreeList,
@@ -260,20 +282,19 @@ pub struct Core {
     unpark_scratch: Vec<PartRef>,
     group_scratch: Vec<usize>,
     rename_ops_scratch: Vec<RenameGroupOp>,
-    untaint_scratch: Vec<(Seq, ())>,
     nda_scratch: Vec<(Seq, PhysReg)>,
-    /// Arrival indexes of in-flight loads, oldest first (the LQ).
-    lq: VecDeque<u64>,
+    /// Arrival indexes of in-flight loads, oldest first (the LQ), at
+    /// monotone positions (each load records the SQ tail in its
+    /// `queue_mark` at dispatch, and vice versa).
+    lq: ArrivalRing,
     /// Arrival indexes of in-flight stores, oldest first (the SQ).
-    sq: VecDeque<u64>,
+    sq: ArrivalRing,
     /// Per physical register: how many phase-`Waiting` instructions name it
     /// as a source (the O(1) replacement for the load-hit-speculation
     /// dependent scan).
     dep_count: Vec<u32>,
 
     iq_count: usize,
-    lq_count: usize,
-    sq_count: usize,
     br_tags_used: usize,
 
     stats: SimStats,
@@ -307,8 +328,7 @@ impl Core {
             untaint_q: BroadcastQueue::new(),
             nda_q: BroadcastQueue::new(),
             visible_safe_seq: Seq::ZERO,
-            rob: VecDeque::with_capacity(config.rob_entries),
-            arrival_base: 0,
+            rob: RobArena::new(config.rob_entries),
             events: match scheduler {
                 SchedulerKind::Reference => EventQueue::Map(BTreeMap::new()),
                 SchedulerKind::EventWheel => EventQueue::Wheel(Calendar::new()),
@@ -322,16 +342,13 @@ impl Core {
             unpark_scratch: Vec::new(),
             group_scratch: Vec::new(),
             rename_ops_scratch: Vec::new(),
-            untaint_scratch: Vec::new(),
             nda_scratch: Vec::new(),
-            lq: VecDeque::with_capacity(config.lq_entries),
-            sq: VecDeque::with_capacity(config.sq_entries),
+            lq: ArrivalRing::new(config.lq_entries),
+            sq: ArrivalRing::new(config.sq_entries),
             dep_count: vec![0; config.phys_regs],
             cycle: 0,
             next_seq: 1,
             iq_count: 0,
-            lq_count: 0,
-            sq_count: 0,
             br_tags_used: 0,
             stats: SimStats::new(),
             done: false,
@@ -425,7 +442,7 @@ impl Core {
             self.rob.len(),
             self.frontend.is_stalled(),
             self.tracker.len(),
-            self.rob.front().map(|i| (i.seq, i.op.class, i.phase)),
+            self.rob.front().map(|i| (i.seq, i.class, i.phase)),
         );
         &self.stats
     }
@@ -461,7 +478,7 @@ impl Core {
     /// skip stops at the first one.
     fn try_skip_idle(&mut self) {
         // Commit would retire something.
-        if self.rob.front().is_some_and(Inst::is_completed) {
+        if self.rob.front().is_some_and(HotInst::is_completed) {
             return;
         }
         // Select would find a candidate.
@@ -547,10 +564,10 @@ impl Core {
             return DispatchOutlook::Resource;
         }
         match op.class {
-            OpClass::Load if self.lq_count >= self.config.lq_entries => {
+            OpClass::Load if self.lq.len() >= self.config.lq_entries => {
                 return DispatchOutlook::Resource;
             }
-            OpClass::Store if self.sq_count >= self.config.sq_entries => {
+            OpClass::Store if self.sq.len() >= self.config.sq_entries => {
                 return DispatchOutlook::Resource;
             }
             OpClass::Branch if self.br_tags_used >= self.config.max_br_tags => {
@@ -570,26 +587,14 @@ impl Core {
 
     /// Arrival index of the instruction at ROB position `idx`.
     fn arrival_of(&self, idx: usize) -> u64 {
-        self.arrival_base + idx as u64
+        self.rob.head_arrival() + idx as u64
     }
 
-    /// Resolves an arrival index back to a ROB position, validating the
-    /// sequence number (a squash may have recycled the arrival slot for a
-    /// different instruction). O(1).
-    fn arrival_index(&self, arrival: u64, seq: u64) -> Option<usize> {
-        let idx = arrival.checked_sub(self.arrival_base)? as usize;
-        if idx < self.rob.len() && self.rob[idx].seq.value() == seq {
-            debug_assert_eq!(
-                self.rob
-                    .binary_search_by(|i| i.seq.cmp(&Seq::new(seq)))
-                    .ok(),
-                Some(idx),
-                "arrival index diverged from seq order"
-            );
-            Some(idx)
-        } else {
-            None
-        }
+    /// Resolves a part reference back to a ROB position through the
+    /// arena's generation check (a squash may have recycled the arrival
+    /// slot for a different instruction). O(1).
+    fn resolve_ref(&self, arrival: u64, gen: u32) -> Option<usize> {
+        self.rob.resolve(RobHandle { arrival, gen })
     }
 
     /// Marks `p` available at `at` without scheduling a wakeup: used on the
@@ -615,12 +620,14 @@ impl Core {
         let [a, b] = srcs;
         if let Some(p) = a {
             let c = &mut self.dep_count[p.index()];
-            *c = c.checked_add_signed(delta).expect("dep count underflow");
+            debug_assert!(c.checked_add_signed(delta).is_some(), "dep count underflow");
+            *c = c.wrapping_add_signed(delta);
         }
         // An instruction counts once, even if both sources name one preg.
         if let Some(p) = b.filter(|p| Some(*p) != a) {
             let c = &mut self.dep_count[p.index()];
-            *c = c.checked_add_signed(delta).expect("dep count underflow");
+            debug_assert!(c.checked_add_signed(delta).is_some(), "dep count underflow");
+            *c = c.wrapping_add_signed(delta);
         }
     }
 
@@ -630,16 +637,25 @@ impl Core {
 
     fn commit(&mut self) {
         let mut retired = 0usize;
-        for _ in 0..self.config.width {
-            let Some(head) = self.rob.front() else { break };
-            if !head.is_completed() {
+        while retired < self.config.width {
+            if self.rob.is_empty() {
+                break;
+            }
+            // The slot's contents stay in place: copy the hot record (one
+            // cache line) and the one cold field commit needs, then move
+            // the window.
+            let inst = *self.rob.hot(0);
+            if !inst.is_completed() {
                 break;
             }
             retired += 1;
-            let inst = self.rob.pop_front().expect("head exists");
-            let arrival = self.arrival_base;
-            self.arrival_base += 1;
-            debug_assert!(!inst.wrong_path, "wrong-path op reached commit");
+            let (prev_preg, shadow_token) = {
+                let cold = self.rob.cold(0);
+                (cold.prev_preg(), cold.shadow_token())
+            };
+            let arrival = self.rob.head_arrival();
+            self.rob.pop_front();
+            debug_assert!(!inst.wrong_path(), "wrong-path op reached commit");
             debug_assert!(
                 self.scheduler != SchedulerKind::EventWheel
                     || (!self
@@ -652,29 +668,29 @@ impl Core {
                             .contains(pack_pos(arrival, Part::StoreData))),
                 "committed slot left a stale ready bit"
             );
-            if let Some(prev) = inst.prev_preg {
+            if let Some(prev) = prev_preg {
                 self.free_list.release(prev);
             }
-            if inst.br_tag {
+            if inst.br_tag() {
                 self.br_tags_used -= 1;
             }
-            match inst.op.class {
+            match inst.class {
                 OpClass::Load => {
-                    debug_assert_eq!(self.lq.front(), Some(&arrival));
+                    debug_assert_eq!(self.lq.front(), Some(arrival));
                     self.lq.pop_front();
-                    self.lq_count -= 1;
                     self.stats.committed_loads.incr();
                     if self.scheme_cfg.threat_model == ThreatModel::Futuristic {
                         // The load is bound to commit: its M/E shadow ends.
-                        self.tracker.resolve(inst.seq);
+                        if let Some(t) = shadow_token {
+                            self.tracker.resolve_at(t);
+                        }
                     }
                 }
                 OpClass::Store => {
-                    debug_assert_eq!(self.sq.front(), Some(&arrival));
+                    debug_assert_eq!(self.sq.front(), Some(arrival));
                     self.sq.pop_front();
-                    self.sq_count -= 1;
                     self.stats.committed_stores.incr();
-                    let mem = inst.op.mem.expect("store has address");
+                    let mem = inst.mem().expect("store has address");
                     let out = self.mem.access(mem.addr, AccessKind::Write);
                     self.record_cache_outcome(out.served_by);
                     self.stats.prefetches.add(u64::from(out.prefetches_issued));
@@ -709,19 +725,19 @@ impl Core {
         };
         match head.phase {
             Phase::Executing => {
-                if head.op.is_load() || head.op.is_store() {
+                if head.is_load() || head.is_store() {
                     StallBucket::Memory
                 } else {
                     StallBucket::Execution
                 }
             }
             Phase::Waiting => {
-                if head.taint_masked {
+                if head.taint_masked() {
                     StallBucket::Scheme
                 } else if self.scheme_cfg.scheme == Scheme::Nda
                     && head
-                        .src_pregs
-                        .iter()
+                        .src_pregs()
+                        .into_iter()
                         .flatten()
                         .any(|p| self.preg_ready_at[p.index()] == NEVER)
                 {
@@ -758,29 +774,22 @@ impl Core {
         let mut due = std::mem::take(&mut self.event_scratch);
         due.clear();
         self.events.drain_due(self.cycle, &mut due);
-        let by_arrival = self.scheduler == SchedulerKind::EventWheel;
+        let wheel = self.scheduler == SchedulerKind::EventWheel;
         for sch in due.drain(..) {
-            // The wheel resolves slots in O(1) via the arrival index; the
-            // reference path keeps the seed's per-event binary search.
-            let idx = if by_arrival {
-                self.arrival_index(sch.arrival, sch.seq)
-            } else {
-                self.rob
-                    .binary_search_by(|i| i.seq.cmp(&Seq::new(sch.seq)))
-                    .ok()
-            };
-            let Some(idx) = idx else {
+            // Both paths resolve the slot through the arena's O(1)
+            // generation check.
+            let Some(idx) = self.resolve_ref(sch.arrival, sch.gen) else {
                 continue; // squashed
             };
             match sch.event {
                 Event::Complete => {
-                    let dst = self.rob[idx].dst_preg;
+                    let dst = self.rob.hot(idx).dst_preg();
                     self.complete_inst(idx);
                     // The result is available this cycle: wake the waiter
                     // list here instead of via a separate calendar entry.
                     // (NDA loads publish through the broadcast queue
                     // instead; their waiters keep waiting.)
-                    if by_arrival {
+                    if wheel {
                         if let Some(p) = dst {
                             if self.preg_ready_at[p.index()] <= self.cycle {
                                 self.wake_preg_waiters(p.index());
@@ -793,9 +802,9 @@ impl Core {
                     self.wake_store_waiters(sch.arrival);
                 }
                 Event::StoreData => {
-                    let inst = &mut self.rob[idx];
-                    inst.data_done = true;
-                    if inst.addr_done {
+                    let inst = self.rob.hot_mut(idx);
+                    inst.set_data_done(true);
+                    if inst.addr_done() {
                         inst.phase = Phase::Completed;
                     }
                     self.wake_store_waiters(sch.arrival);
@@ -809,21 +818,23 @@ impl Core {
         let cycle = self.cycle;
         let scheme = self.scheme_cfg.scheme;
         let (seq, is_load, is_branch, mispredicted, wrong_path, dst) = {
-            let inst = &mut self.rob[idx];
+            let inst = self.rob.hot_mut(idx);
             inst.phase = Phase::Completed;
             (
                 inst.seq,
-                inst.op.is_load(),
-                inst.op.is_branch(),
-                inst.op.is_mispredicted(),
-                inst.wrong_path,
-                inst.dst_preg,
+                inst.is_load(),
+                inst.is_branch(),
+                inst.is_mispredicted(),
+                inst.wrong_path(),
+                inst.dst_preg(),
             )
         };
 
         if is_branch {
-            self.rob[idx].cshadow_resolved = true;
-            self.tracker.resolve(seq);
+            self.rob.hot_mut(idx).set_cshadow_resolved(true);
+            if let Some(t) = self.rob.cold(idx).shadow_token() {
+                self.tracker.resolve_at(t);
+            }
             if mispredicted && !wrong_path {
                 self.stats.branch_mispredicts.incr();
                 self.squash_tail(Seq::new(seq.value() + 1));
@@ -839,7 +850,7 @@ impl Core {
             // additionally wait for the visibility point.
             let p = dst.expect("load has destination");
             if self.tracker.is_speculative(seq) {
-                self.rob[idx].spec_source = true;
+                self.rob.hot_mut(idx).set_spec_source(true);
                 self.stats.delayed_transmitters.incr();
             }
             self.nda_q.push(seq, p);
@@ -849,17 +860,19 @@ impl Core {
     fn store_addr_done(&mut self, idx: usize) {
         let cycle = self.cycle;
         let (store_seq, store_mem) = {
-            let inst = &mut self.rob[idx];
-            inst.addr_done = true;
-            if inst.data_done {
+            let inst = self.rob.hot_mut(idx);
+            inst.set_addr_done(true);
+            if inst.data_done() {
                 inst.phase = Phase::Completed;
             }
-            (inst.seq, inst.op.mem.expect("store has address"))
+            (inst.seq, inst.mem().expect("store has address"))
         };
         // The store's address is known: its D-shadow resolves (§2.1 — the
         // aliasing uncertainty that made younger instructions speculative
         // is gone once the forwarding check below has run).
-        self.tracker.resolve(store_seq);
+        if let Some(t) = self.rob.cold(idx).shadow_token() {
+            self.tracker.resolve_at(t);
+        }
         // Forwarding-error check (§6): younger executed loads overlapping
         // this store that did not forward from it read stale data and must
         // flush, together with everything after them.
@@ -881,13 +894,14 @@ impl Core {
         store_seq: Seq,
         store_mem: sb_isa::MemAccess,
     ) -> Option<(Seq, usize)> {
-        for inst in &self.rob {
-            if inst.seq <= store_seq || !inst.op.is_load() || !inst.executed || inst.wrong_path {
+        for idx in 0..self.rob.len() {
+            let inst = self.rob.hot(idx);
+            if inst.seq <= store_seq || !inst.is_load() || !inst.executed() || inst.wrong_path() {
                 continue;
             }
-            let Some(lmem) = inst.op.mem else { continue };
-            if lmem.overlaps(&store_mem) && inst.fwd_src != Some(store_seq) {
-                if let Some(tidx) = inst.trace_idx {
+            let Some(lmem) = inst.mem() else { continue };
+            if lmem.overlaps(&store_mem) && inst.fwd_src() != Some(store_seq) {
+                if let Some(tidx) = self.rob.cold(idx).trace_idx() {
                     return Some((inst.seq, tidx)); // ROB is seq-ordered: first hit is oldest
                 }
             }
@@ -903,17 +917,20 @@ impl Core {
         store_seq: Seq,
         store_mem: sb_isa::MemAccess,
     ) -> Option<(Seq, usize)> {
-        let store_arrival = self.arrival_of(store_idx);
-        let from = self.lq.partition_point(|&a| a <= store_arrival);
-        for &arrival in self.lq.iter().skip(from) {
-            let inst = &self.rob[(arrival - self.arrival_base) as usize];
-            debug_assert!(inst.op.is_load() && inst.seq > store_seq);
-            if !inst.executed || inst.wrong_path {
+        // The store's queue mark is the LQ tail position at its dispatch:
+        // positions from the mark onward hold exactly the younger loads.
+        let from = self.rob.hot(store_idx).queue_mark.max(self.lq.head());
+        for pos in from..self.lq.tail() {
+            let arrival = self.lq.get(pos);
+            let idx = (arrival - self.rob.head_arrival()) as usize;
+            let inst = self.rob.hot(idx);
+            debug_assert!(inst.is_load() && inst.seq > store_seq);
+            if !inst.executed() || inst.wrong_path() {
                 continue;
             }
-            let Some(lmem) = inst.op.mem else { continue };
-            if lmem.overlaps(&store_mem) && inst.fwd_src != Some(store_seq) {
-                if let Some(tidx) = inst.trace_idx {
+            let Some(lmem) = inst.mem() else { continue };
+            if lmem.overlaps(&store_mem) && inst.fwd_src() != Some(store_seq) {
+                if let Some(tidx) = self.rob.cold(idx).trace_idx() {
                     return Some((inst.seq, tidx));
                 }
             }
@@ -939,11 +956,11 @@ impl Core {
     /// still live (parked parts already passed operand and age checks;
     /// neither can regress).
     fn readmit(&mut self, r: PartRef) {
-        let (arrival, part, seq) = r;
-        let Some(idx) = self.arrival_index(arrival, seq) else {
+        let (arrival, part, gen) = r;
+        let Some(idx) = self.resolve_ref(arrival, gen) else {
             return; // squashed
         };
-        if self.rob[idx].phase != Phase::Waiting || self.part_launched(idx, part) {
+        if self.rob.hot(idx).phase != Phase::Waiting || self.part_launched(idx, part) {
             return;
         }
         self.sched.ready.insert(pack_pos(arrival, part));
@@ -952,8 +969,8 @@ impl Core {
     fn part_launched(&self, idx: usize, part: Part) -> bool {
         match part {
             Part::Whole => false,
-            Part::StoreAddr => self.rob[idx].addr_launched,
-            Part::StoreData => self.rob[idx].data_launched,
+            Part::StoreAddr => self.rob.hot(idx).addr_launched(),
+            Part::StoreData => self.rob.hot(idx).data_launched(),
         }
     }
 
@@ -967,11 +984,12 @@ impl Core {
         root.is_none_or(|r| r <= self.visible_safe_seq)
     }
 
-    fn src_ready(&self, inst: &Inst, i: usize) -> bool {
-        inst.src_pregs[i].is_none_or(|p| self.preg_ready_at[p.index()] <= self.cycle)
+    fn src_ready(&self, inst: &HotInst, i: usize) -> bool {
+        inst.src_preg(i)
+            .is_none_or(|p| self.preg_ready_at[p.index()] <= self.cycle)
     }
 
-    fn srcs_ready(&self, inst: &Inst) -> bool {
+    fn srcs_ready(&self, inst: &HotInst) -> bool {
         self.src_ready(inst, 0) && self.src_ready(inst, 1)
     }
 
@@ -993,27 +1011,28 @@ impl Core {
         let min_age = u64::from(self.config.dispatch_latency);
         let mut idx = 0;
         while idx < self.rob.len() && budget > 0 {
-            if self.rob[idx].phase != Phase::Waiting
-                || self.cycle < self.rob[idx].dispatch_cycle + min_age
+            if self.rob.hot(idx).phase != Phase::Waiting
+                || self.cycle < self.rob.hot(idx).dispatch_cycle + min_age
             {
                 idx += 1;
                 continue;
             }
-            match self.rob[idx].op.class {
+            let handle = self.rob.handle(idx);
+            match self.rob.hot(idx).class {
                 OpClass::Store => {
-                    if !self.rob[idx].addr_launched {
-                        let _ = self.attempt_store_addr(idx, &mut budget, &mut mem_budget);
+                    if !self.rob.hot(idx).addr_launched() {
+                        let _ = self.attempt_store_addr(idx, handle, &mut budget, &mut mem_budget);
                     }
-                    if !self.rob[idx].data_launched && budget > 0 {
-                        let _ = self.attempt_store_data(idx, &mut budget);
+                    if !self.rob.hot(idx).data_launched() && budget > 0 {
+                        let _ = self.attempt_store_data(idx, handle, &mut budget);
                     }
                     self.finish_store_issue(idx);
                 }
                 OpClass::Load => {
-                    let _ = self.attempt_load(idx, &mut budget, &mut mem_budget);
+                    let _ = self.attempt_load(idx, handle, &mut budget, &mut mem_budget);
                 }
                 _ => {
-                    let _ = self.attempt_simple(idx, &mut budget);
+                    let _ = self.attempt_simple(idx, handle, &mut budget);
                 }
             }
             idx += 1;
@@ -1032,44 +1051,53 @@ impl Core {
 
         // Scan the ready ring in packed-position (age) order. The ring is
         // maintained exactly, so a set bit always refers to the live
-        // instruction at that arrival.
-        let mut cursor = pack_pos(self.arrival_base, Part::StoreAddr);
-        let end = pack_pos(self.arrival_base + self.rob.len() as u64, Part::StoreAddr);
-        while budget > 0 {
+        // instruction at that arrival. Entries may still be below the
+        // minimum issue age (dispatch inserts operand-ready parts
+        // directly, skipping the old retry-wake round trip); because
+        // dispatch cycles are monotone in arrival order, the first
+        // too-young entry ends the scan — everything younger is too.
+        let base = self.rob.head_arrival();
+        let min_age = u64::from(self.config.dispatch_latency);
+        let mut cursor = pack_pos(base, Part::StoreAddr);
+        let end = pack_pos(base + self.rob.len() as u64, Part::StoreAddr);
+        self.sched.ready.begin_scan(cursor);
+        while budget > 0 && !self.sched.ready.is_clear() {
             let Some(pos) = self.sched.ready.next_ready(cursor, end) else {
                 break;
             };
             cursor = pos + 1;
             let arrival = pos / 2;
-            let idx = (arrival - self.arrival_base) as usize;
-            let is_store = self.rob[idx].op.class == OpClass::Store;
-            let part = match (pos & 1, is_store) {
+            let idx = (arrival - base) as usize;
+            let (dispatch_cycle, class) = {
+                let h = self.rob.hot(idx);
+                (h.dispatch_cycle, h.class)
+            };
+            if self.cycle < dispatch_cycle + min_age {
+                break; // below minimum issue age, as is everything younger
+            }
+            let part = match (pos & 1, class == OpClass::Store) {
                 (0, false) => Part::Whole,
                 (0, true) => Part::StoreAddr,
                 _ => Part::StoreData,
             };
             debug_assert!(
-                self.rob[idx].phase == Phase::Waiting && !self.part_launched(idx, part),
+                self.rob.hot(idx).phase == Phase::Waiting && !self.part_launched(idx, part),
                 "stale ready bit"
             );
-            debug_assert!(
-                self.cycle
-                    >= self.rob[idx].dispatch_cycle + u64::from(self.config.dispatch_latency),
-                "ready entry below minimum issue age"
-            );
-            let seq = self.rob[idx].seq.value();
+            let handle = self.rob.handle(idx);
+            let gen = handle.gen;
             let attempt = match part {
-                Part::Whole => match self.rob[idx].op.class {
-                    OpClass::Load => self.attempt_load(idx, &mut budget, &mut mem_budget),
-                    _ => self.attempt_simple(idx, &mut budget),
+                Part::Whole => match class {
+                    OpClass::Load => self.attempt_load(idx, handle, &mut budget, &mut mem_budget),
+                    _ => self.attempt_simple(idx, handle, &mut budget),
                 },
                 Part::StoreAddr => {
-                    let a = self.attempt_store_addr(idx, &mut budget, &mut mem_budget);
+                    let a = self.attempt_store_addr(idx, handle, &mut budget, &mut mem_budget);
                     self.finish_store_issue(idx);
                     a
                 }
                 Part::StoreData => {
-                    let a = self.attempt_store_data(idx, &mut budget);
+                    let a = self.attempt_store_data(idx, handle, &mut budget);
                     self.finish_store_issue(idx);
                     a
                 }
@@ -1084,7 +1112,7 @@ impl Core {
                 }
                 Attempt::Masked(root) => {
                     self.sched.ready.remove(pos);
-                    self.sched.masked.insert((root.value(), arrival, part), seq);
+                    self.sched.masked.insert((root.value(), arrival, part), gen);
                 }
                 Attempt::Blocked(store_arrival) => {
                     self.sched.ready.remove(pos);
@@ -1092,14 +1120,14 @@ impl Core {
                         .store_waiters
                         .entry(store_arrival)
                         .or_default()
-                        .push((arrival, part, seq));
+                        .push((arrival, part, gen));
                 }
                 Attempt::NotReady => {
                     // Bookkeeping bug guard: re-route through the waiter
                     // lists rather than spinning in the ready set.
                     debug_assert!(false, "ready-set entry with unready operands");
                     self.sched.ready.remove(pos);
-                    self.route_part((arrival, part, seq));
+                    self.route_part((arrival, part, gen));
                 }
             }
         }
@@ -1108,16 +1136,15 @@ impl Core {
     /// Drains this cycle's wakeups, moving now-eligible parts into the
     /// ready set (or onward to the next waiter list).
     fn process_wakes(&mut self) {
+        if self.sched.wakes.is_empty_fast() {
+            return;
+        }
         let mut wakes = std::mem::take(&mut self.sched.wake_scratch);
         wakes.clear();
         self.sched.wakes.drain_into(self.cycle, &mut wakes);
         for wake in wakes.drain(..) {
             match wake {
                 Wake::Preg(p) => self.wake_preg_waiters(p),
-                // Operand readiness is monotone, so a retry that was
-                // scheduled with ready operands is still ready: readmit
-                // directly instead of re-routing.
-                Wake::Retry(r) => self.readmit(r),
             }
         }
         self.sched.wake_scratch = wakes;
@@ -1144,34 +1171,32 @@ impl Core {
     }
 
     /// Dispatch-time routing for a single-operand part (store halves): wait
-    /// on the operand if it is not ready, otherwise arm the
-    /// dispatch-latency retry.
-    fn route_dispatched(&mut self, r: PartRef, src: Option<PhysReg>, eligible_at: u64) {
+    /// on the operand if it is not ready, otherwise enter the ready ring
+    /// (the issue scan enforces the minimum issue age).
+    fn route_dispatched(&mut self, r: PartRef, src: Option<PhysReg>) {
         match src.filter(|p| self.preg_ready_at[p.index()] > self.cycle) {
             Some(p) => self.sched.preg_waiters[p.index()].push(r),
-            None => self
-                .sched
-                .wakes
-                .push(self.cycle, eligible_at, Wake::Retry(r)),
+            None => self.sched.ready.insert(pack_pos(r.0, r.1)),
         }
     }
 
     /// Routes one schedulable part to the container matching its state:
-    /// the waiter list of its first unavailable source, a dispatch-latency
-    /// retry wake, or the ready set. Silently drops dead references.
+    /// the waiter list of its first unavailable source, or the ready set
+    /// (which admits below-minimum-age parts; the issue scan stops at
+    /// them). Silently drops dead references.
     fn route_part(&mut self, r: PartRef) {
-        let (arrival, part, seq) = r;
-        let Some(idx) = self.arrival_index(arrival, seq) else {
+        let (arrival, part, gen) = r;
+        let Some(idx) = self.resolve_ref(arrival, gen) else {
             return; // squashed
         };
-        let inst = &self.rob[idx];
+        let inst = self.rob.hot(idx);
         if inst.phase != Phase::Waiting || self.part_launched(idx, part) {
             return;
         }
         let srcs: [Option<PhysReg>; 2] = match part {
-            Part::Whole => inst.src_pregs,
-            Part::StoreAddr => [inst.src_pregs[0], None],
-            Part::StoreData => [inst.src_pregs[1], None],
+            Part::Whole => inst.src_pregs(),
+            Part::StoreAddr => [inst.src_preg(0), None],
+            Part::StoreData => [inst.src_preg(1), None],
         };
         for p in srcs.into_iter().flatten() {
             if self.preg_ready_at[p.index()] > self.cycle {
@@ -1181,22 +1206,15 @@ impl Core {
                 return;
             }
         }
-        let eligible_at = inst.dispatch_cycle + u64::from(self.config.dispatch_latency);
-        if self.cycle < eligible_at {
-            self.sched
-                .wakes
-                .push(self.cycle, eligible_at, Wake::Retry(r));
-        } else {
-            self.sched.ready.insert(pack_pos(arrival, part));
-        }
+        self.sched.ready.insert(pack_pos(arrival, part));
     }
 
     /// STT-Rename gate: roots were computed at rename; the entry may only
     /// issue once the untaint broadcast has declared them safe.
     fn stt_rename_gate(&mut self, idx: usize, roots: [Option<Seq>; 2]) -> bool {
         let ok = self.root_safe(roots[0]) && self.root_safe(roots[1]);
-        if !ok && !self.rob[idx].taint_masked {
-            self.rob[idx].taint_masked = true;
+        if !ok && !self.rob.hot(idx).taint_masked() {
+            self.rob.hot_mut(idx).set_taint_masked(true);
             self.stats.delayed_transmitters.incr();
         }
         ok
@@ -1214,10 +1232,10 @@ impl Core {
         srcs: [Option<PhysReg>; 2],
         budget: &mut usize,
     ) -> bool {
-        if self.rob[idx].taint_masked {
-            let ok = self.root_safe(self.rob[idx].yrot);
+        if self.rob.hot(idx).taint_masked() {
+            let ok = self.root_safe(self.rob.hot(idx).yrot());
             if ok {
-                self.rob[idx].taint_masked = false;
+                self.rob.hot_mut(idx).set_taint_masked(false);
             }
             return ok;
         }
@@ -1228,8 +1246,9 @@ impl Core {
         match yrot {
             None => true,
             Some(root) => {
-                self.rob[idx].yrot = Some(root);
-                self.rob[idx].taint_masked = true;
+                let inst = self.rob.hot_mut(idx);
+                inst.set_yrot(root);
+                inst.set_taint_masked(true);
                 *budget = budget.saturating_sub(1);
                 self.stats.wasted_issue_slots.incr();
                 self.stats.delayed_transmitters.incr();
@@ -1248,35 +1267,37 @@ impl Core {
             .expect("a failed gate names at least one root")
     }
 
-    fn attempt_simple(&mut self, idx: usize, budget: &mut usize) -> Attempt {
-        if !self.srcs_ready(&self.rob[idx]) {
+    fn attempt_simple(&mut self, idx: usize, handle: RobHandle, budget: &mut usize) -> Attempt {
+        // One hot-record load covers every read below (the record is a
+        // single cache line; the gates re-touch only its flags word).
+        let inst = *self.rob.hot(idx);
+        if !self.srcs_ready(&inst) {
             return Attempt::NotReady;
         }
         let scheme = self.scheme_cfg.scheme;
-        if self.rob[idx].op.is_branch() {
+        if inst.is_branch() {
             match scheme {
                 Scheme::Baseline | Scheme::Nda => {}
                 Scheme::SttRename => {
-                    let roots = [self.rob[idx].yrot, None];
+                    let roots = [inst.yrot(), None];
                     if !self.stt_rename_gate(idx, roots) {
                         return Attempt::Masked(Self::park_root(roots));
                     }
                 }
                 Scheme::SttIssue => {
-                    let srcs = self.rob[idx].src_pregs;
-                    if !self.stt_issue_gate(idx, srcs, budget) {
-                        return Attempt::Masked(self.rob[idx].yrot.expect("gate set a root"));
+                    if !self.stt_issue_gate(idx, inst.src_pregs(), budget) {
+                        return Attempt::Masked(self.rob.hot(idx).yrot().expect("gate set a root"));
                     }
                 }
             }
         } else if scheme == Scheme::SttIssue {
             // Non-transmitter: executes freely but propagates taint (§3.1).
-            let srcs = self.rob[idx].src_pregs;
+            let srcs = inst.src_pregs();
             let tracker = &self.tracker;
             let yrot = self
                 .taint_unit
                 .compute_yrot(srcs, |root| tracker.taint_live(root));
-            if let Some(dst) = self.rob[idx].dst_preg {
+            if let Some(dst) = inst.dst_preg() {
                 match yrot {
                     Some(root) => {
                         self.taint_unit.taint(dst, root);
@@ -1287,27 +1308,33 @@ impl Core {
             }
         }
 
-        let lat = self.rob[idx].op.class.exec_latency();
-        let seq = self.rob[idx].seq;
+        let lat = inst.class.exec_latency();
         let done_at = self.cycle + u64::from(lat);
-        let srcs = self.rob[idx].src_pregs;
-        self.rob[idx].phase = Phase::Executing;
-        self.rob[idx].complete_at = Some(done_at);
-        if let Some(dst) = self.rob[idx].dst_preg {
+        self.rob.hot_mut(idx).phase = Phase::Executing;
+        if let Some(dst) = inst.dst_preg() {
             self.set_preg_ready(dst, done_at);
         }
-        self.schedule(done_at, idx, seq, Event::Complete);
+        self.schedule(done_at, handle, Event::Complete);
         self.iq_count -= 1;
-        self.dep_adjust(srcs, -1);
+        self.dep_adjust(inst.src_pregs(), -1);
         *budget -= 1;
         Attempt::Issued
     }
 
-    fn attempt_load(&mut self, idx: usize, budget: &mut usize, mem_budget: &mut usize) -> Attempt {
+    fn attempt_load(
+        &mut self,
+        idx: usize,
+        handle: RobHandle,
+        budget: &mut usize,
+        mem_budget: &mut usize,
+    ) -> Attempt {
         if *mem_budget == 0 {
             return Attempt::NoMemPort;
         }
-        if !self.srcs_ready(&self.rob[idx]) {
+        // One hot-record load covers every read below (the gates re-touch
+        // only its flags word; the planners walk other entries).
+        let inst = *self.rob.hot(idx);
+        if !self.srcs_ready(&inst) {
             return Attempt::NotReady;
         }
         let scheme = self.scheme_cfg.scheme;
@@ -1315,15 +1342,15 @@ impl Core {
         match scheme {
             Scheme::Baseline | Scheme::Nda => {}
             Scheme::SttRename => {
-                let roots = [self.rob[idx].yrot, None];
+                let roots = [inst.yrot(), None];
                 if !self.stt_rename_gate(idx, roots) {
                     return Attempt::Masked(Self::park_root(roots));
                 }
             }
             Scheme::SttIssue => {
-                let srcs = [self.rob[idx].src_pregs[0], None];
+                let srcs = [inst.src_preg(0), None];
                 if !self.stt_issue_gate(idx, srcs, budget) {
-                    return Attempt::Masked(self.rob[idx].yrot.expect("gate set a root"));
+                    return Attempt::Masked(self.rob.hot(idx).yrot().expect("gate set a root"));
                 }
             }
         }
@@ -1335,16 +1362,16 @@ impl Core {
         if let LoadPlan::Wait(store_arrival) = plan {
             return Attempt::Blocked(store_arrival);
         }
-        let seq = self.rob[idx].seq;
-        let addr = self.rob[idx].op.mem.expect("load has address").addr;
+        let seq = inst.seq;
+        let addr = inst.mem().expect("load has address").addr;
         let latency = match plan {
             LoadPlan::Forward(src) => {
-                self.rob[idx].fwd_src = Some(src);
+                self.rob.hot_mut(idx).set_fwd_src(src);
                 FORWARD_LATENCY
             }
             LoadPlan::Cache | LoadPlan::SpeculatePastStore => {
                 if plan == LoadPlan::SpeculatePastStore {
-                    self.rob[idx].mem_speculated = true;
+                    self.rob.hot_mut(idx).set_mem_speculated(true);
                     self.stats.memdep_speculations.incr();
                 }
                 let out = self.mem.access(addr, AccessKind::Read);
@@ -1354,10 +1381,11 @@ impl Core {
                 // dependents that were woken optimistically; NDA removes
                 // this logic entirely (§5.1).
                 if out.served_by != ServedBy::L1 && scheme.allows_load_hit_speculation() {
-                    if let Some(dst) = self.rob[idx].dst_preg {
+                    if let Some(dst) = inst.dst_preg() {
                         let has_dependent = match self.scheduler {
-                            SchedulerKind::Reference => self.rob.iter().any(|i| {
-                                i.phase == Phase::Waiting && i.src_pregs.contains(&Some(dst))
+                            SchedulerKind::Reference => (0..self.rob.len()).any(|i| {
+                                let h = self.rob.hot(i);
+                                h.phase == Phase::Waiting && h.src_pregs().contains(&Some(dst))
                             }),
                             SchedulerKind::EventWheel => self.dep_count[dst.index()] > 0,
                         };
@@ -1375,13 +1403,11 @@ impl Core {
 
         let done_at = self.cycle + u64::from(latency);
         let speculative = self.tracker.is_speculative(seq);
-        let dst = self.rob[idx].dst_preg;
-        let srcs = self.rob[idx].src_pregs;
+        let (dst, srcs) = (inst.dst_preg(), inst.src_pregs());
         {
-            let inst = &mut self.rob[idx];
-            inst.phase = Phase::Executing;
-            inst.executed = true;
-            inst.complete_at = Some(done_at);
+            let h = self.rob.hot_mut(idx);
+            h.phase = Phase::Executing;
+            h.set_executed(true);
         }
         if scheme == Scheme::Nda {
             // Availability decided at completion (delayed if speculative).
@@ -1395,16 +1421,16 @@ impl Core {
             if let Some(d) = dst {
                 if speculative {
                     self.taint_unit.taint(d, seq);
-                    self.rob[idx].spec_source = true;
+                    self.rob.hot_mut(idx).set_spec_source(true);
                     self.stats.taints_applied.incr();
                 } else {
                     self.taint_unit.clean(d);
                 }
             }
         } else if scheme == Scheme::SttRename && speculative {
-            self.rob[idx].spec_source = true;
+            self.rob.hot_mut(idx).set_spec_source(true);
         }
-        self.schedule(done_at, idx, seq, Event::Complete);
+        self.schedule(done_at, handle, Event::Complete);
         self.iq_count -= 1;
         self.dep_adjust(srcs, -1);
         *budget -= 1;
@@ -1415,13 +1441,14 @@ impl Core {
     /// Reference path: scan all older ROB entries (youngest first) for the
     /// store that decides the load's plan.
     fn plan_load_scan(&self, idx: usize) -> LoadPlan {
-        let load = &self.rob[idx];
-        let lmem = load.op.mem.expect("load has address");
-        for (sidx, inst) in self.rob.iter().enumerate().take(idx).rev() {
-            if !inst.op.is_store() {
+        let load = self.rob.hot(idx);
+        let lmem = load.mem().expect("load has address");
+        for sidx in (0..idx).rev() {
+            let inst = self.rob.hot(sidx);
+            if !inst.is_store() {
                 continue;
             }
-            match self.classify_store(load, lmem, inst) {
+            match self.classify_store(idx, lmem, inst) {
                 StoreRelation::NoConflict => {}
                 StoreRelation::Decides(plan) => {
                     return match plan {
@@ -1438,14 +1465,20 @@ impl Core {
     /// Event-wheel path: the same search over the SQ index — only stores
     /// are visited, bounded by SQ occupancy instead of ROB occupancy.
     fn plan_load_indexed(&self, idx: usize) -> LoadPlan {
-        let load = &self.rob[idx];
-        let lmem = load.op.mem.expect("load has address");
-        let load_arrival = self.arrival_of(idx);
-        let upto = self.sq.partition_point(|&a| a < load_arrival);
-        for &arrival in self.sq.iter().take(upto).rev() {
-            let inst = &self.rob[(arrival - self.arrival_base) as usize];
-            debug_assert!(inst.op.is_store() && inst.seq < load.seq);
-            match self.classify_store(load, lmem, inst) {
+        let load = self.rob.hot(idx);
+        let lmem = load.mem().expect("load has address");
+        let load_seq = load.seq;
+        // The load's queue mark is the SQ tail position at its dispatch:
+        // positions below the mark hold exactly the older stores. A squash
+        // may have retreated the SQ tail below the mark, so clamp (the
+        // squashed stores were younger; committed ones are below `head`,
+        // and an empty range falls out naturally when all have committed).
+        let upto = load.queue_mark.min(self.sq.tail());
+        for pos in (self.sq.head()..upto).rev() {
+            let arrival = self.sq.get(pos);
+            let inst = self.rob.hot((arrival - self.rob.head_arrival()) as usize);
+            debug_assert!(inst.is_store() && inst.seq < load_seq);
+            match self.classify_store(idx, lmem, inst) {
                 StoreRelation::NoConflict => {}
                 StoreRelation::Decides(plan) => {
                     return match plan {
@@ -1459,23 +1492,34 @@ impl Core {
         LoadPlan::Cache
     }
 
-    /// How one older store constrains a load that wants to issue.
-    fn classify_store(&self, load: &Inst, lmem: sb_isa::MemAccess, store: &Inst) -> StoreRelation {
-        if !store.addr_done {
+    /// How one older store constrains the load at `load_idx`.
+    fn classify_store(
+        &self,
+        load_idx: usize,
+        lmem: sb_isa::MemAccess,
+        store: &HotInst,
+    ) -> StoreRelation {
+        if !store.addr_done() {
             // An address-generation already in flight lands before the
             // load's own SQ search would complete: wait rather than
             // speculate against a one-cycle race. Known violators (the
-            // memory-dependence predictor, §6) also wait.
-            let may_bypass = load.trace_idx.is_none_or(|t| self.memdep.may_bypass(t));
-            return StoreRelation::Decides(if store.addr_launched || !may_bypass {
+            // memory-dependence predictor, §6) also wait. The predictor
+            // key is the load's trace index — a cold-sidecar read, paid
+            // only on this unresolved-address slow path.
+            let may_bypass = self
+                .rob
+                .cold(load_idx)
+                .trace_idx()
+                .is_none_or(|t| self.memdep.may_bypass(t));
+            return StoreRelation::Decides(if store.addr_launched() || !may_bypass {
                 PlanVsStore::Wait
             } else {
                 PlanVsStore::Speculate
             });
         }
-        let smem = store.op.mem.expect("store has address");
+        let smem = store.mem().expect("store has address");
         if smem.overlaps(&lmem) {
-            return StoreRelation::Decides(if store.data_done {
+            return StoreRelation::Decides(if store.data_done() {
                 PlanVsStore::Forward
             } else {
                 PlanVsStore::Wait
@@ -1487,6 +1531,7 @@ impl Core {
     fn attempt_store_addr(
         &mut self,
         idx: usize,
+        handle: RobHandle,
         budget: &mut usize,
         mem_budget: &mut usize,
     ) -> Attempt {
@@ -1494,11 +1539,11 @@ impl Core {
         // whenever either operand is ready (§9.2); the taint gate differs
         // per scheme and per part. Address generation consumes a memory
         // port.
-        debug_assert!(!self.rob[idx].addr_launched);
+        debug_assert!(!self.rob.hot(idx).addr_launched());
         if *mem_budget == 0 {
             return Attempt::NoMemPort;
         }
-        if !self.src_ready(&self.rob[idx], 0) {
+        if !self.src_ready(self.rob.hot(idx), 0) {
             return Attempt::NotReady;
         }
         let split = self.scheme_cfg.split_store_taints;
@@ -1509,9 +1554,9 @@ impl Core {
                 // the address part is blocked by a tainted data operand
                 // (the exchange2 pathology) unless split taints are on.
                 let roots = if split {
-                    [self.rob[idx].addr_yrot, None]
+                    [self.rob.cold(idx).addr_yrot(), None]
                 } else {
-                    [self.rob[idx].yrot, None]
+                    [self.rob.hot(idx).yrot(), None]
                 };
                 if !self.stt_rename_gate(idx, roots) {
                     return Attempt::Masked(Self::park_root(roots));
@@ -1519,24 +1564,23 @@ impl Core {
             }
             Scheme::SttIssue => {
                 // Natural split: only the address operand is inspected.
-                let srcs = [self.rob[idx].src_pregs[0], None];
+                let srcs = [self.rob.hot(idx).src_preg(0), None];
                 if !self.stt_issue_gate(idx, srcs, budget) {
-                    return Attempt::Masked(self.rob[idx].yrot.expect("gate set a root"));
+                    return Attempt::Masked(self.rob.hot(idx).yrot().expect("gate set a root"));
                 }
             }
         }
-        let seq = self.rob[idx].seq;
-        self.rob[idx].addr_launched = true;
-        self.schedule(self.cycle + 1, idx, seq, Event::StoreAddr);
+        self.rob.hot_mut(idx).set_addr_launched(true);
+        self.schedule(self.cycle + 1, handle, Event::StoreAddr);
         *budget -= 1;
         *mem_budget -= 1;
         Attempt::Issued
     }
 
-    fn attempt_store_data(&mut self, idx: usize, budget: &mut usize) -> Attempt {
+    fn attempt_store_data(&mut self, idx: usize, handle: RobHandle, budget: &mut usize) -> Attempt {
         // Data part: integer-side issue slot, no memory port.
-        debug_assert!(!self.rob[idx].data_launched);
-        if !self.src_ready(&self.rob[idx], 1) {
+        debug_assert!(!self.rob.hot(idx).data_launched());
+        if !self.src_ready(self.rob.hot(idx), 1) {
             return Attempt::NotReady;
         }
         let split = self.scheme_cfg.split_store_taints;
@@ -1544,41 +1588,38 @@ impl Core {
             Scheme::Baseline | Scheme::Nda | Scheme::SttIssue => {}
             Scheme::SttRename => {
                 if !split {
-                    let roots = [self.rob[idx].yrot, None];
+                    let roots = [self.rob.hot(idx).yrot(), None];
                     if !self.stt_rename_gate(idx, roots) {
                         return Attempt::Masked(Self::park_root(roots));
                     }
                 }
             }
         }
-        let seq = self.rob[idx].seq;
-        self.rob[idx].data_launched = true;
-        self.schedule(self.cycle + 1, idx, seq, Event::StoreData);
+        self.rob.hot_mut(idx).set_data_launched(true);
+        self.schedule(self.cycle + 1, handle, Event::StoreData);
         *budget -= 1;
         Attempt::Issued
     }
 
     /// The store leaves the issue queue once both parts have launched.
     fn finish_store_issue(&mut self, idx: usize) {
-        if self.rob[idx].addr_launched
-            && self.rob[idx].data_launched
-            && self.rob[idx].phase == Phase::Waiting
-        {
-            self.rob[idx].phase = Phase::Executing;
+        let inst = self.rob.hot(idx);
+        if inst.addr_launched() && inst.data_launched() && inst.phase == Phase::Waiting {
+            let srcs = inst.src_pregs();
+            self.rob.hot_mut(idx).phase = Phase::Executing;
             self.iq_count -= 1;
-            let srcs = self.rob[idx].src_pregs;
             self.dep_adjust(srcs, -1);
         }
     }
 
-    fn schedule(&mut self, at: u64, idx: usize, seq: Seq, event: Event) {
-        let arrival = self.arrival_of(idx);
+    fn schedule(&mut self, at: u64, handle: RobHandle, event: Event) {
+        let RobHandle { arrival, gen } = handle;
         self.events.push(
             self.cycle,
             at,
             Scheduled {
                 arrival,
-                seq: seq.value(),
+                gen,
                 event,
             },
         );
@@ -1606,17 +1647,29 @@ impl Core {
         let bw = self.scheme_cfg.broadcast_bandwidth;
         match self.scheme_cfg.scheme {
             Scheme::SttRename | Scheme::SttIssue => {
-                let mut sent = std::mem::take(&mut self.untaint_scratch);
-                sent.clear();
-                let tracker = &self.tracker;
-                self.untaint_q
-                    .drain_ready_into(|s| !tracker.is_speculative(s), bw, &mut sent);
-                if let Some((last, ())) = sent.last() {
-                    self.visible_safe_seq = self.visible_safe_seq.max(*last);
+                if self.untaint_q.is_empty() {
+                    // Nothing to broadcast, and the visibility point cannot
+                    // advance, so no masked part can unpark either (every
+                    // masked root was above the visibility point when it
+                    // was parked).
+                    return;
                 }
-                self.stats.scheme_broadcasts.add(sent.len() as u64);
-                self.untaint_scratch = sent;
-                if self.scheduler == SchedulerKind::EventWheel {
+                // Untaint payloads carry no data (the sequence number is
+                // the message): pop in place instead of draining into a
+                // buffer.
+                let mut sent = 0usize;
+                let limit = bw.unwrap_or(usize::MAX);
+                while sent < limit {
+                    let tracker = &self.tracker;
+                    let Some((last, ())) = self.untaint_q.pop_ready(|s| !tracker.is_speculative(s))
+                    else {
+                        break;
+                    };
+                    self.visible_safe_seq = self.visible_safe_seq.max(last);
+                    sent += 1;
+                }
+                self.stats.scheme_broadcasts.add(sent as u64);
+                if sent > 0 && self.scheduler == SchedulerKind::EventWheel {
                     // Unpark everything whose gating root the broadcast
                     // just declared safe; it competes for issue slots from
                     // the next cycle, like the reference re-scan would.
@@ -1630,6 +1683,9 @@ impl Core {
                 }
             }
             Scheme::Nda => {
+                if self.nda_q.is_empty() {
+                    return;
+                }
                 let mut sent = std::mem::take(&mut self.nda_scratch);
                 sent.clear();
                 let tracker = &self.tracker;
@@ -1652,6 +1708,11 @@ impl Core {
 
     fn dispatch(&mut self) {
         let scheme = self.scheme_cfg.scheme;
+        if self.frontend.peek(self.cycle).is_none() {
+            // Fetch delivers nothing (stalled, redirecting, or exhausted):
+            // nothing below would run and no stall counter increments.
+            return;
+        }
         // ROB indices dispatched this cycle (recycled buffer).
         let mut group = std::mem::take(&mut self.group_scratch);
         group.clear();
@@ -1669,11 +1730,11 @@ impl Core {
                 break;
             }
             match op.class {
-                OpClass::Load if self.lq_count >= self.config.lq_entries => {
+                OpClass::Load if self.lq.len() >= self.config.lq_entries => {
                     blocked_by_resource = true;
                     break;
                 }
-                OpClass::Store if self.sq_count >= self.config.sq_entries => {
+                OpClass::Store if self.sq.len() >= self.config.sq_entries => {
                     blocked_by_resource = true;
                     break;
                 }
@@ -1695,91 +1756,82 @@ impl Core {
                 Fetched::Correct(i) => (Some(i), false),
                 Fetched::WrongPath(_) => (None, true),
             };
-            let mut inst = Inst::new(seq, trace_idx, op, wrong_path);
+            // Construct the entry in place in the arena slot (everything
+            // below writes through the slot references; only container
+            // fields disjoint from the ROB are touched meanwhile).
+            let idx = self.rob.len();
+            let (handle, inst, cold) = self.rob.alloc();
+            let arrival = handle.arrival;
+            *inst = HotInst::new(seq, op, wrong_path);
+            *cold = ColdInst::new(op, trace_idx);
             inst.dispatch_cycle = self.cycle;
 
             // Rename.
             for (i, src) in [op.src1, op.src2].into_iter().enumerate() {
                 if let Some(r) = src.filter(|r| !r.is_zero()) {
-                    inst.src_pregs[i] = Some(self.rat.lookup(r));
+                    inst.set_src_preg(i, self.rat.lookup(r));
                 }
             }
             if let Some(d) = op.dest() {
                 let p = self.free_list.allocate().expect("availability checked");
-                inst.prev_preg = Some(self.rat.remap(d, p));
-                inst.dst_preg = Some(p);
+                cold.set_prev_preg(self.rat.remap(d, p));
+                inst.set_dst_preg(p);
                 self.preg_ready_at[p.index()] = NEVER;
                 self.taint_unit.clean(p);
             }
 
             // Shadows: cast after the op observes whether *older* shadows
-            // exist (a shadow does not cover its caster).
+            // exist (a shadow does not cover its caster). The LQ/SQ index
+            // maintenance rides along (both modes; cheap and keeps the
+            // modes structurally identical for the differential tests).
             match op.class {
                 OpClass::Branch => {
-                    self.tracker.cast(seq, ShadowKind::Control);
-                    inst.br_tag = true;
+                    cold.set_shadow_token(self.tracker.cast(seq, ShadowKind::Control));
+                    inst.set_br_tag(true);
                     self.br_tags_used += 1;
                 }
                 OpClass::Load => {
-                    self.lq_count += 1;
                     if self.scheme_cfg.threat_model == ThreatModel::Futuristic {
                         // §6: the Futuristic model also tracks memory-
                         // consistency and exception speculation. A load may
                         // fault or be squashed by a consistency violation
                         // until it is bound to commit, so it casts a shadow
                         // of its own, resolved at commit.
-                        self.tracker.cast(seq, ShadowKind::Memory);
+                        cold.set_shadow_token(self.tracker.cast(seq, ShadowKind::Memory));
                     }
                     if scheme.is_stt() {
                         // Every load broadcasts once it becomes
                         // non-speculative (§4.4).
                         self.untaint_q.push(seq, ());
                     }
+                    inst.queue_mark = self.sq.tail();
+                    self.lq.push(arrival);
                 }
                 OpClass::Store => {
                     // A store with an unresolved address casts a D-shadow:
                     // younger loads may forward stale data past it (§2.1,
                     // §6). Resolved when address generation completes.
-                    self.tracker.cast(seq, ShadowKind::Data);
-                    self.sq_count += 1;
+                    cold.set_shadow_token(self.tracker.cast(seq, ShadowKind::Data));
+                    inst.queue_mark = self.lq.tail();
+                    self.sq.push(arrival);
                 }
                 _ => {}
             }
 
-            let srcs = inst.src_pregs;
+            let srcs = inst.src_pregs();
             self.iq_count += 1;
-            self.rob.push_back(inst);
-            let idx = self.rob.len() - 1;
-            let arrival = self.arrival_of(idx);
             group.push(idx);
-
-            // Index maintenance (both modes; cheap and keeps the modes
-            // structurally identical for the differential tests).
             self.dep_adjust(srcs, 1);
-            match op.class {
-                OpClass::Load => self.lq.push_back(arrival),
-                OpClass::Store => self.sq.push_back(arrival),
-                _ => {}
-            }
 
             // Event wheel: route every schedulable part to its first
             // waiting container. This is `route_part` specialized for the
             // dispatch moment — the instruction is known-live and its
             // sources are already in hand, so no revalidation is needed.
             if self.scheduler == SchedulerKind::EventWheel {
-                let seq_val = seq.value();
-                let eligible_at = self.cycle + u64::from(self.config.dispatch_latency).max(1);
+                let gen = handle.gen;
                 if op.class == OpClass::Store {
-                    self.route_dispatched(
-                        (arrival, Part::StoreAddr, seq_val),
-                        srcs[0],
-                        eligible_at,
-                    );
-                    self.route_dispatched(
-                        (arrival, Part::StoreData, seq_val),
-                        srcs[1],
-                        eligible_at,
-                    );
+                    self.route_dispatched((arrival, Part::StoreAddr, gen), srcs[0]);
+                    self.route_dispatched((arrival, Part::StoreData, gen), srcs[1]);
                 } else {
                     let unready = srcs
                         .into_iter()
@@ -1787,13 +1839,9 @@ impl Core {
                         .find(|p| self.preg_ready_at[p.index()] > self.cycle);
                     match unready {
                         Some(p) => {
-                            self.sched.preg_waiters[p.index()].push((arrival, Part::Whole, seq_val))
+                            self.sched.preg_waiters[p.index()].push((arrival, Part::Whole, gen))
                         }
-                        None => self.sched.wakes.push(
-                            self.cycle,
-                            eligible_at,
-                            Wake::Retry((arrival, Part::Whole, seq_val)),
-                        ),
+                        None => self.sched.ready.insert(pack_pos(arrival, Part::Whole)),
                     }
                 }
             }
@@ -1815,16 +1863,17 @@ impl Core {
             let mut ops = std::mem::take(&mut self.rename_ops_scratch);
             ops.clear();
             ops.extend(group.iter().map(|&i| {
-                let inst = &self.rob[i];
+                let seq = self.rob.hot(i).seq;
+                let op = &self.rob.cold(i).op;
                 RenameGroupOp {
-                    seq: inst.seq,
+                    seq,
                     srcs: [
-                        inst.op.src1.filter(|r| !r.is_zero()),
-                        inst.op.src2.filter(|r| !r.is_zero()),
+                        op.src1.filter(|r| !r.is_zero()),
+                        op.src2.filter(|r| !r.is_zero()),
                     ],
-                    dst: inst.op.dest(),
-                    is_load: inst.op.is_load(),
-                    speculative: self.tracker.is_speculative(inst.seq),
+                    dst: op.dest(),
+                    is_load: op.is_load(),
+                    speculative: self.tracker.is_speculative(seq),
                 }
             }));
             let tracker = &self.tracker;
@@ -1832,14 +1881,16 @@ impl Core {
                 .rename_taint
                 .rename_group(&ops, |root| tracker.taint_live(root));
             for ((&i, op), out) in group.iter().zip(&ops).zip(&outcomes) {
-                let inst = &mut self.rob[i];
-                inst.yrot = out.yrot;
-                inst.addr_yrot = out.addr_yrot;
-                inst.data_yrot = out.data_yrot;
-                inst.prev_taint = out.prev_dst_taint;
-                if inst.op.is_load() && op.speculative {
-                    inst.spec_source = true;
+                let inst = self.rob.hot_mut(i);
+                if let Some(root) = out.yrot {
+                    inst.set_yrot(root);
                 }
+                if inst.is_load() && op.speculative {
+                    inst.set_spec_source(true);
+                }
+                let cold = self.rob.cold_mut(i);
+                cold.set_split_yrots(out.addr_yrot, out.data_yrot);
+                cold.set_prev_taint(out.prev_dst_taint);
                 if out.yrot.is_some() {
                     self.stats.taints_applied.incr();
                 }
@@ -1862,44 +1913,47 @@ impl Core {
             if tail.seq < first_removed {
                 break;
             }
-            let inst = self.rob.pop_back().expect("tail exists");
-            let arrival = self.arrival_of(self.rob.len());
+            // The slot's contents stay in place: copy both records out
+            // (this is the rare path), then shrink the window.
+            let idx = self.rob.len() - 1;
+            let inst = *self.rob.hot(idx);
+            let cold = *self.rob.cold(idx);
+            let arrival = self.arrival_of(idx);
+            self.rob.pop_back();
             self.stats.squashed.incr();
             if inst.phase == Phase::Waiting {
                 self.iq_count -= 1;
-                self.dep_adjust(inst.src_pregs, -1);
+                self.dep_adjust(inst.src_pregs(), -1);
             }
-            match inst.op.class {
+            match inst.class {
                 OpClass::Load => {
-                    debug_assert_eq!(self.lq.back(), Some(&arrival));
+                    debug_assert_eq!(self.lq.back(), Some(arrival));
                     self.lq.pop_back();
-                    self.lq_count -= 1;
                 }
                 OpClass::Store => {
-                    debug_assert_eq!(self.sq.back(), Some(&arrival));
+                    debug_assert_eq!(self.sq.back(), Some(arrival));
                     self.sq.pop_back();
-                    self.sq_count -= 1;
                 }
-                OpClass::Branch if inst.br_tag => {
+                OpClass::Branch if inst.br_tag() => {
                     self.br_tags_used -= 1;
                 }
                 _ => {}
             }
-            if let (Some(d), Some(p)) = (inst.op.dest(), inst.dst_preg) {
-                let prev = inst.prev_preg.expect("dest implies previous mapping");
+            if let (Some(d), Some(p)) = (cold.op.dest(), inst.dst_preg()) {
+                let prev = cold.prev_preg().expect("dest implies previous mapping");
                 self.rat.remap(d, prev);
                 self.free_list.release(p);
                 self.preg_ready_at[p.index()] = NEVER;
                 self.taint_unit.clean(p);
                 if self.scheme_cfg.scheme == Scheme::SttRename {
-                    self.rename_taint.set_taint(d, inst.prev_taint);
+                    self.rename_taint.set_taint(d, cold.prev_taint());
                 }
             }
         }
         if self.scheduler == SchedulerKind::EventWheel {
             // Everything at or past the first recycled arrival slot is
             // dead; waiter lists, the masked map and pending wakes are
-            // cleaned lazily by seq validation instead.
+            // cleaned lazily by generation validation instead.
             let first_arrival = self.arrival_of(self.rob.len());
             self.sched.squash_from(first_arrival, squash_end);
         }
@@ -1931,9 +1985,14 @@ impl Core {
     pub fn debug_head(&self) -> String {
         match self.rob.front() {
             Some(i) => format!(
-                "seq={:?} class={:?} phase={:?} complete_at={:?} addr_l={} data_l={} srcs={:?} fl_avail={}",
-                i.seq, i.op.class, i.phase, i.complete_at, i.addr_launched, i.data_launched,
-                i.src_pregs, self.free_list.available()
+                "seq={:?} class={:?} phase={:?} addr_l={} data_l={} srcs={:?} fl_avail={}",
+                i.seq,
+                i.class,
+                i.phase,
+                i.addr_launched(),
+                i.data_launched(),
+                i.src_pregs(),
+                self.free_list.available()
             ),
             None => "empty".into(),
         }

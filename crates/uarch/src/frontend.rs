@@ -111,9 +111,13 @@ impl Frontend {
             }
             Mode::Normal => {
                 let idx = self.cursor;
-                let op = *self.trace.get(idx).expect("consume past end of trace");
+                let mispredicted = self
+                    .trace
+                    .get(idx)
+                    .expect("consume past end of trace")
+                    .is_mispredicted();
                 self.cursor += 1;
-                if op.is_mispredicted() {
+                if mispredicted {
                     self.mode = if self.trace.wrong_path(idx).is_some() {
                         Mode::WrongPath {
                             branch_idx: idx,

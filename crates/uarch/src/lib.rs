@@ -35,11 +35,13 @@ mod frontend;
 mod inst;
 mod memdep;
 mod rename;
+mod rob;
 mod sched;
 
 pub use crate::core::Core;
 pub use config::{CoreConfig, Fidelity, SchedulerKind};
 pub use frontend::{Fetched, Frontend};
-pub use inst::{Inst, Phase};
+pub use inst::{ColdInst, HotInst, Phase};
 pub use memdep::MemDepPredictor;
 pub use rename::{FreeList, Rat};
+pub use rob::{RobArena, RobHandle};

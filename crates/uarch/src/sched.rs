@@ -20,9 +20,10 @@
 //! Instructions are identified by their *arrival index*: a monotone count
 //! of ROB pushes. Because the ROB only ever pushes at the back and pops at
 //! either end, the live window of arrival indexes is contiguous, so
-//! `arrival - arrival_base` recovers a ROB position in O(1). Squashes can
+//! `arrival - head_arrival` recovers a ROB position in O(1). Squashes can
 //! recycle arrival indexes for different instructions, so every reference
-//! carries the (never reused) sequence number as a validity check.
+//! carries the slot's allocation generation as a validity check (see
+//! [`crate::rob::RobHandle`]).
 
 use sb_isa::Seq;
 use std::collections::BTreeMap;
@@ -48,8 +49,9 @@ pub(crate) enum Part {
 }
 
 /// A validated reference to one schedulable part of an in-flight
-/// instruction: `(arrival index, part, sequence number)`.
-pub(crate) type PartRef = (u64, Part, u64);
+/// instruction: `(arrival index, part, slot generation)`. The generation
+/// detects arrival slots recycled by a squash.
+pub(crate) type PartRef = (u64, Part, u32);
 
 /// A bucketed calendar queue: O(1) push, O(due) drain per cycle. A
 /// word-level occupancy bitmap mirrors the buckets so "when is the next
@@ -61,6 +63,9 @@ pub(crate) struct Calendar<T> {
     occupied: [u64; HORIZON / 64],
     overflow: BTreeMap<u64, Vec<T>>,
     mask: u64,
+    /// Scheduled items across all buckets and the overflow: the per-cycle
+    /// drain early-outs on an empty calendar with one compare.
+    len: usize,
 }
 
 impl<T> Calendar<T> {
@@ -72,13 +77,21 @@ impl<T> Calendar<T> {
             occupied: [0; HORIZON / 64],
             overflow: BTreeMap::new(),
             mask: (HORIZON - 1) as u64,
+            len: 0,
         }
+    }
+
+    /// Whether nothing is scheduled at all. O(1).
+    #[inline]
+    pub(crate) fn is_empty_fast(&self) -> bool {
+        self.len == 0
     }
 
     /// Schedules `item` for cycle `at` (`at >= now`; the bucket for a cycle
     /// is only reusable because every cycle is drained exactly once).
     pub(crate) fn push(&mut self, now: u64, at: u64, item: T) {
         debug_assert!(at >= now, "cannot schedule into the past");
+        self.len += 1;
         if at - now < HORIZON as u64 {
             let slot = (at & self.mask) as usize;
             self.buckets[slot].push(item);
@@ -93,15 +106,28 @@ impl<T> Calendar<T> {
     /// horizon earlier than ring entries for the same cycle, so they come
     /// first.
     pub(crate) fn drain_into(&mut self, now: u64, out: &mut Vec<T>) {
+        if self.len == 0 {
+            return;
+        }
         if !self.overflow.is_empty() {
             if let Some(mut v) = self.overflow.remove(&now) {
+                self.len -= v.len();
                 out.append(&mut v);
             }
         }
         let slot = (now & self.mask) as usize;
         let bucket = &mut self.buckets[slot];
         if !bucket.is_empty() {
-            out.append(bucket);
+            self.len -= bucket.len();
+            if out.is_empty() {
+                // The common case: hand the bucket over wholesale instead
+                // of copying it (capacities migrate between the ring and
+                // the caller's scratch buffer, which is fine — both are
+                // recycled forever).
+                std::mem::swap(out, bucket);
+            } else {
+                out.append(bucket);
+            }
             self.occupied[slot / 64] &= !(1 << (slot % 64));
         }
     }
@@ -141,6 +167,81 @@ impl<T> Calendar<T> {
     }
 }
 
+/// An age-ordered queue of ROB arrival indexes (the LQ / SQ), stored as a
+/// power-of-two ring addressed by *monotone position*: `push` returns the
+/// entry's position, and positions never shift (commit advances `head`,
+/// squash retreats `tail`). An instruction that records the queue's tail
+/// position at dispatch can later slice "everything older/younger than
+/// me" directly — no binary search over the queue.
+#[derive(Clone, Debug)]
+pub(crate) struct ArrivalRing {
+    slots: Vec<u64>,
+    mask: u64,
+    /// Monotone position of the oldest live entry.
+    head: u64,
+    /// Monotone position one past the youngest live entry.
+    tail: u64,
+}
+
+impl ArrivalRing {
+    pub(crate) fn new(capacity: usize) -> Self {
+        let n = capacity.next_power_of_two().max(2);
+        ArrivalRing {
+            slots: vec![0; n],
+            mask: (n - 1) as u64,
+            head: 0,
+            tail: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        (self.tail - self.head) as usize
+    }
+
+    /// Monotone position of the oldest live entry.
+    pub(crate) fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// Monotone position one past the youngest live entry.
+    pub(crate) fn tail(&self) -> u64 {
+        self.tail
+    }
+
+    /// The arrival index stored at monotone position `pos`.
+    #[inline]
+    pub(crate) fn get(&self, pos: u64) -> u64 {
+        self.slots[((pos & self.mask) as usize) & (self.slots.len() - 1)]
+    }
+
+    pub(crate) fn push(&mut self, arrival: u64) {
+        debug_assert!(self.len() < self.slots.len(), "arrival ring overflow");
+        let slot = ((self.tail & self.mask) as usize) & (self.slots.len() - 1);
+        self.slots[slot] = arrival;
+        self.tail += 1;
+    }
+
+    /// The oldest live entry, if any.
+    pub(crate) fn front(&self) -> Option<u64> {
+        (self.head != self.tail).then(|| self.get(self.head))
+    }
+
+    /// The youngest live entry, if any.
+    pub(crate) fn back(&self) -> Option<u64> {
+        (self.head != self.tail).then(|| self.get(self.tail - 1))
+    }
+
+    pub(crate) fn pop_front(&mut self) {
+        debug_assert!(self.head != self.tail, "pop_front on empty ring");
+        self.head += 1;
+    }
+
+    pub(crate) fn pop_back(&mut self) {
+        debug_assert!(self.head != self.tail, "pop_back on empty ring");
+        self.tail -= 1;
+    }
+}
+
 /// Replay-wasted issue slots per future cycle, as a ring.
 #[derive(Clone, Debug)]
 pub(crate) struct WastedRing {
@@ -172,14 +273,16 @@ impl WastedRing {
 }
 
 /// A wake-up processed at the start of a cycle's issue stage.
+///
+/// Only register availability needs an explicit wake: parts whose operands
+/// are ready but which are still below the minimum issue age sit directly
+/// in the ready ring, where the age-ordered scan stops at the first
+/// too-young entry (dispatch cycles are monotone in arrival order).
 #[derive(Clone, Copy, Debug)]
 pub(crate) enum Wake {
     /// A physical register's value became available: re-examine everything
     /// on its waiter list.
     Preg(usize),
-    /// A specific part reached its earliest legal issue cycle
-    /// (dispatch latency) with operands already available.
-    Retry(PartRef),
 }
 
 /// The age-ordered ready set, as a ring bitmap: two bits per ROB slot
@@ -190,14 +293,23 @@ pub(crate) enum Wake {
 /// word scan (4 words for a 128-entry ROB).
 ///
 /// Unlike the lazily-cleaned waiter containers, the ring is maintained
-/// *exactly*: bits are set only for live, operand-ready, age-eligible
-/// parts and cleared on issue, park, and squash, so no sequence-number
-/// validation is needed.
+/// *exactly*: bits are set only for live, operand-ready parts (possibly
+/// still below the minimum issue age) and cleared on issue, park, and
+/// squash, so no generation validation is needed.
 #[derive(Clone, Debug)]
 pub(crate) struct ReadyRing {
     words: Vec<u64>,
     /// `window * 2 - 1`, where `window` is a power of two ≥ ROB entries.
     pos_mask: u64,
+    /// Set bits, maintained on every insert/remove: `is_clear` is checked
+    /// every cycle (idle-skip precondition and issue-loop exit), so it
+    /// must not cost a word scan.
+    count: usize,
+    /// Lower bound on the smallest set position: no set bit exists below
+    /// it. Lowered by inserts, raised by exhaustive scans and the
+    /// per-cycle `begin_scan` — so the issue scan does not re-walk empty
+    /// words below the oldest ready entry every cycle.
+    floor: u64,
 }
 
 /// Packed age position of one schedulable part.
@@ -211,47 +323,80 @@ impl ReadyRing {
         ReadyRing {
             words: vec![0; window * 2 / 64],
             pos_mask: (window as u64) * 2 - 1,
+            count: 0,
+            floor: 0,
         }
     }
 
+    #[inline]
     fn locate(&self, pos: u64) -> (usize, u32) {
         let ring = pos & self.pos_mask;
-        ((ring / 64) as usize, (ring % 64) as u32)
+        (
+            ((ring / 64) as usize) & (self.words.len() - 1),
+            (ring % 64) as u32,
+        )
     }
 
+    #[inline]
     pub(crate) fn insert(&mut self, pos: u64) {
         let (w, b) = self.locate(pos);
+        self.count += usize::from(self.words[w] & (1 << b) == 0);
         self.words[w] |= 1 << b;
+        self.floor = self.floor.min(pos);
     }
 
+    #[inline]
     pub(crate) fn remove(&mut self, pos: u64) {
         let (w, b) = self.locate(pos);
+        self.count -= usize::from(self.words[w] & (1 << b) != 0);
         self.words[w] &= !(1 << b);
     }
 
+    #[inline]
     pub(crate) fn contains(&self, pos: u64) -> bool {
         let (w, b) = self.locate(pos);
         self.words[w] & (1 << b) != 0
     }
 
-    /// Whether no part is ready at all (the idle-skip precondition).
+    /// Whether no part is ready at all (the idle-skip precondition and the
+    /// issue loop's cheap exit). O(1).
+    #[inline]
     pub(crate) fn is_clear(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.count == 0
+    }
+
+    /// Declares that no set bit exists below `base` (the ROB head) — true
+    /// by the ring-exactness invariant; called once at the top of each
+    /// issue scan so the floor recovers after commits advance the head.
+    #[inline]
+    pub(crate) fn begin_scan(&mut self, base: u64) {
+        self.floor = self.floor.max(base);
     }
 
     /// Smallest set position in `[from, end)`, where the whole range is
     /// within one ring lap (guaranteed: live arrivals span at most the ROB).
-    pub(crate) fn next_ready(&self, from: u64, end: u64) -> Option<u64> {
-        let mut pos = from;
+    pub(crate) fn next_ready(&mut self, from: u64, end: u64) -> Option<u64> {
+        // Words in `[from, floor)` are known clear; skip them. The floor
+        // may only be raised when the scan started at or below it —
+        // otherwise set bits deliberately left behind the caller's cursor
+        // (memory-port rejections) would be skipped forever.
+        let raise = from <= self.floor;
+        let mut pos = from.max(self.floor);
         while pos < end {
             let (w, b) = self.locate(pos);
             let bits = self.words[w] >> b;
             if bits != 0 {
                 let found = pos + u64::from(bits.trailing_zeros());
                 debug_assert!(found < end, "stale ready bit past the ROB tail");
+                if raise {
+                    self.floor = found;
+                }
                 return Some(found);
             }
             pos += u64::from(64 - b);
+        }
+        if raise {
+            self.floor = end;
         }
         None
     }
@@ -268,10 +413,9 @@ impl ReadyRing {
 /// The event-wheel scheduler's bookkeeping.
 ///
 /// Invariant: every not-yet-issued part of a live instruction lives in
-/// exactly one container — `ready`, one preg waiter list, `masked`, one
-/// store waiter list, or a pending `Retry` wake. Squashed instructions may
-/// leave stale references behind; consumers validate the stored sequence
-/// number before acting.
+/// exactly one container — `ready`, one preg waiter list, `masked`, or one
+/// store waiter list. Squashed instructions may leave stale references
+/// behind; consumers validate the stored slot generation before acting.
 #[derive(Clone, Debug)]
 pub(crate) struct SchedState {
     /// Age-ordered issue candidates whose operands are ready and whose
@@ -284,8 +428,9 @@ pub(crate) struct SchedState {
     /// list on every wakeup).
     pub(crate) waiter_scratch: Vec<PartRef>,
     /// Taint-masked parts parked until the untaint broadcast passes their
-    /// youngest root of taint: `(root seq value, arrival, part) -> seq`.
-    pub(crate) masked: BTreeMap<(u64, u64, Part), u64>,
+    /// youngest root of taint: `(root seq value, arrival, part) -> slot
+    /// generation`.
+    pub(crate) masked: BTreeMap<(u64, u64, Part), u32>,
     /// Loads the LSU refused (older store with unknown address or pending
     /// data), keyed by the blocking store's arrival index.
     pub(crate) store_waiters: BTreeMap<u64, Vec<PartRef>>,
@@ -310,7 +455,7 @@ impl SchedState {
 
     /// Discards every reference to arrivals in `[first_arrival, end)` from
     /// the eagerly-cleaned containers (squash). Waiter lists, the masked
-    /// map and pending wakes are cleaned lazily via seq validation.
+    /// map and pending wakes are cleaned lazily via generation validation.
     pub(crate) fn squash_from(&mut self, first_arrival: u64, end: u64) {
         self.ready.clear_arrivals(first_arrival, end);
         let _ = self.store_waiters.split_off(&first_arrival);
@@ -319,12 +464,12 @@ impl SchedState {
     /// Pops every masked part whose root is now at or past the visibility
     /// point `safe`, appending them to `out` for revalidation.
     pub(crate) fn unpark_safe(&mut self, safe: Seq, out: &mut Vec<PartRef>) {
-        while let Some((&(root, arrival, part), &seq)) = self.masked.first_key_value() {
+        while let Some((&(root, arrival, part), &gen)) = self.masked.first_key_value() {
             if root > safe.value() {
                 break;
             }
             self.masked.remove(&(root, arrival, part));
-            out.push((arrival, part, seq));
+            out.push((arrival, part, gen));
         }
     }
 }

@@ -1,0 +1,149 @@
+//! Property tests for the ROB arena (via the offline proptest shim).
+//!
+//! The arena recycles both slots and arrival indexes: a squash pops the
+//! tail, and the next dispatch reuses the same arrival (and the same
+//! backing slot) for a *different* instruction. The safety of every lazily
+//! cleaned scheduler container (waiter lists, the masked map, pending
+//! events) rests on one property: a handle taken before such a recycle
+//! must never resolve to the slot's new tenant. These tests drive random
+//! dispatch / commit / squash interleavings against a naive shadow model
+//! to pin exactly that.
+
+use proptest::prelude::*;
+use sb_isa::{ArchReg, MicroOp, Seq};
+use sb_uarch::{ColdInst, HotInst, RobArena, RobHandle};
+
+const CAPACITY: usize = 24;
+
+fn entry(seq: u64) -> (HotInst, ColdInst) {
+    let op = MicroOp::alu(ArchReg::int(1), None, None);
+    (
+        HotInst::new(Seq::new(seq), op, false),
+        ColdInst::new(op, None),
+    )
+}
+
+/// One step of the random walk: dispatch one op, commit the head, or
+/// squash the tail.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    Push,
+    Commit,
+    Squash,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    // Weight pushes so the arena actually fills and wraps.
+    (0usize..4).prop_map(|n| match n {
+        0 | 1 => Step::Push,
+        2 => Step::Commit,
+        _ => Step::Squash,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A stale generation handle never resolves once its instruction has
+    /// committed or been squashed — even after the arrival index and slot
+    /// have been recycled by later dispatches — while handles to live
+    /// instructions always resolve to the position holding their own
+    /// sequence number.
+    #[test]
+    fn stale_handles_never_alias_reused_slots(
+        steps in proptest::collection::vec(step_strategy(), 1..400),
+    ) {
+        let mut arena = RobArena::new(CAPACITY);
+        // Shadow model: the live window as a plain Vec of (handle, seq),
+        // plus every handle ever retired from it.
+        let mut live: Vec<(RobHandle, u64)> = Vec::new();
+        let mut dead: Vec<RobHandle> = Vec::new();
+        let mut next_seq = 1u64;
+
+        for step in steps {
+            match step {
+                Step::Push => {
+                    if live.len() == CAPACITY {
+                        continue;
+                    }
+                    let (h, c) = entry(next_seq);
+                    let handle = arena.push(h, c);
+                    live.push((handle, next_seq));
+                    next_seq += 1;
+                }
+                Step::Commit => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    arena.pop_front();
+                    dead.push(live.remove(0).0);
+                }
+                Step::Squash => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    arena.pop_back();
+                    dead.push(live.pop().expect("nonempty").0);
+                }
+            }
+
+            prop_assert_eq!(arena.len(), live.len());
+            for (pos, &(handle, seq)) in live.iter().enumerate() {
+                prop_assert_eq!(arena.resolve(handle), Some(pos));
+                prop_assert_eq!(arena.hot(pos).seq, Seq::new(seq));
+            }
+            for &handle in &dead {
+                // The heart of the property: every dead handle stays dead,
+                // no matter how many newer tenants its arrival/slot saw.
+                prop_assert_eq!(arena.resolve(handle), None);
+            }
+        }
+    }
+
+    /// `handle()` round-trips through `resolve()` for every live position,
+    /// at arbitrary points of a random walk (including after ring wraps).
+    #[test]
+    fn handle_resolve_round_trips(
+        steps in proptest::collection::vec(step_strategy(), 1..300),
+    ) {
+        let mut arena = RobArena::new(5); // rounds up to 8 slots: wraps often
+        let mut len = 0usize;
+        let mut next_seq = 1u64;
+        for step in steps {
+            match step {
+                Step::Push if len < 5 => {
+                    let (h, c) = entry(next_seq);
+                    arena.push(h, c);
+                    next_seq += 1;
+                    len += 1;
+                }
+                Step::Commit if len > 0 => {
+                    arena.pop_front();
+                    len -= 1;
+                }
+                Step::Squash if len > 0 => {
+                    arena.pop_back();
+                    len -= 1;
+                }
+                _ => {}
+            }
+            for pos in 0..len {
+                prop_assert_eq!(arena.resolve(arena.handle(pos)), Some(pos));
+            }
+        }
+    }
+}
+
+/// The hot record must stay within one cache line: the wakeup/select and
+/// LSU-search loops budget exactly that (see `sb_uarch::HotInst`'s module
+/// docs). A compile-time assertion in `inst.rs` enforces the same bound;
+/// this test exists to fail with a readable message.
+#[test]
+fn hot_record_fits_one_cache_line() {
+    let size = std::mem::size_of::<HotInst>();
+    assert!(
+        size <= 64,
+        "HotInst grew to {size} bytes (> 64): the hot scheduling record \
+         must fit one cache line — move the new field to ColdInst instead"
+    );
+}

@@ -53,6 +53,15 @@ pub enum GeneratorKind {
     Reference,
 }
 
+impl std::fmt::Display for GeneratorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            GeneratorKind::Batched => "batched",
+            GeneratorKind::Reference => "reference",
+        })
+    }
+}
+
 /// Register-allocation conventions of the generator: a rotating window of
 /// compute destinations, a rotating window of load destinations, and a set
 /// of always-ready pointer registers for address formation.

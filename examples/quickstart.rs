@@ -7,7 +7,7 @@
 
 use shadowbinding::core::Scheme;
 use shadowbinding::uarch::{Core, CoreConfig};
-use shadowbinding::workloads::{generate, spec2017_profiles};
+use shadowbinding::workloads::{generate, spec2017_profiles, GeneratorKind};
 
 fn main() {
     let profile = *spec2017_profiles()
@@ -15,15 +15,19 @@ fn main() {
         .find(|p| p.name == "502.gcc")
         .expect("gcc profile exists");
     let ops = 30_000;
+    let config = CoreConfig::mega();
     println!(
-        "workload: {} ({ops} micro-ops), config: Mega BOOM\n",
-        profile.name
+        "workload: {} ({ops} micro-ops, {} generator), config: Mega BOOM \
+         ({} scheduler)\n",
+        profile.name,
+        GeneratorKind::default(),
+        config.scheduler,
     );
 
     let mut baseline_ipc = 0.0;
     for scheme in Scheme::all() {
         let trace = generate(&profile, ops, 42);
-        let mut core = Core::with_scheme(CoreConfig::mega(), scheme, trace);
+        let mut core = Core::with_scheme(config.clone(), scheme, trace);
         let stats = core.run(100_000_000);
         let ipc = stats.ipc();
         if scheme == Scheme::Baseline {

@@ -10,7 +10,7 @@ use shadowbinding::core::Scheme;
 use shadowbinding::stats::{suite_ipc, BenchResult};
 use shadowbinding::timing::{frequency_mhz, relative_timing};
 use shadowbinding::uarch::{Core, CoreConfig};
-use shadowbinding::workloads::{generate, spec2017_profiles};
+use shadowbinding::workloads::{generate, spec2017_profiles, GeneratorKind};
 
 fn main() {
     // A representative cross-section of the suite (memory-bound, compute-
@@ -28,6 +28,12 @@ fn main() {
         .collect();
     let ops = 20_000;
 
+    println!(
+        "{} micro-ops per point, {} generator, {} scheduler\n",
+        ops,
+        GeneratorKind::default(),
+        CoreConfig::mega().scheduler,
+    );
     println!(
         "{:<8} {:<12} {:>8} {:>9} {:>8} {:>12}",
         "config", "scheme", "IPC", "rel IPC", "MHz", "performance"
