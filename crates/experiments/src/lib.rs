@@ -11,6 +11,7 @@ mod engine;
 pub mod pool;
 mod render;
 mod reports;
+pub mod security;
 
 pub use engine::{
     bench_trace, run_bench, run_bench_on_trace, run_grid, run_suite, GridResults, RunSpec,
@@ -18,5 +19,6 @@ pub use engine::{
 pub use render::{bar, format_table};
 pub use reports::{
     fig10_report, fig1_table3_report, fig6_report, fig7_report, fig8_report, fig9_report,
-    sec92_report, security_report, table1_report, table4_report, table5_report,
+    sec92_report, security_report, table1_report, table4_report, table5_report, Report,
 };
+pub use security::{security_matrix_report, verify_security, SecurityVerdict};

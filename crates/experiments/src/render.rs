@@ -2,16 +2,25 @@
 //! closest a terminal gets to the paper's figures).
 
 /// Formats rows as an aligned table. The first row is the header.
+///
+/// Column widths are measured in *characters*, not bytes — cells holding
+/// the multi-byte `█`/`·` bar glyphs (or non-ASCII benchmark names) align
+/// exactly like ASCII ones, matching the char-based padding `format!`
+/// applies. Empty input — no rows, or rows that are all empty — renders as
+/// the empty string rather than underflowing the separator-width
+/// arithmetic.
 #[must_use]
 pub fn format_table(rows: &[Vec<String>]) -> String {
-    if rows.is_empty() {
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    if cols == 0 {
+        // No row has any cell: nothing to render. (This also guards the
+        // `2 * (cols - 1)` rule-width term below against underflow.)
         return String::new();
     }
-    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
     let mut widths = vec![0usize; cols];
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
-            widths[i] = widths[i].max(cell.len());
+            widths[i] = widths[i].max(cell.chars().count());
         }
     }
     let mut out = String::new();
@@ -69,6 +78,67 @@ mod tests {
     #[test]
     fn empty_table_is_empty() {
         assert!(format_table(&[]).is_empty());
+    }
+
+    #[test]
+    fn all_empty_rows_render_empty_instead_of_underflowing() {
+        // Regression: a slice of empty rows made `cols == 0`, and the
+        // separator width `2 * (cols - 1)` underflowed usize — a panic in
+        // debug builds, a multi-gigabyte "-".repeat() in release.
+        assert!(format_table(&[vec![]]).is_empty());
+        assert!(format_table(&[vec![], vec![]]).is_empty());
+    }
+
+    #[test]
+    fn ragged_rows_with_an_empty_row_still_align() {
+        let t = format_table(&[
+            vec!["h1".into(), "h2".into()],
+            vec![],
+            vec!["x".into(), "1.0".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4, "header + rule + empty row + data row");
+        assert!(lines[3].ends_with("1.0"));
+    }
+
+    #[test]
+    fn bar_glyphs_align_by_chars_not_bytes() {
+        // Regression: widths were measured with `str::len` (bytes), so a
+        // column holding 3-byte `█`/`·` glyphs was sized ~3x too wide and
+        // its separator rule no longer matched the rendered lines.
+        let b = bar(0.5, 10); // 10 chars, 30 bytes
+        let t = format_table(&[
+            vec!["name".into(), "trend".into()],
+            vec!["505.mcf".into(), b.clone()],
+            vec!["x".into(), "ascii".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        let width = |s: &str| s.chars().count();
+        assert_eq!(
+            width(lines[0]),
+            width(lines[1]),
+            "rule must match the header: {t}"
+        );
+        assert_eq!(width(lines[2]), width(lines[3]), "data rows align: {t}");
+        // The glyph column is exactly as wide as its widest cell (10
+        // chars), not its widest byte count (30).
+        assert_eq!(width(lines[2]), "505.mcf".len() + 2 + 10, "{t}");
+        assert!(lines[2].ends_with(&b));
+    }
+
+    #[test]
+    fn non_ascii_benchmark_names_align() {
+        let t = format_table(&[
+            vec!["benchmark".into(), "ipc".into()],
+            vec!["flüssig-ß".into(), "1.00".into()],
+            vec!["plain".into(), "0.50".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(
+            lines[2].chars().count(),
+            lines[3].chars().count(),
+            "byte-width alignment would misalign the umlaut row: {t}"
+        );
     }
 
     #[test]

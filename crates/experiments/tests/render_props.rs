@@ -1,0 +1,101 @@
+//! Property tests for the report-rendering helpers (via the offline
+//! proptest shim): `format_table` and `bar` must never panic and must keep
+//! their alignment invariants on arbitrary row shapes — including empty
+//! rows, ragged rows, multi-byte glyphs — and on non-finite bar values.
+//!
+//! Regression context: an all-empty `rows` slice used to underflow the
+//! separator-width arithmetic (`2 * (cols - 1)` at `cols == 0`), and
+//! column widths were measured in bytes, so the `█`/`·` bar glyphs skewed
+//! every column they appeared in.
+
+use proptest::prelude::*;
+use sb_experiments::{bar, format_table};
+
+/// Cell alphabet mixing 1-byte ASCII with 2- and 3-byte glyphs (including
+/// the exact bar glyphs reports embed in table cells).
+const PALETTE: [char; 8] = ['a', 'Z', '0', ' ', '█', '·', 'ß', '界'];
+
+fn cell_from(draws: &[u8]) -> String {
+    draws
+        .iter()
+        .map(|&b| PALETTE[b as usize % PALETTE.len()])
+        .collect()
+}
+
+fn width(s: &str) -> usize {
+    s.chars().count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `format_table` never panics, and every rendered row's width is
+    /// exactly the sum of its (char-measured) column widths plus the
+    /// separators — regardless of raggedness or multi-byte content.
+    #[test]
+    fn format_table_never_panics_and_aligns_by_chars(
+        shape in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(0u8..255, 0..10), 0..6),
+            0..8,
+        ),
+    ) {
+        let rows: Vec<Vec<String>> = shape
+            .iter()
+            .map(|row| row.iter().map(|cell| cell_from(cell)).collect())
+            .collect();
+        let out = format_table(&rows);
+
+        let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+        if cols == 0 {
+            prop_assert!(out.is_empty(), "no cells anywhere renders nothing");
+            return Ok(());
+        }
+        let mut widths = vec![0usize; cols];
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(width(cell));
+            }
+        }
+        // Reconstruct which rendered line belongs to which input row (the
+        // separator rule follows the first row).
+        let lines: Vec<&str> = out.lines().collect();
+        prop_assert_eq!(lines.len(), rows.len() + 1, "rows + one rule");
+        let rule = lines[1];
+        prop_assert!(rule.chars().all(|c| c == '-'));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        prop_assert_eq!(width(rule), total);
+        for (row, line) in rows.iter().zip(lines.iter().take(1).chain(lines.iter().skip(2))) {
+            let expect = if row.is_empty() {
+                0
+            } else {
+                widths[..row.len()].iter().sum::<usize>() + 2 * (row.len() - 1)
+            };
+            prop_assert_eq!(
+                width(line),
+                expect,
+                "row {:?} rendered as {:?}",
+                row,
+                line
+            );
+        }
+    }
+
+    /// `bar` never panics — including on NaN and ±infinity — and always
+    /// renders exactly `width` glyphs drawn from the bar alphabet.
+    #[test]
+    fn bar_never_panics_on_any_f64(bits in 0u64..u64::MAX, w in 0usize..64) {
+        let value = f64::from_bits(bits);
+        let s = bar(value, w);
+        prop_assert_eq!(width(&s), w, "value {} must fill the width", value);
+        prop_assert!(s.chars().all(|c| c == '█' || c == '·'));
+    }
+
+    /// The non-finite values the reports can actually produce (0/0 IPC
+    /// ratios and the like) map to sane bars.
+    #[test]
+    fn bar_non_finite_values_are_clamped(w in 1usize..40) {
+        prop_assert_eq!(bar(f64::NAN, w).matches('█').count(), 0);
+        prop_assert_eq!(bar(f64::INFINITY, w).matches('█').count(), w);
+        prop_assert_eq!(bar(f64::NEG_INFINITY, w).matches('█').count(), 0);
+    }
+}

@@ -58,6 +58,18 @@ impl fmt::Display for CacheConfig {
     }
 }
 
+/// What one [`Cache::access_traced`] call did to the cache state. Line
+/// addresses are aligned to the cache's line size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessTrace {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// The line installed by a miss (`None` on a hit).
+    pub filled_line: Option<u64>,
+    /// The victim line the fill evicted, if the set was full.
+    pub evicted_line: Option<u64>,
+}
+
 /// A set-associative, true-LRU cache model (tags only; no data payload).
 ///
 /// Storage is two flat arrays (`sets * ways` tags and LRU timestamps) plus
@@ -137,6 +149,13 @@ impl Cache {
     /// Accesses `addr`: returns `true` on hit. On a miss the line is filled
     /// (evicting LRU if needed).
     pub fn access(&mut self, addr: u64) -> bool {
+        self.access_traced(addr).hit
+    }
+
+    /// [`Cache::access`], additionally reporting the cache-state changes the
+    /// access caused — the feed for the leakage observer, which attributes
+    /// every fill and eviction to the instruction that triggered it.
+    pub fn access_traced(&mut self, addr: u64) -> AccessTrace {
         self.tick += 1;
         let (idx, tag) = self.index_and_tag(addr);
         let tick = self.tick;
@@ -144,9 +163,13 @@ impl Cache {
         let ways = &self.tags[start..start + len];
         if let Some(w) = ways.iter().position(|&t| t == tag) {
             self.last_use[start + w] = tick;
-            return true;
+            return AccessTrace {
+                hit: true,
+                filled_line: None,
+                evicted_line: None,
+            };
         }
-        let slot = if len == self.config.ways {
+        let (slot, evicted_line) = if len == self.config.ways {
             // Evict LRU: timestamps are unique, so this is the one line
             // least recently touched regardless of way order.
             let lru = self.last_use[start..start + len]
@@ -155,14 +178,18 @@ impl Cache {
                 .min_by_key(|&(_, &t)| t)
                 .map(|(w, _)| w)
                 .expect("nonempty set");
-            start + lru
+            (start + lru, Some(self.tags[start + lru] << self.line_shift))
         } else {
             self.filled[idx] += 1;
-            start + len
+            (start + len, None)
         };
         self.tags[slot] = tag;
         self.last_use[slot] = tick;
-        false
+        AccessTrace {
+            hit: false,
+            filled_line: Some(tag << self.line_shift),
+            evicted_line,
+        }
     }
 
     /// Whether `addr`'s line is present, without touching LRU state or
@@ -258,6 +285,26 @@ mod tests {
         assert!(c.probe(64));
         c.flush_all();
         assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn traced_access_reports_fill_and_eviction() {
+        let mut c = tiny(); // 2 sets x 2 ways
+        let cold = c.access_traced(0);
+        assert_eq!(
+            cold,
+            AccessTrace {
+                hit: false,
+                filled_line: Some(0),
+                evicted_line: None,
+            }
+        );
+        assert!(c.access_traced(0).hit, "warm re-access");
+        c.access(256); // line 4 -> set 0
+        let evicting = c.access_traced(512); // set 0 full: evicts LRU line 0
+        assert_eq!(evicting.filled_line, Some(512));
+        assert_eq!(evicting.evicted_line, Some(0));
+        assert!(!c.probe(0));
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The two-level cache hierarchy plus DRAM model that backs the core's LSU.
 
 use crate::cache::{Cache, CacheConfig};
+use crate::observer::{Attribution, CacheChangeKind, LeakageObserver};
 use crate::prefetch::StridePrefetcher;
+use sb_isa::Seq;
 use std::fmt;
 
 /// Demand access kind.
@@ -105,6 +107,11 @@ pub struct MemoryHierarchy {
     prefetch_scratch: Vec<u64>,
     demand_accesses: u64,
     prefetches: u64,
+    /// Attached leakage observer (`None` keeps the access hot path free of
+    /// recording work beyond one branch). Boxed: the observer's event log
+    /// should not bloat the hierarchy for the overwhelmingly common
+    /// unobserved runs.
+    leakage: Option<Box<LeakageObserver>>,
 }
 
 impl MemoryHierarchy {
@@ -122,6 +129,33 @@ impl MemoryHierarchy {
             prefetch_scratch: Vec::new(),
             demand_accesses: 0,
             prefetches: 0,
+            leakage: None,
+        }
+    }
+
+    /// Attaches a fresh [`LeakageObserver`]: from now on every cache-state
+    /// change is recorded with its attribution. Replaces any previous
+    /// observer.
+    pub fn attach_leakage_observer(&mut self) {
+        self.leakage = Some(Box::new(LeakageObserver::new()));
+    }
+
+    /// The attached leakage observer, if any.
+    #[must_use]
+    pub fn leakage_observer(&self) -> Option<&LeakageObserver> {
+        self.leakage.as_deref()
+    }
+
+    /// Detaches and returns the leakage observer.
+    pub fn take_leakage_observer(&mut self) -> Option<LeakageObserver> {
+        self.leakage.take().map(|b| *b)
+    }
+
+    /// The core squashed every instruction with `seq >= first_removed`;
+    /// forwarded to the attached observer (no-op when detached).
+    pub fn note_squash(&mut self, first_removed: Seq) {
+        if let Some(obs) = self.leakage.as_deref_mut() {
+            obs.note_squash(first_removed);
         }
     }
 
@@ -133,25 +167,61 @@ impl MemoryHierarchy {
 
     /// Performs a demand access and returns the latency/level outcome.
     /// Prefetchers observe the access and install their targets silently.
-    pub fn access(&mut self, addr: u64, _kind: AccessKind) -> AccessOutcome {
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> AccessOutcome {
+        self.access_attributed(addr, kind, None)
+    }
+
+    /// [`MemoryHierarchy::access`] with an instruction attribution: when a
+    /// [`LeakageObserver`] is attached, every cache-state change this access
+    /// causes (demand fills, MSHR allocation, evictions, prefetch installs)
+    /// is recorded against `attr`. Timing and cache state are identical to
+    /// the unattributed path — observation never perturbs the simulation.
+    pub fn access_attributed(
+        &mut self,
+        addr: u64,
+        _kind: AccessKind,
+        attr: Option<Attribution>,
+    ) -> AccessOutcome {
         self.demand_accesses += 1;
-        let l1_hit = self.l1d.access(addr);
-        let (latency, served_by) = if l1_hit {
-            (self.config.l1d.latency, ServedBy::L1)
+        let l1 = self.l1d.access_traced(addr);
+        let (latency, served_by, l2) = if l1.hit {
+            (self.config.l1d.latency, ServedBy::L1, None)
         } else {
-            let l2_hit = self.l2.access(addr);
-            if l2_hit {
+            let l2t = self.l2.access_traced(addr);
+            if l2t.hit {
                 (
                     self.config.l1d.latency + self.config.l2.latency,
                     ServedBy::L2,
+                    Some(l2t),
                 )
             } else {
                 (
                     self.config.l1d.latency + self.config.l2.latency + self.config.dram_latency,
                     ServedBy::Dram,
+                    Some(l2t),
                 )
             }
         };
+        if let (Some(obs), Some(attr)) = (self.leakage.as_deref_mut(), attr) {
+            if let Some(line) = l1.filled_line {
+                // One MSHR tracks each outstanding demand L1 miss.
+                obs.record(CacheChangeKind::MshrAlloc, line, attr);
+            }
+            obs.record_trace(
+                l1,
+                CacheChangeKind::L1Fill,
+                CacheChangeKind::L1Eviction,
+                attr,
+            );
+            if let Some(l2t) = l2 {
+                obs.record_trace(
+                    l2t,
+                    CacheChangeKind::L2Fill,
+                    CacheChangeKind::L2Eviction,
+                    attr,
+                );
+            }
+        }
 
         let mut prefetches_issued = 0;
         let mut targets = std::mem::take(&mut self.prefetch_scratch);
@@ -159,17 +229,39 @@ impl MemoryHierarchy {
             targets.clear();
             pf.observe_into(addr, &mut targets);
             for &target in &targets {
-                self.l1d.access(target);
-                self.l2.access(target);
+                let t1 = self.l1d.access_traced(target);
+                let t2 = self.l2.access_traced(target);
                 prefetches_issued += 1;
+                if let (Some(obs), Some(attr)) = (self.leakage.as_deref_mut(), attr) {
+                    obs.record_trace(
+                        t1,
+                        CacheChangeKind::L1PrefetchFill,
+                        CacheChangeKind::L1Eviction,
+                        attr,
+                    );
+                    obs.record_trace(
+                        t2,
+                        CacheChangeKind::L2PrefetchFill,
+                        CacheChangeKind::L2Eviction,
+                        attr,
+                    );
+                }
             }
         }
         if let Some(pf) = &mut self.l2_prefetcher {
             targets.clear();
             pf.observe_into(addr, &mut targets);
             for &target in &targets {
-                self.l2.access(target);
+                let t2 = self.l2.access_traced(target);
                 prefetches_issued += 1;
+                if let (Some(obs), Some(attr)) = (self.leakage.as_deref_mut(), attr) {
+                    obs.record_trace(
+                        t2,
+                        CacheChangeKind::L2PrefetchFill,
+                        CacheChangeKind::L2Eviction,
+                        attr,
+                    );
+                }
             }
         }
         self.prefetch_scratch = targets;
@@ -295,6 +387,99 @@ mod tests {
         m.flush_line(0x40);
         let out = m.access(0x40, AccessKind::Read);
         assert_eq!(out.served_by, ServedBy::Dram);
+    }
+
+    fn attr(seq: u64, speculative: bool, wrong_path: bool) -> Attribution {
+        Attribution {
+            seq: Seq::new(seq),
+            speculative,
+            wrong_path,
+        }
+    }
+
+    #[test]
+    fn attributed_miss_records_mshr_and_fills_then_resolves_transient() {
+        let mut m = no_prefetch();
+        m.attach_leakage_observer();
+        m.access_attributed(0x4000_0040, AccessKind::Read, Some(attr(5, true, true)));
+        let obs = m.leakage_observer().expect("attached");
+        let kinds: Vec<_> = obs.changes().iter().map(|c| c.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                CacheChangeKind::MshrAlloc,
+                CacheChangeKind::L1Fill,
+                CacheChangeKind::L2Fill
+            ]
+        );
+        assert!(obs.transient_lines().is_empty(), "no squash reported yet");
+
+        m.note_squash(Seq::new(5));
+        // A replayed access after the squash gets a fresh (larger) seq and
+        // must stay non-transient even though it touches the same line.
+        m.flush_line(0x4000_0040);
+        m.access_attributed(0x4000_0040, AccessKind::Read, Some(attr(9, false, false)));
+        let obs = m.leakage_observer().unwrap();
+        assert_eq!(
+            obs.transient_lines().into_iter().collect::<Vec<_>>(),
+            vec![0x4000_0040]
+        );
+        assert_eq!(obs.transient_changes().count(), 3);
+        assert!(obs.changes().iter().any(|c| !c.is_transient()));
+    }
+
+    #[test]
+    fn hits_record_no_cache_change() {
+        let mut m = no_prefetch();
+        m.access(0x80, AccessKind::Read); // warm, unattributed
+        m.attach_leakage_observer();
+        m.access_attributed(0x80, AccessKind::Read, Some(attr(1, true, true)));
+        assert!(
+            m.leakage_observer().unwrap().is_empty(),
+            "a warm hit changes no recordable cache state"
+        );
+    }
+
+    #[test]
+    fn prefetch_fills_are_attributed_to_the_triggering_access() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::rtl_default());
+        m.attach_leakage_observer();
+        for (i, addr) in [0x10000u64, 0x10040, 0x10080].into_iter().enumerate() {
+            m.access_attributed(addr, AccessKind::Read, Some(attr(i as u64 + 1, true, true)));
+        }
+        let obs = m.leakage_observer().unwrap();
+        let pf: Vec<_> = obs
+            .changes()
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c.kind,
+                    CacheChangeKind::L1PrefetchFill | CacheChangeKind::L2PrefetchFill
+                )
+            })
+            .collect();
+        assert!(!pf.is_empty(), "stride stream must trigger prefetches");
+        assert!(
+            pf.iter().all(|c| c.attr.seq == Seq::new(3)),
+            "prefetches charge to the access that triggered them"
+        );
+        m.note_squash(Seq::new(3));
+        let lines = m.leakage_observer().unwrap().transient_lines();
+        assert!(
+            lines.contains(&0x100C0),
+            "the prefetched-ahead line is a transient change: {lines:?}"
+        );
+    }
+
+    #[test]
+    fn unattributed_access_records_nothing_even_when_observed() {
+        let mut m = no_prefetch();
+        m.attach_leakage_observer();
+        m.access(0x4000, AccessKind::Read);
+        assert!(m.leakage_observer().unwrap().is_empty());
+        let taken = m.take_leakage_observer().expect("still attached");
+        assert!(taken.is_empty());
+        assert!(m.leakage_observer().is_none());
     }
 
     #[test]

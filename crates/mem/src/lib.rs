@@ -9,19 +9,25 @@
 //! latency to 1 cycle to reproduce that effect.
 //!
 //! Cross-crate data flow: `sb-uarch`'s LSU and commit stages call
-//! [`MemoryHierarchy::access`] for every simulated load/store (it sits on
-//! the simulator's hottest shared path — keep it lean), and the attack
-//! examples use [`SideChannelObserver`] to probe which lines a transient
-//! access left behind. Behaviour here is part of the golden-stats
-//! contract: any change to hit/miss or prefetch decisions changes
-//! `SimStats` and trips the differential tests.
+//! [`MemoryHierarchy::access_attributed`] for every simulated load/store
+//! (it sits on the simulator's hottest shared path — keep it lean), the
+//! attack examples use [`SideChannelObserver`] to probe which lines a
+//! transient access left behind, and the `verify-security` battery
+//! attaches a [`LeakageObserver`] to charge every fill, eviction, prefetch
+//! install and MSHR allocation to the instruction that caused it — the
+//! ground truth the security verification compares schemes against.
+//! Behaviour here is part of the golden-stats contract: any change to
+//! hit/miss or prefetch decisions changes `SimStats` and trips the
+//! differential tests.
 
 mod cache;
 mod hierarchy;
 mod observer;
 mod prefetch;
 
-pub use cache::{Cache, CacheConfig};
+pub use cache::{AccessTrace, Cache, CacheConfig};
 pub use hierarchy::{AccessKind, AccessOutcome, HierarchyConfig, MemoryHierarchy, ServedBy};
-pub use observer::SideChannelObserver;
+pub use observer::{
+    Attribution, CacheChange, CacheChangeKind, LeakageObserver, SideChannelObserver,
+};
 pub use prefetch::StridePrefetcher;

@@ -1,12 +1,24 @@
-//! Cache side-channel observer: the attacker's flush+reload view of the
-//! cache, used by the security experiment (§7's BOOM-attacks analogue).
+//! Cache side-channel observers, in two flavours:
 //!
-//! The observer monitors a *probe array*: `entries` cache lines spaced
-//! `stride` bytes apart starting at `base`. A Spectre-v1 victim encodes a
-//! secret byte `s` by transiently loading `base + s * stride`; the attacker
-//! then probes each line and recovers `s` from the unique hit.
+//! * [`SideChannelObserver`] — the *attacker's* flush+reload view of the
+//!   cache, used by the security experiment (§7's BOOM-attacks analogue).
+//!   It monitors a *probe array*: `entries` cache lines spaced `stride`
+//!   bytes apart starting at `base`. A Spectre-v1 victim encodes a secret
+//!   byte `s` by transiently loading `base + s * stride`; the attacker then
+//!   probes each line and recovers `s` from the unique hit.
+//! * [`LeakageObserver`] — the *verifier's* omniscient view: every
+//!   cache-state change (demand fill, eviction, prefetch fill, MSHR
+//!   allocation) the hierarchy performs, attributed to the dynamic
+//!   instruction that caused it. The core reports squashes, after which
+//!   changes made by squashed (wrong-path / replayed) instructions are
+//!   *transient*: cache state a correct execution would never have touched,
+//!   i.e. a side-channel transmission. The `verify-security` battery
+//!   asserts the Baseline core transmits on every attack scenario and the
+//!   secure schemes on none.
 
 use crate::hierarchy::MemoryHierarchy;
+use sb_isa::Seq;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Flush+reload observer over a probe array.
@@ -81,6 +93,208 @@ impl SideChannelObserver {
     }
 }
 
+/// The instruction a cache-state change is charged to, as reported by the
+/// core at access time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Attribution {
+    /// Dynamic sequence number of the instruction performing the access.
+    /// Sequence numbers are never reused, so a replayed instruction's
+    /// re-execution is a distinct attribution from its squashed first try.
+    pub seq: Seq,
+    /// Whether the instruction was under an unresolved shadow (control,
+    /// data, or — under the Futuristic model — memory/exception) when it
+    /// accessed the hierarchy.
+    pub speculative: bool,
+    /// Whether the instruction was fetched down a known wrong path.
+    pub wrong_path: bool,
+}
+
+/// The kind of cache-state change a [`CacheChange`] records. Deliberately
+/// *excludes* LRU touches on hits: a warm re-access perturbs replacement
+/// state only, which the paper's schemes do not claim to hide (and which a
+/// flush+reload attacker cannot see either).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CacheChangeKind {
+    /// A demand miss installed this line in L1D.
+    L1Fill,
+    /// A demand miss installed this line in L2.
+    L2Fill,
+    /// A fill evicted this (victim) line from L1D.
+    L1Eviction,
+    /// A fill evicted this (victim) line from L2.
+    L2Eviction,
+    /// A prefetcher trained/triggered by the attributed access installed
+    /// this line in L1D.
+    L1PrefetchFill,
+    /// A prefetcher trained/triggered by the attributed access installed
+    /// this line in L2.
+    L2PrefetchFill,
+    /// A demand L1 miss allocated a miss-status holding register for this
+    /// line (the outstanding-fill tracking slot; one per demand L1 miss).
+    MshrAlloc,
+}
+
+/// One attributed cache-state change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheChange {
+    /// What changed.
+    pub kind: CacheChangeKind,
+    /// The line-aligned address the change concerns (the installed line for
+    /// fills/prefetches/MSHRs, the victim line for evictions).
+    pub line_addr: u64,
+    /// The instruction charged with the change.
+    pub attr: Attribution,
+    /// Set by [`LeakageObserver::note_squash`] once the attributed
+    /// instruction is squashed: the change is transient.
+    transient: bool,
+}
+
+impl CacheChange {
+    /// Whether the attributed instruction was squashed — i.e. this change
+    /// is microarchitectural state a correct execution never produces: a
+    /// speculative side-channel transmission.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        self.transient
+    }
+}
+
+/// Records every attributed cache-state change the hierarchy performs, and
+/// resolves which of them turn out transient once the core reports its
+/// squashes. Attach with [`MemoryHierarchy::attach_leakage_observer`];
+/// detached (the default), the hierarchy's hot path pays only a `None`
+/// check.
+///
+/// # Example
+///
+/// ```
+/// use sb_isa::Seq;
+/// use sb_mem::{AccessKind, Attribution, HierarchyConfig, MemoryHierarchy};
+/// let mut m = MemoryHierarchy::new(HierarchyConfig::rtl_default());
+/// m.attach_leakage_observer();
+/// let attr = Attribution { seq: Seq::new(7), speculative: true, wrong_path: true };
+/// m.access_attributed(0x4000_0000, AccessKind::Read, Some(attr));
+/// m.note_squash(Seq::new(7)); // the wrong-path load is squashed
+/// let obs = m.leakage_observer().unwrap();
+/// assert!(obs.transient_lines().contains(&0x4000_0000));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LeakageObserver {
+    changes: Vec<CacheChange>,
+}
+
+impl LeakageObserver {
+    /// An empty observer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one attributed change (hierarchy-internal).
+    pub(crate) fn record(&mut self, kind: CacheChangeKind, line_addr: u64, attr: Attribution) {
+        self.changes.push(CacheChange {
+            kind,
+            line_addr,
+            attr,
+            transient: false,
+        });
+    }
+
+    /// Records the fill and eviction one traced cache access produced,
+    /// under the given per-level kinds (hierarchy-internal — the single
+    /// place the `AccessTrace` → change-log mapping lives).
+    pub(crate) fn record_trace(
+        &mut self,
+        trace: crate::cache::AccessTrace,
+        fill: CacheChangeKind,
+        eviction: CacheChangeKind,
+        attr: Attribution,
+    ) {
+        if let Some(line) = trace.filled_line {
+            self.record(fill, line, attr);
+        }
+        if let Some(victim) = trace.evicted_line {
+            self.record(eviction, victim, attr);
+        }
+    }
+
+    /// The core squashed every instruction with `seq >= first_removed`:
+    /// their recorded changes become transient. Sequence numbers are
+    /// allocated monotonically and never reused, so instructions recorded
+    /// *after* this call (including replays of the squashed trace region)
+    /// carry strictly larger sequence numbers and are unaffected.
+    pub fn note_squash(&mut self, first_removed: Seq) {
+        for c in &mut self.changes {
+            if c.attr.seq >= first_removed {
+                c.transient = true;
+            }
+        }
+    }
+
+    /// Every recorded change, in access order.
+    #[must_use]
+    pub fn changes(&self) -> &[CacheChange] {
+        &self.changes
+    }
+
+    /// Changes attributed to squashed instructions.
+    pub fn transient_changes(&self) -> impl Iterator<Item = &CacheChange> {
+        self.changes.iter().filter(|c| c.is_transient())
+    }
+
+    /// Changes made while the attributed instruction was still speculative
+    /// (whether or not it later committed).
+    pub fn speculative_changes(&self) -> impl Iterator<Item = &CacheChange> {
+        self.changes.iter().filter(|c| c.attr.speculative)
+    }
+
+    /// The set of line addresses touched by transient changes.
+    #[must_use]
+    pub fn transient_lines(&self) -> BTreeSet<u64> {
+        self.transient_changes().map(|c| c.line_addr).collect()
+    }
+
+    /// Probe-array slots hit by transient changes: slot `i` covers
+    /// `[base + i*stride, base + (i+1)*stride)`, for `i < entries`. This is
+    /// the verifier-side counterpart of [`SideChannelObserver::probe`] —
+    /// it sees prefetch fills and evictions too, and only counts changes
+    /// from squashed instructions.
+    #[must_use]
+    pub fn transient_slots(&self, base: u64, stride: u64, entries: usize) -> BTreeSet<usize> {
+        assert!(stride > 0, "probe slots need a positive stride");
+        self.transient_changes()
+            .filter_map(|c| {
+                let off = c.line_addr.checked_sub(base)?;
+                let slot = (off / stride) as usize;
+                (slot < entries).then_some(slot)
+            })
+            .collect()
+    }
+
+    /// Number of recorded changes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+}
+
+impl fmt::Display for LeakageObserver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cache changes ({} transient)",
+            self.changes.len(),
+            self.transient_changes().count()
+        )
+    }
+}
+
 impl fmt::Display for SideChannelObserver {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -139,6 +353,46 @@ mod tests {
         m.access(obs.slot_addr(0), AccessKind::Read);
         obs.prime(&mut m);
         assert!(obs.probe(&m).is_empty());
+    }
+
+    fn leak_attr(seq: u64) -> Attribution {
+        Attribution {
+            seq: Seq::new(seq),
+            speculative: true,
+            wrong_path: false,
+        }
+    }
+
+    #[test]
+    fn transient_slots_map_lines_to_probe_geometry() {
+        let mut obs = LeakageObserver::new();
+        obs.record(CacheChangeKind::L1Fill, 0x1000, leak_attr(4)); // slot 0
+        obs.record(
+            CacheChangeKind::L1PrefetchFill,
+            0x1000 + 3 * 4096,
+            leak_attr(4),
+        ); // slot 3
+        obs.record(CacheChangeKind::L1Fill, 0x1000 + 40 * 4096, leak_attr(4)); // out of range
+        obs.record(CacheChangeKind::L1Fill, 0x200, leak_attr(4)); // below base
+        obs.record(CacheChangeKind::L1Fill, 0x1000 + 4096, leak_attr(2)); // slot 1, survives
+        obs.note_squash(Seq::new(3));
+        let slots = obs.transient_slots(0x1000, 4096, 16);
+        assert_eq!(slots.into_iter().collect::<Vec<_>>(), vec![0, 3]);
+        assert_eq!(obs.transient_changes().count(), 4);
+        assert_eq!(obs.speculative_changes().count(), 5);
+        assert_eq!(format!("{obs}"), "5 cache changes (4 transient)");
+    }
+
+    #[test]
+    fn squash_marks_only_younger_sequences() {
+        let mut obs = LeakageObserver::new();
+        obs.record(CacheChangeKind::L2Fill, 0x40, leak_attr(1));
+        obs.record(CacheChangeKind::L2Fill, 0x80, leak_attr(7));
+        obs.note_squash(Seq::new(5));
+        let transient: Vec<_> = obs.transient_changes().map(|c| c.line_addr).collect();
+        assert_eq!(transient, vec![0x80]);
+        assert!(obs.transient_lines().contains(&0x80));
+        assert_eq!(obs.len(), 2);
     }
 
     #[test]

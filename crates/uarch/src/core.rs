@@ -77,6 +77,12 @@
 //!   broadcast only when the visibility point passes them, at most
 //!   memory-width broadcasts per cycle (§5.1), and NDA drops speculative
 //!   load-hit scheduling.
+//! * Every memory access carries an `sb_mem::Attribution` (sequence
+//!   number, speculative-at-access, wrong-path) and squashes are reported
+//!   to the hierarchy, so an attached `sb_mem::LeakageObserver` can
+//!   charge each cache-state change to its instruction and resolve which
+//!   changes were transient — the `verify-security` battery's ground
+//!   truth. Observation never perturbs timing or statistics.
 
 use crate::config::{CoreConfig, Fidelity, SchedulerKind};
 use crate::frontend::{Fetched, Frontend};
@@ -90,7 +96,7 @@ use sb_core::{
     ShadowKind, SpeculationTracker, ThreatModel,
 };
 use sb_isa::{OpClass, PhysReg, Seq, Trace};
-use sb_mem::{AccessKind, MemoryHierarchy, ServedBy};
+use sb_mem::{AccessKind, Attribution, MemoryHierarchy, ServedBy};
 use sb_stats::SimStats;
 use std::collections::BTreeMap;
 
@@ -691,7 +697,18 @@ impl Core {
                     self.sq.pop_front();
                     self.stats.committed_stores.incr();
                     let mem = inst.mem().expect("store has address");
-                    let out = self.mem.access(mem.addr, AccessKind::Write);
+                    // Stores write the hierarchy at commit: by definition
+                    // non-speculative, but still attributed so the leakage
+                    // observer's event log is complete.
+                    let out = self.mem.access_attributed(
+                        mem.addr,
+                        AccessKind::Write,
+                        Some(Attribution {
+                            seq: inst.seq,
+                            speculative: false,
+                            wrong_path: false,
+                        }),
+                    );
                     self.record_cache_outcome(out.served_by);
                     self.stats.prefetches.add(u64::from(out.prefetches_issued));
                 }
@@ -1364,6 +1381,7 @@ impl Core {
         }
         let seq = inst.seq;
         let addr = inst.mem().expect("load has address").addr;
+        let speculative = self.tracker.is_speculative(seq);
         let latency = match plan {
             LoadPlan::Forward(src) => {
                 self.rob.hot_mut(idx).set_fwd_src(src);
@@ -1374,7 +1392,20 @@ impl Core {
                     self.rob.hot_mut(idx).set_mem_speculated(true);
                     self.stats.memdep_speculations.incr();
                 }
-                let out = self.mem.access(addr, AccessKind::Read);
+                // Attribute the access for the leakage observer: a load
+                // executing under an unresolved shadow (or down a known
+                // wrong path) that later squashes has made a transient
+                // cache-state change — the side channel the secure schemes
+                // must close.
+                let out = self.mem.access_attributed(
+                    addr,
+                    AccessKind::Read,
+                    Some(Attribution {
+                        seq,
+                        speculative,
+                        wrong_path: inst.wrong_path(),
+                    }),
+                );
                 self.record_cache_outcome(out.served_by);
                 self.stats.prefetches.add(u64::from(out.prefetches_issued));
                 // Speculative load-hit scheduling: a miss replays the
@@ -1402,7 +1433,6 @@ impl Core {
         };
 
         let done_at = self.cycle + u64::from(latency);
-        let speculative = self.tracker.is_speculative(seq);
         let (dst, srcs) = (inst.dst_preg(), inst.src_pregs());
         {
             let h = self.rob.hot_mut(idx);
@@ -1960,6 +1990,9 @@ impl Core {
         self.tracker.squash_younger(survivor);
         self.untaint_q.squash_younger(survivor);
         self.nda_q.squash_younger(survivor);
+        // Cache-state changes made by the squashed instructions are now
+        // known transient (no-op unless a leakage observer is attached).
+        self.mem.note_squash(first_removed);
     }
 }
 

@@ -8,7 +8,9 @@
 use sb_core::{Scheme, SchemeConfig};
 use sb_stats::SimStats;
 use sb_uarch::{Core, CoreConfig, SchedulerKind};
-use sb_workloads::{generate, spec2017_profiles, spectre_v1_kernel, ssb_kernel, TraceStore};
+use sb_workloads::{
+    attack_battery, generate, spec2017_profiles, spectre_v1_kernel, ssb_kernel, TraceStore,
+};
 
 const MAX_CYCLES: u64 = 10_000_000;
 
@@ -138,6 +140,63 @@ fn golden_stats_attack_kernels() {
                 &ssb.trace,
                 &format!("ssb/{secret}/{tag}"),
             );
+        }
+    }
+}
+
+#[test]
+fn golden_leak_sets_attack_battery() {
+    // The security verdict must not depend on which scheduler simulated
+    // it: for every battery scenario and scheme variant, the set of probe
+    // slots changed by squashed instructions (the transient leak set) and
+    // the total transient-change count must be identical under the event
+    // wheel and the reference scheduler. Rides the same oracle philosophy
+    // as the SimStats tests — the leak matrix is part of the golden
+    // contract.
+    let config = CoreConfig::mega();
+    for secret in [2usize, 11] {
+        for kernel in attack_battery(secret) {
+            for (tag, scheme_cfg) in scheme_variants(&config) {
+                let measure = |kind: SchedulerKind| {
+                    let mut core = Core::new(
+                        with_scheduler(&config, kind),
+                        scheme_cfg,
+                        kernel.trace.clone(),
+                    );
+                    core.memory_mut().attach_leakage_observer();
+                    core.run_to_completion(MAX_CYCLES);
+                    let obs = core.memory().leakage_observer().expect("attached");
+                    (
+                        obs.transient_slots(
+                            kernel.channel.base,
+                            kernel.channel.stride,
+                            kernel.channel.entries,
+                        ),
+                        obs.transient_changes().count(),
+                    )
+                };
+                let reference = measure(SchedulerKind::Reference);
+                let wheel = measure(SchedulerKind::EventWheel);
+                let label = format!("{}/{secret}/{tag}", kernel.trace.name());
+                assert_eq!(
+                    reference, wheel,
+                    "{label}: leak sets diverged across schedulers"
+                );
+                if scheme_cfg.scheme.is_secure() {
+                    assert!(
+                        wheel.0.is_empty(),
+                        "{label}: secure scheme leaked slots {:?}",
+                        wheel.0
+                    );
+                } else {
+                    assert!(
+                        kernel.expected_slots.iter().all(|s| wheel.0.contains(s)),
+                        "{label}: baseline must leak {:?}, got {:?}",
+                        kernel.expected_slots,
+                        wheel.0
+                    );
+                }
+            }
         }
     }
 }

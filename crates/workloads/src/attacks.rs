@@ -1,29 +1,110 @@
 //! Transient-execution attack kernels — the BOOM-attacks analogue the paper
-//! uses to verify that the implemented schemes actually mitigate Spectre v1
-//! (§7), plus a Speculative Store Bypass kernel for the D-shadow side of
-//! the combined threat model (§2.4, §6).
+//! uses to verify that the implemented schemes actually mitigate Spectre
+//! (§7), grown into a battery of five scenarios covering the C-shadow and
+//! D-shadow sides of the combined threat model (§2.4, §6) plus a
+//! prefetcher-amplified and a deep-speculation variant.
 //!
-//! Each kernel is a trace whose wrong-path (transient) micro-ops encode a
-//! secret into a cache *probe array*: slot `s` of the array is touched iff
-//! the secret value is `s`. A `sb_mem::SideChannelObserver` over
-//! [`PROBE_BASE`]/[`PROBE_STRIDE`] recovers the leak — or verifies its
-//! absence under a secure scheme.
+//! Each kernel is a trace whose transient micro-ops (wrong-path ops, or
+//! correct-path ops doomed to a forwarding-error replay) encode a secret
+//! into a cache *probe channel*: slot `s` of the channel changes cache
+//! state iff the secret value is `s`. Two observers can see the leak:
+//!
+//! * `sb_mem::SideChannelObserver` — the attacker's flush+reload view over
+//!   the kernel's [`ProbeChannel`];
+//! * `sb_mem::LeakageObserver` — the verifier's omniscient view: every
+//!   cache-state change attributed to a squashed instruction, which also
+//!   catches channels flush+reload cannot separate (prefetch amplification,
+//!   evictions). `sb-experiments verify-security` runs the whole battery
+//!   this way under every scheme and both schedulers.
+//!
+//! Every kernel documents its **secret address set**: the exact cache
+//! lines its transient path may touch as a function of the secret. The
+//! security property verified downstream is that under the Baseline scheme
+//! the transient path changes cache state inside that set, and under
+//! STT-Rename / STT-Issue / NDA it changes *nothing* in the set.
 
 use sb_isa::{ArchReg, MicroOp, OpClass, Trace, TraceBuilder};
 
-/// Base address of the attacker's probe array.
+/// Base address of the attacker's page-stride probe array.
 pub const PROBE_BASE: u64 = 0x4000_0000;
 
 /// Stride between probe slots (one slot per page to avoid prefetch noise).
 pub const PROBE_STRIDE: u64 = 4096;
+
+/// Number of slots in the page-stride probe array.
+pub const PROBE_ENTRIES: usize = 16;
+
+/// Base address of the line-stride probe array used by the
+/// prefetcher-amplification kernel (dense on purpose: the stride
+/// prefetcher must be able to run ahead inside one 4 KiB region).
+pub const AMP_BASE: u64 = 0x5000_0000;
+
+/// Stride between amplification probe slots: exactly one cache line.
+pub const AMP_STRIDE: u64 = 64;
+
+/// Number of slots in the line-stride probe array (covers the direct
+/// accesses plus the deepest prefetch run-ahead for any valid secret).
+pub const AMP_ENTRIES: usize = 32;
+
+/// The probe-array geometry a kernel transmits through, mirrored by both
+/// observers (`SideChannelObserver::new(base, stride, entries)` or
+/// `LeakageObserver::transient_slots(base, stride, entries)`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeChannel {
+    /// First slot's address.
+    pub base: u64,
+    /// Bytes between consecutive slots.
+    pub stride: u64,
+    /// Number of slots.
+    pub entries: usize,
+}
+
+impl ProbeChannel {
+    /// The page-stride channel shared by most kernels.
+    #[must_use]
+    pub fn page_stride() -> Self {
+        ProbeChannel {
+            base: PROBE_BASE,
+            stride: PROBE_STRIDE,
+            entries: PROBE_ENTRIES,
+        }
+    }
+
+    /// The dense line-stride channel of the prefetch-amplification kernel.
+    #[must_use]
+    pub fn line_stride() -> Self {
+        ProbeChannel {
+            base: AMP_BASE,
+            stride: AMP_STRIDE,
+            entries: AMP_ENTRIES,
+        }
+    }
+
+    /// Address of probe slot `i`.
+    #[must_use]
+    pub fn slot_addr(&self, i: usize) -> u64 {
+        self.base + self.stride * i as u64
+    }
+}
 
 /// A ready-to-run attack kernel.
 #[derive(Clone, Debug)]
 pub struct AttackKernel {
     /// The victim+attacker instruction trace.
     pub trace: Trace,
-    /// The secret value the transient path encodes (0..16).
+    /// The secret value the transient path encodes.
     pub secret: usize,
+    /// The probe-array geometry the kernel transmits through.
+    pub channel: ProbeChannel,
+    /// Slots of `channel` that MUST change cache state when the transient
+    /// path executes unhindered (the Baseline leak signature). Always
+    /// includes the slot directly encoding `secret`.
+    pub expected_slots: Vec<usize>,
+    /// The full documented secret address set, as channel slots: every slot
+    /// the transient path may touch directly *or* via amplification
+    /// (prefetch run-ahead). Baseline leaks must stay inside this set;
+    /// secure schemes must leak in none of it.
+    pub allowed_slots: Vec<usize>,
 }
 
 fn x(n: u8) -> ArchReg {
@@ -37,12 +118,15 @@ fn x(n: u8) -> ArchReg {
 /// resident; STT blocks the transmit load (its address is tainted by the
 /// transient secret load), and NDA never broadcasts the secret load's data.
 ///
+/// **Secret address set:** exactly the one line `PROBE_BASE +
+/// secret * PROBE_STRIDE`.
+///
 /// # Panics
 ///
 /// Panics if `secret >= 16` (the probe array has 16 slots).
 #[must_use]
 pub fn spectre_v1_kernel(secret: usize) -> AttackKernel {
-    assert!(secret < 16, "probe array has 16 slots");
+    assert!(secret < PROBE_ENTRIES, "probe array has 16 slots");
     let mut b = TraceBuilder::new("spectre-v1");
 
     // Victim code warms the in-bounds data the transient load will hit
@@ -75,24 +159,93 @@ pub fn spectre_v1_kernel(secret: usize) -> AttackKernel {
     AttackKernel {
         trace: b.build(),
         secret,
+        channel: ProbeChannel::page_stride(),
+        expected_slots: vec![secret],
+        allowed_slots: vec![secret],
     }
 }
 
-/// Speculative Store Bypass (§6's D-shadow motivation): a store's address
-/// arrives late; a younger load speculatively bypasses it, reads the
-/// *stale* secret value, and transmits it before the forwarding error is
-/// detected.
+/// Spectre v1 with prefetcher amplification: the transient path touches
+/// *three* consecutive lines of a dense (line-stride) probe array starting
+/// at the secret's slot. The stride prefetchers (degree 2 at L1, 4 at L2)
+/// detect the transient stream and run ahead, installing lines the
+/// transient code never touched — the leak is *amplified* beyond the
+/// architectural access footprint, which only the leakage observer (not a
+/// single-slot flush+reload recovery) attributes correctly.
+///
+/// **Secret address set:** lines `AMP_BASE + (secret + k) * 64` for
+/// `k in 0..=2` (direct transient accesses) and `k in 3..=6` (worst-case
+/// prefetch run-ahead: L1 degree 2 reaches `k=4`, L2 degree 4 reaches
+/// `k=6`). The Baseline leak signature must include the three direct lines
+/// plus `k=3` (the first amplified line, proving the prefetcher leaked
+/// state on the transient path's behalf).
+///
+/// # Panics
+///
+/// Panics if `secret >= 16` (so the deepest run-ahead `secret + 6` stays
+/// inside the 32-slot array).
+#[must_use]
+pub fn spectre_v1_prefetch_kernel(secret: usize) -> AttackKernel {
+    assert!(secret < 16, "amplified secret must fit 16 values");
+    let mut b = TraceBuilder::new("spectre-v1-prefetch");
+
+    // Warm the secret line; cold bounds check with a long resolve chain.
+    b.load(x(6), x(28), 0x2000_0000, 8);
+    b.load(x(9), x(28), 0x3000_0000, 8);
+    b.push(MicroOp::compute(OpClass::IntDiv, x(9), Some(x(9)), None));
+    b.push(MicroOp::compute(OpClass::IntDiv, x(9), Some(x(9)), None));
+    let br = b.branch(Some(x(9)), None, true, true);
+
+    // Transient path: read the secret, then stream three consecutive lines
+    // of the dense probe array — enough for the stride detectors to gain
+    // confidence and prefetch ahead.
+    let slot = |k: usize| AMP_BASE + (secret + k) as u64 * AMP_STRIDE;
+    b.wrong_path(
+        br,
+        vec![
+            MicroOp::load(x(1), x(2), 0x2000_0000, 8),
+            MicroOp::alu(x(3), Some(x(1)), None),
+            MicroOp::load(x(4), x(3), slot(0), 8),
+            MicroOp::load(x(5), x(3), slot(1), 8),
+            MicroOp::load(x(7), x(3), slot(2), 8),
+        ],
+    );
+
+    b.alu(x(8), None, None);
+    AttackKernel {
+        trace: b.build(),
+        secret,
+        channel: ProbeChannel::line_stride(),
+        // Three direct lines plus the first prefetched one: the
+        // prefetchers emit on the third access of a constant-stride
+        // stream, so `secret + 3` is deterministically installed.
+        expected_slots: (secret..=secret + 3).collect(),
+        // L2's degree-4 run-ahead bounds the reachable set.
+        allowed_slots: (secret..=secret + 6).collect(),
+    }
+}
+
+/// Speculative Store Bypass (§6's D-shadow motivation, Spectre v4): a
+/// store's address arrives late; a younger load speculatively bypasses it,
+/// reads the *stale* secret value, and transmits it before the forwarding
+/// error is detected.
 ///
 /// The combined C+D-shadow tracking must treat the bypassing load's value
 /// as speculative (the unresolved store casts a D-shadow), so STT taints it
 /// and NDA withholds its broadcast.
+///
+/// **Secret address set:** exactly the one line `PROBE_BASE +
+/// secret * PROBE_STRIDE` (touched by the doomed first execution of the
+/// transmit load; the post-flush replay re-touches the same literal line,
+/// which the leakage observer correctly attributes to the *committed*
+/// replay, not the squashed transient).
 ///
 /// # Panics
 ///
 /// Panics if `secret >= 16`.
 #[must_use]
 pub fn ssb_kernel(secret: usize) -> AttackKernel {
-    assert!(secret < 16, "probe array has 16 slots");
+    assert!(secret < PROBE_ENTRIES, "probe array has 16 slots");
     let mut b = TraceBuilder::new("ssb");
     const SLOT: u64 = 0x2100_0000;
 
@@ -116,7 +269,130 @@ pub fn ssb_kernel(secret: usize) -> AttackKernel {
     AttackKernel {
         trace: b.build(),
         secret,
+        channel: ProbeChannel::page_stride(),
+        expected_slots: vec![secret],
+        allowed_slots: vec![secret],
     }
+}
+
+/// Store→load forwarding transmitter: the transient path copies the secret
+/// through the store queue — a wrong-path store writes the secret, a
+/// younger wrong-path load *forwards* it (never touching the cache), and
+/// the forwarded value feeds the transmit load's address. This probes the
+/// taint/speculation plumbing across the forwarding path: a scheme that
+/// only tracked cache-read data would lose the secret's speculative status
+/// at the forward and let the transmit through.
+///
+/// **Secret address set:** exactly the one line `PROBE_BASE +
+/// secret * PROBE_STRIDE`. The forwarding buffer line (`0x2300_0000`) is
+/// never accessed by the wrong path (the store never commits, the load
+/// forwards), so it is not part of the channel.
+///
+/// # Panics
+///
+/// Panics if `secret >= 16`.
+#[must_use]
+pub fn store_forward_kernel(secret: usize) -> AttackKernel {
+    assert!(secret < PROBE_ENTRIES, "probe array has 16 slots");
+    let mut b = TraceBuilder::new("store-forward");
+    const BUF: u64 = 0x2300_0000;
+
+    // Warm the secret line; cold bounds check with a long resolve chain.
+    b.load(x(6), x(28), 0x2200_0000, 8);
+    b.load(x(9), x(28), 0x3200_0000, 8);
+    b.push(MicroOp::compute(OpClass::IntDiv, x(9), Some(x(9)), None));
+    b.push(MicroOp::compute(OpClass::IntDiv, x(9), Some(x(9)), None));
+    let br = b.branch(Some(x(9)), None, true, true);
+
+    // Transient path: secret -> store -> forwarding load -> transmit.
+    let probe_addr = PROBE_BASE + secret as u64 * PROBE_STRIDE;
+    b.wrong_path(
+        br,
+        vec![
+            MicroOp::load(x(1), x(2), 0x2200_0000, 8),
+            MicroOp::store(x(28), x(1), BUF, 8),
+            MicroOp::load(x(2), x(27), BUF, 8),
+            MicroOp::alu(x(3), Some(x(2)), None),
+            MicroOp::load(x(4), x(3), probe_addr, 8),
+        ],
+    );
+
+    b.alu(x(5), None, None);
+    AttackKernel {
+        trace: b.build(),
+        secret,
+        channel: ProbeChannel::page_stride(),
+        expected_slots: vec![secret],
+        allowed_slots: vec![secret],
+    }
+}
+
+/// Nested-misprediction deep speculation: the transmit sits under *two*
+/// control shadows — the mispredicted bounds check plus a second,
+/// correctly-predicted branch inside the transient window whose operand
+/// resolves late (a divide on the secret). A scheme that untainted on the
+/// first shadow's resolution alone, or tracked only the youngest shadow,
+/// would open the gate early; the paper's YRoT machinery must keep the
+/// transmit masked until *every* covering root is safe.
+///
+/// **Secret address set:** exactly the one line `PROBE_BASE +
+/// secret * PROBE_STRIDE`.
+///
+/// # Panics
+///
+/// Panics if `secret >= 16`.
+#[must_use]
+pub fn nested_speculation_kernel(secret: usize) -> AttackKernel {
+    assert!(secret < PROBE_ENTRIES, "probe array has 16 slots");
+    let mut b = TraceBuilder::new("nested-speculation");
+
+    // Warm the secret line; cold bounds check with a long resolve chain.
+    b.load(x(6), x(28), 0x2000_0000, 8);
+    b.load(x(9), x(28), 0x3000_0000, 8);
+    b.push(MicroOp::compute(OpClass::IntDiv, x(9), Some(x(9)), None));
+    b.push(MicroOp::compute(OpClass::IntDiv, x(9), Some(x(9)), None));
+    let br = b.branch(Some(x(9)), None, true, true);
+
+    // Transient path: the secret feeds a divide whose result both steers a
+    // nested branch (casting the second C-shadow, resolving late) and
+    // forms the transmit address.
+    let probe_addr = PROBE_BASE + secret as u64 * PROBE_STRIDE;
+    b.wrong_path(
+        br,
+        vec![
+            MicroOp::load(x(1), x(2), 0x2000_0000, 8),
+            MicroOp::compute(OpClass::IntDiv, x(3), Some(x(1)), None),
+            MicroOp::branch(Some(x(3)), None, true, false),
+            MicroOp::alu(x(4), Some(x(3)), None),
+            MicroOp::load(x(5), x(4), probe_addr, 8),
+        ],
+    );
+
+    b.alu(x(8), None, None);
+    AttackKernel {
+        trace: b.build(),
+        secret,
+        channel: ProbeChannel::page_stride(),
+        expected_slots: vec![secret],
+        allowed_slots: vec![secret],
+    }
+}
+
+/// The full battery, one kernel per scenario, all encoding the same
+/// `secret`. Order matches the paper-facing report.
+///
+/// # Panics
+///
+/// Panics if `secret >= 16` (every channel fits 16 secret values).
+#[must_use]
+pub fn attack_battery(secret: usize) -> Vec<AttackKernel> {
+    vec![
+        spectre_v1_kernel(secret),
+        spectre_v1_prefetch_kernel(secret),
+        ssb_kernel(secret),
+        store_forward_kernel(secret),
+        nested_speculation_kernel(secret),
+    ]
 }
 
 #[cfg(test)]
@@ -139,6 +415,8 @@ mod tests {
             PROBE_BASE + 7 * PROBE_STRIDE,
             "transmit address encodes the secret"
         );
+        assert_eq!(k.expected_slots, vec![7]);
+        assert_eq!(k.channel, ProbeChannel::page_stride());
     }
 
     #[test]
@@ -175,5 +453,111 @@ mod tests {
         };
         assert_ne!(addr(&a), addr(&b));
         assert_eq!(addr(&b) - addr(&a), PROBE_STRIDE);
+    }
+
+    #[test]
+    fn prefetch_kernel_streams_consecutive_lines() {
+        let k = spectre_v1_prefetch_kernel(4);
+        let br = (0..k.trace.len())
+            .find(|&i| k.trace.op(i).is_mispredicted())
+            .unwrap();
+        let wp = k.trace.wrong_path(br).unwrap();
+        let addrs: Vec<u64> = wp
+            .ops
+            .iter()
+            .filter(|o| o.is_load() && o.mem.unwrap().addr >= AMP_BASE)
+            .map(|o| o.mem.unwrap().addr)
+            .collect();
+        assert_eq!(
+            addrs,
+            vec![
+                AMP_BASE + 4 * AMP_STRIDE,
+                AMP_BASE + 5 * AMP_STRIDE,
+                AMP_BASE + 6 * AMP_STRIDE
+            ],
+            "three consecutive lines starting at the secret's slot"
+        );
+        assert_eq!(k.expected_slots, vec![4, 5, 6, 7]);
+        assert_eq!(k.allowed_slots, (4..=10).collect::<Vec<_>>());
+        assert!(*k.allowed_slots.iter().max().unwrap() < AMP_ENTRIES);
+    }
+
+    #[test]
+    fn store_forward_kernel_forwards_before_transmit() {
+        let k = store_forward_kernel(9);
+        let br = (0..k.trace.len())
+            .find(|&i| k.trace.op(i).is_mispredicted())
+            .unwrap();
+        let wp = k.trace.wrong_path(br).unwrap();
+        let store = wp.ops.iter().find(|o| o.is_store()).expect("wp store");
+        let fwd_load = wp
+            .ops
+            .iter()
+            .find(|o| o.is_load() && o.mem.unwrap().addr == store.mem.unwrap().addr)
+            .expect("a wrong-path load aliases the wrong-path store");
+        assert!(fwd_load.dst.is_some());
+        let transmit = wp.ops.last().unwrap();
+        assert_eq!(transmit.mem.unwrap().addr, PROBE_BASE + 9 * PROBE_STRIDE);
+    }
+
+    #[test]
+    fn nested_kernel_has_a_branch_inside_the_transient_window() {
+        let k = nested_speculation_kernel(2);
+        let br = (0..k.trace.len())
+            .find(|&i| k.trace.op(i).is_mispredicted())
+            .unwrap();
+        let wp = k.trace.wrong_path(br).unwrap();
+        let nested: Vec<_> = wp.ops.iter().filter(|o| o.is_branch()).collect();
+        assert_eq!(nested.len(), 1);
+        assert!(
+            !nested[0].is_mispredicted(),
+            "the nested branch resolves without squashing (it is already \
+             down the wrong path)"
+        );
+        let transmit_pos = wp
+            .ops
+            .iter()
+            .position(|o| o.is_load() && o.mem.is_some_and(|m| m.addr >= PROBE_BASE));
+        let branch_pos = wp.ops.iter().position(MicroOp::is_branch);
+        assert!(
+            branch_pos < transmit_pos,
+            "the transmit must sit under the nested shadow"
+        );
+    }
+
+    #[test]
+    fn battery_covers_five_distinct_scenarios() {
+        let battery = attack_battery(5);
+        assert_eq!(battery.len(), 5);
+        let names: Vec<_> = battery.iter().map(|k| k.trace.name().to_string()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "spectre-v1",
+                "spectre-v1-prefetch",
+                "ssb",
+                "store-forward",
+                "nested-speculation"
+            ]
+        );
+        for k in &battery {
+            assert_eq!(k.secret, 5);
+            assert!(k.expected_slots.contains(&k.secret));
+            assert!(
+                k.expected_slots.iter().all(|s| k.allowed_slots.contains(s)),
+                "{}: expected slots must be allowed",
+                k.trace.name()
+            );
+            assert!(*k.allowed_slots.iter().max().unwrap() < k.channel.entries);
+        }
+    }
+
+    #[test]
+    fn probe_channel_slot_addresses() {
+        let c = ProbeChannel::page_stride();
+        assert_eq!(c.slot_addr(0), PROBE_BASE);
+        assert_eq!(c.slot_addr(3), PROBE_BASE + 3 * 4096);
+        let d = ProbeChannel::line_stride();
+        assert_eq!(d.slot_addr(2), AMP_BASE + 128);
     }
 }

@@ -22,7 +22,11 @@ mod generator;
 mod profiles;
 mod store;
 
-pub use attacks::{spectre_v1_kernel, ssb_kernel, AttackKernel, PROBE_BASE, PROBE_STRIDE};
+pub use attacks::{
+    attack_battery, nested_speculation_kernel, spectre_v1_kernel, spectre_v1_prefetch_kernel,
+    ssb_kernel, store_forward_kernel, AttackKernel, ProbeChannel, AMP_BASE, AMP_ENTRIES,
+    AMP_STRIDE, PROBE_BASE, PROBE_ENTRIES, PROBE_STRIDE,
+};
 pub use generator::{generate, generate_with, GeneratorKind};
 pub use profiles::{spec2017_profiles, AccessPattern, WorkloadProfile};
 pub use store::{cached_generate, TraceStore, TRACE_CACHE_ENV};

@@ -53,12 +53,25 @@ impl TraceStore {
     }
 
     /// The store honoring [`TRACE_CACHE_ENV`]: `None` when caching is
-    /// disabled, otherwise a store on the requested (or default) directory.
+    /// disabled (`0` / `off`), otherwise a store on the requested (or
+    /// default) directory.
+    ///
+    /// A set-but-empty variable (`SB_TRACE_CACHE=""` — easy to produce
+    /// from a shell wrapper or an unset CI secret) means "the default
+    /// directory", exactly like an unset variable: it must be neither a
+    /// redirect to the empty path (which would scatter cache files into
+    /// cwd-relative `""`) nor a silent disable.
     #[must_use]
     pub fn from_env() -> Option<TraceStore> {
         match std::env::var(TRACE_CACHE_ENV) {
-            Ok(v) if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off") => None,
-            Ok(dir) => Some(TraceStore::new(dir)),
+            // Match on the trimmed value throughout: `" 0"` or `"0\n"`
+            // (trailing newline from a shell wrapper) must disable the
+            // store, not become a whitespace-named cache directory.
+            Ok(v) => match v.trim() {
+                t if t == "0" || t.eq_ignore_ascii_case("off") => None,
+                "" => Some(TraceStore::new(Self::default_dir())),
+                dir => Some(TraceStore::new(dir)),
+            },
             Err(_) => Some(TraceStore::new(Self::default_dir())),
         }
     }
@@ -301,6 +314,57 @@ mod tests {
         fs::write(&path, sb_isa::encode_trace(&trace)).unwrap();
         assert!(store.load(b.name, 300, 5, b.fingerprint()).is_none());
         cleanup(&store);
+    }
+
+    #[test]
+    fn from_env_disable_redirect_and_empty_semantics() {
+        // One test covers every TRACE_CACHE_ENV shape, sequentially:
+        // process-global env mutation must not race across #[test] fns.
+        let saved = std::env::var(TRACE_CACHE_ENV).ok();
+
+        // Unset: the default directory.
+        std::env::remove_var(TRACE_CACHE_ENV);
+        let unset = TraceStore::from_env().expect("unset means default dir");
+        assert_eq!(unset.dir(), TraceStore::default_dir());
+
+        // The documented disable spellings, with incidental whitespace
+        // (shell wrappers readily produce trailing newlines).
+        for off in ["0", "off", "OFF", "Off", " 0", "0\n", " off "] {
+            std::env::set_var(TRACE_CACHE_ENV, off);
+            assert!(
+                TraceStore::from_env().is_none(),
+                "{off:?} must disable the store"
+            );
+        }
+
+        // A path redirects.
+        std::env::set_var(TRACE_CACHE_ENV, "/tmp/sb-redirected-cache");
+        let redirected = TraceStore::from_env().expect("path redirects");
+        assert_eq!(redirected.dir(), Path::new("/tmp/sb-redirected-cache"));
+
+        // Regression: set-but-empty (and whitespace-only) is the default
+        // directory. The old code lumped empty in with the disable
+        // spellings (silently turning caching off); a naive fix treating
+        // any set value as a redirect would instead root the store at ""
+        // and scatter cache files cwd-relative. Both wrong shapes are
+        // pinned here.
+        for empty in ["", "  "] {
+            std::env::set_var(TRACE_CACHE_ENV, empty);
+            let store = TraceStore::from_env()
+                .unwrap_or_else(|| panic!("{empty:?} must not disable the store"));
+            assert_eq!(
+                store.dir(),
+                TraceStore::default_dir(),
+                "{empty:?} must mean the default dir, not a {:?}-rooted store",
+                empty
+            );
+            assert_ne!(store.dir(), Path::new(""));
+        }
+
+        match saved {
+            Some(v) => std::env::set_var(TRACE_CACHE_ENV, v),
+            None => std::env::remove_var(TRACE_CACHE_ENV),
+        }
     }
 
     #[test]
