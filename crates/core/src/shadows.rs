@@ -56,6 +56,53 @@ impl ThreatModel {
             ThreatModel::Futuristic => true,
         }
     }
+
+    /// Both threat models, weakest first (the order the security matrix
+    /// reports them in).
+    #[must_use]
+    pub fn all() -> [ThreatModel; 2] {
+        [ThreatModel::Spectre, ThreatModel::Futuristic]
+    }
+
+    /// Whether this model's protection claim subsumes `other`'s: Futuristic
+    /// tracks a strict superset of the Spectre model's shadows, so a
+    /// scenario inside the Spectre claim is inside the Futuristic claim too.
+    #[must_use]
+    pub fn covers(self, other: ThreatModel) -> bool {
+        self == ThreatModel::Futuristic || other == ThreatModel::Spectre
+    }
+
+    /// Short label used in reports and CLI values.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ThreatModel::Spectre => "spectre",
+            ThreatModel::Futuristic => "futuristic",
+        }
+    }
+}
+
+impl fmt::Display for ThreatModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for ThreatModel {
+    type Err = String;
+
+    /// Parses a CLI-style threat-model name (`spectre` / `futuristic`).
+    /// Unknown names are a hard error — the security axis must never fall
+    /// back to a silent default.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "spectre" => Ok(ThreatModel::Spectre),
+            "futuristic" => Ok(ThreatModel::Futuristic),
+            other => Err(format!(
+                "unknown threat model '{other}' (expected spectre or futuristic)"
+            )),
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -333,6 +380,25 @@ mod tests {
             assert!(!ThreatModel::Spectre.tracks(kind));
             assert!(ThreatModel::Futuristic.tracks(kind));
         }
+    }
+
+    #[test]
+    fn threat_model_parse_and_labels_round_trip() {
+        for m in ThreatModel::all() {
+            assert_eq!(m.label().parse::<ThreatModel>(), Ok(m));
+            assert_eq!(m.to_string(), m.label());
+        }
+        let err = "sputnik".parse::<ThreatModel>().unwrap_err();
+        assert!(err.contains("sputnik") && err.contains("spectre"), "{err}");
+    }
+
+    #[test]
+    fn futuristic_claim_covers_spectre_claim() {
+        use ThreatModel::{Futuristic, Spectre};
+        assert!(Futuristic.covers(Spectre));
+        assert!(Futuristic.covers(Futuristic));
+        assert!(Spectre.covers(Spectre));
+        assert!(!Spectre.covers(Futuristic));
     }
 
     #[test]

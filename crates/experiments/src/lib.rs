@@ -21,4 +21,7 @@ pub use reports::{
     fig10_report, fig1_table3_report, fig6_report, fig7_report, fig8_report, fig9_report,
     sec92_report, security_report, table1_report, table4_report, table5_report, Report,
 };
-pub use security::{security_matrix_report, verify_security, SecurityVerdict};
+pub use security::{
+    battery_scheme_config, measure_leaks, security_matrix_report, verify_security, LeakMeasurement,
+    ScenarioVerdict, SecurityVerdict,
+};

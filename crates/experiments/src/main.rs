@@ -4,7 +4,7 @@
 //! ```text
 //! sb-experiments [--ops N] [--seed S] [--out DIR] [--no-trace-cache] [EXPERIMENT...]
 //! sb-experiments bench [--ops N] [--seed S] [--bench-json PATH]
-//! sb-experiments verify-security [--out DIR]
+//! sb-experiments verify-security [--out DIR] [--threat-model spectre|futuristic|both]
 //! ```
 //!
 //! Experiments: `table1 fig6 fig7 fig8 fig9 fig10 table3 table4 table5
@@ -23,12 +23,17 @@
 //!
 //! `verify-security` runs the transient-leak attack battery (Spectre v1,
 //! v1 with prefetcher amplification, speculative store bypass, a
-//! store→load forwarding transmitter, and nested deep speculation) under
-//! every scheme and both schedulers, prints the leak-count matrix, and
-//! exits nonzero unless the Baseline leaks on every scenario while
-//! STT-Rename, STT-Issue and NDA leak on none — identically under both
-//! schedulers.
+//! store→load forwarding transmitter, nested deep speculation, an
+//! eviction-set prime+probe over the shared L2, an MSHR-contention
+//! channel, and an M-shadow scenario only the Futuristic model claims)
+//! under every scheme, both schedulers, and the requested threat models
+//! (`--threat-model spectre|futuristic|both`, default `both`; anything
+//! else is a hard parse error). It prints one leak-count matrix per
+//! threat model and exits nonzero unless the Baseline leaks on every
+//! scenario while STT-Rename, STT-Issue and NDA leak on none the judged
+//! model claims — identically under both schedulers.
 
+use sb_core::ThreatModel;
 use sb_experiments::bench::{run_core_bench, BenchOptions};
 use sb_experiments::{
     fig10_report, fig1_table3_report, fig6_report, fig7_report, fig8_report, fig9_report, run_grid,
@@ -52,7 +57,7 @@ const USAGE: &str =
     "usage: sb-experiments [--ops N] [--seed S] [--out DIR] [--no-trace-cache] [EXPERIMENT...]\n\
      experiments: table1 fig1 fig6 fig7 fig8 fig9 fig10 table3 table4 table5 sec92 security all\n\
      or: sb-experiments bench [--ops N] [--seed S] [--bench-json PATH]\n\
-     or: sb-experiments verify-security [--out DIR]\n\
+     or: sb-experiments verify-security [--out DIR] [--threat-model spectre|futuristic|both]\n\
      traces are cached under target/trace-cache/ (SB_TRACE_CACHE=0 or --no-trace-cache disables)";
 
 #[derive(Debug)]
@@ -62,8 +67,23 @@ struct Args {
     out: PathBuf,
     bench_json: PathBuf,
     experiments: Vec<String>,
+    threat_models: Vec<ThreatModel>,
     no_trace_cache: bool,
     help: bool,
+}
+
+/// Parses `--threat-model`'s value: a single model name or `both`. Any
+/// other value is a hard error — the security axis must never silently
+/// fall back to a default model.
+fn parse_threat_models(value: Option<String>) -> Result<Vec<ThreatModel>, String> {
+    let raw = value.ok_or("--threat-model requires a value")?;
+    match raw.as_str() {
+        "both" => Ok(ThreatModel::all().to_vec()),
+        other => other
+            .parse::<ThreatModel>()
+            .map(|m| vec![m])
+            .map_err(|e| format!("invalid value for --threat-model: {e}")),
+    }
 }
 
 /// Parses a flag's value, failing loudly with the flag name on a missing
@@ -81,6 +101,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut out = PathBuf::from("results");
     let mut bench_json = PathBuf::from("BENCH_core.json");
     let mut experiments = Vec::new();
+    let mut threat_models = ThreatModel::all().to_vec();
     let mut no_trace_cache = false;
     let mut help = false;
     let mut flags_given: Vec<&'static str> = Vec::new();
@@ -103,6 +124,10 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
             "--bench-json" => {
                 bench_json = PathBuf::from(it.next().ok_or("--bench-json requires a value")?);
                 flags_given.push("--bench-json");
+            }
+            "--threat-model" => {
+                threat_models = parse_threat_models(it.next())?;
+                flags_given.push("--threat-model");
             }
             "--no-trace-cache" => {
                 no_trace_cache = true;
@@ -147,7 +172,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
         }
         let accepted: &[&str] = match sub {
             "bench" => &["--ops", "--seed", "--bench-json"],
-            _ => &["--out"], // verify-security
+            _ => &["--out", "--threat-model"], // verify-security
         };
         if let Some(rejected) = flags_given.iter().find(|f| !accepted.contains(f)) {
             return Err(format!(
@@ -156,12 +181,33 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
             ));
         }
     }
+    // The converse holds too: a flag owned by one subcommand is rejected
+    // when that subcommand is absent — `security --threat-model
+    // futuristic` would otherwise run the plain flush+reload experiment
+    // under the default model with the axis silently dropped.
+    if !experiments
+        .iter()
+        .any(|e| SUBCOMMANDS.contains(&e.as_str()))
+    {
+        for (flag, owner) in [
+            ("--threat-model", "verify-security"),
+            ("--bench-json", "bench"),
+        ] {
+            if flags_given.contains(&flag) {
+                return Err(format!(
+                    "{flag} only applies to the '{owner}' subcommand (got: {})",
+                    experiments.join(" ")
+                ));
+            }
+        }
+    }
     Ok(Args {
         spec,
         ops_overridden,
         out,
         bench_json,
         experiments,
+        threat_models,
         no_trace_cache,
         help,
     })
@@ -188,8 +234,16 @@ fn run_bench_command(args: &Args) {
 
 /// The `verify-security` subcommand: leak matrix + hard verdict.
 fn run_verify_security(args: &Args) {
-    eprintln!("verifying security: 5-scenario attack battery x 4 schemes x 2 schedulers...");
-    let verdict = verify_security();
+    let models = args
+        .threat_models
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("+");
+    eprintln!(
+        "verifying security: 8-scenario attack battery x 4 schemes x 2 schedulers x {models}..."
+    );
+    let verdict = verify_security(&args.threat_models);
     let report = security_matrix_report(&verdict);
     println!("{}", report.text);
     std::fs::create_dir_all(&args.out).expect("create output dir");
@@ -401,6 +455,54 @@ mod tests {
         // Each subcommand's own flags still parse.
         assert!(parse(&["verify-security", "--out", "/tmp/x"]).is_ok());
         assert!(parse(&["bench", "--ops", "4000", "--bench-json", "/tmp/b.json"]).is_ok());
+    }
+
+    #[test]
+    fn threat_model_defaults_to_both_and_parses_each_value() {
+        let a = parse(&["verify-security"]).unwrap();
+        assert_eq!(a.threat_models, ThreatModel::all().to_vec());
+        let a = parse(&["verify-security", "--threat-model", "spectre"]).unwrap();
+        assert_eq!(a.threat_models, vec![ThreatModel::Spectre]);
+        let a = parse(&["verify-security", "--threat-model", "futuristic"]).unwrap();
+        assert_eq!(a.threat_models, vec![ThreatModel::Futuristic]);
+        let a = parse(&["verify-security", "--threat-model", "both"]).unwrap();
+        assert_eq!(a.threat_models.len(), 2);
+    }
+
+    #[test]
+    fn invalid_threat_model_is_a_hard_parse_error() {
+        // Regression: the threat model must never silently fall back to a
+        // default — an unknown value (or a missing one) is fatal.
+        let err = parse(&["verify-security", "--threat-model", "sputnik"]).unwrap_err();
+        assert!(
+            err.contains("--threat-model") && err.contains("sputnik"),
+            "{err}"
+        );
+        assert!(err.contains("spectre"), "lists the valid names: {err}");
+        let err = parse(&["verify-security", "--threat-model"]).unwrap_err();
+        assert!(err.contains("--threat-model requires a value"), "{err}");
+    }
+
+    #[test]
+    fn threat_model_flag_is_rejected_outside_verify_security() {
+        let err = parse(&["bench", "--threat-model", "both"]).unwrap_err();
+        assert!(
+            err.contains("--threat-model") && err.contains("bench"),
+            "{err}"
+        );
+        // Regression: plain experiment runs used to swallow the flag
+        // silently — `security --threat-model futuristic` ran the
+        // flush+reload experiment under the default model.
+        let err = parse(&["security", "--threat-model", "futuristic"]).unwrap_err();
+        assert!(
+            err.contains("--threat-model") && err.contains("verify-security"),
+            "{err}"
+        );
+        let err = parse(&["table1", "--bench-json", "/tmp/b.json"]).unwrap_err();
+        assert!(
+            err.contains("--bench-json") && err.contains("bench"),
+            "{err}"
+        );
     }
 
     #[test]

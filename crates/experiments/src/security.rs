@@ -1,23 +1,30 @@
 //! The `verify-security` subsystem: runs the transient-leak attack battery
-//! under every scheme and both schedulers, and checks the paper's central
-//! security claim end to end.
+//! under every scheme, both schedulers, and the requested threat models,
+//! and checks the paper's central security claim end to end.
 //!
-//! For each `(scenario, scheme, scheduler)` point a core runs the attack
-//! kernel with a `sb_mem::LeakageObserver` attached, which charges every
-//! cache-state change (fills, evictions, prefetch installs, MSHR
-//! allocations) to the instruction that caused it; after the run, changes
-//! attributed to squashed instructions are the *transient leak set*. The
-//! verdict then asserts, per scenario:
+//! For each `(threat model, scenario, scheme, scheduler)` point a core runs
+//! the attack kernel with both observers attached: an
+//! `sb_mem::LeakageObserver` charging every cache-state change (fills,
+//! evictions, prefetch installs, MSHR allocations) to the instruction that
+//! caused it, and an `sb_mem::ContentionObserver` charging MSHR occupancy
+//! and memory-port pressure the same way. After the run, events attributed
+//! to squashed instructions form the *transient leak set*, decoded through
+//! the kernel's channel — cache state for most scenarios, MSHR occupancy
+//! for the contention scenario. The verdict then asserts, per cell:
 //!
-//! * **Baseline leaks**: the leak set projected onto the kernel's probe
-//!   channel contains every slot of its documented leak signature
-//!   ([`sb_workloads::AttackKernel::expected_slots`]) and nothing outside
-//!   its documented secret address set (`allowed_slots`);
-//! * **secure schemes leak nothing**: under STT-Rename, STT-Issue and NDA
-//!   the projected leak set is empty;
+//! * **Baseline leaks**: the leak set contains every slot of the kernel's
+//!   documented signature ([`sb_workloads::AttackKernel::expected_slots`])
+//!   and nothing outside its secret address set (`allowed_slots`);
+//! * **secure schemes leak nothing the model claims**: under STT-Rename,
+//!   STT-Issue and NDA the leak set is empty for every scenario the
+//!   judged threat model claims ([`sb_workloads::AttackKernel::claimed_under`]).
+//!   A scenario *outside* the model's claim (the M-shadow scenario under
+//!   the Spectre model) must instead leak exactly like the Baseline —
+//!   proving the channel exists and the stronger model's shadows are what
+//!   close it, rather than passing vacuously;
 //! * **scheduler independence**: the event-wheel and reference schedulers
-//!   produce identical leak sets (the security property must not depend on
-//!   which scheduler simulated it).
+//!   produce identical measurements (the security property must not depend
+//!   on which scheduler simulated it).
 //!
 //! Any violated assertion turns into a failed [`ScenarioVerdict`] and a
 //! nonzero exit from `sb-experiments verify-security` — the CI tripwire
@@ -25,7 +32,7 @@
 
 use crate::render::format_table;
 use crate::reports::Report;
-use sb_core::Scheme;
+use sb_core::{Scheme, SchemeConfig, ThreatModel};
 use sb_uarch::{Core, CoreConfig, SchedulerKind};
 use sb_workloads::{attack_battery, AttackKernel};
 use std::collections::BTreeSet;
@@ -38,27 +45,50 @@ pub const BATTERY_SECRET: usize = 11;
 /// Cycle budget per kernel run (the kernels finish in well under 10k).
 const MAX_CYCLES: u64 = 1_000_000;
 
-/// The leak measurement for one `(scenario, scheme, scheduler)` run.
+/// The scheme configuration every battery run uses. The threat model is a
+/// *required* parameter by design: `SchemeConfig`'s constructors default
+/// to `ThreatModel::Spectre`, and a battery config built without naming
+/// the model would silently ignore the CLI's `--threat-model` axis — the
+/// exact bug this builder exists to make impossible. (Regression-tested:
+/// the M-shadow scenario measures differently under the two models, so a
+/// dropped axis cannot go unnoticed.)
+#[must_use]
+pub fn battery_scheme_config(scheme: Scheme, threat_model: ThreatModel) -> SchemeConfig {
+    SchemeConfig::rtl(scheme, CoreConfig::mega().mem_ports).with_threat_model(threat_model)
+}
+
+/// The leak measurement for one `(threat model, scenario, scheme,
+/// scheduler)` run.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LeakMeasurement {
-    /// Probe-channel slots changed by squashed instructions.
+    /// Probe-channel slots changed by squashed instructions, decoded
+    /// through the kernel's channel medium (cache state or MSHR
+    /// occupancy).
     pub slots: BTreeSet<usize>,
     /// Total transient cache-state changes (any address).
     pub transient_changes: usize,
+    /// Memory-port slots consumed by squashed instructions (pure
+    /// contention pressure; nonzero whenever a transient memory op
+    /// issued).
+    pub transient_port_uses: usize,
 }
 
-/// The verdict for one `(scenario, scheme)` cell of the matrix.
+/// The verdict for one `(threat model, scenario, scheme)` cell.
 #[derive(Clone, Debug)]
 pub struct ScenarioVerdict {
     /// Kernel name (`spectre-v1`, `ssb`, ...).
     pub scenario: String,
     /// Scheme under test.
     pub scheme: Scheme,
+    /// Threat model the core ran (and was judged) under.
+    pub threat_model: ThreatModel,
+    /// Whether `threat_model`'s protection claim covers the scenario.
+    pub claimed: bool,
     /// Measurement under the (default) event-wheel scheduler.
     pub wheel: LeakMeasurement,
     /// Measurement under the reference scheduler.
     pub reference: LeakMeasurement,
-    /// Whether both schedulers agreed on the leak set.
+    /// Whether both schedulers agreed on the full measurement.
     pub scheduler_independent: bool,
     /// Whether the cell satisfies the security property.
     pub pass: bool,
@@ -66,70 +96,91 @@ pub struct ScenarioVerdict {
     pub failures: Vec<String>,
 }
 
-/// The full battery × scheme matrix plus the overall verdict.
+/// The full threat-model × battery × scheme matrix plus the overall
+/// verdict.
 #[derive(Clone, Debug)]
 pub struct SecurityVerdict {
-    /// One verdict per (scenario, scheme) cell, battery-major.
+    /// One verdict per cell, threat-model-major then battery-major.
     pub cells: Vec<ScenarioVerdict>,
     /// Whether every cell passed.
     pub ok: bool,
 }
 
-/// Runs one kernel under one scheme/scheduler with a leakage observer and
-/// projects the transient changes onto the kernel's probe channel.
+/// Runs one kernel under one scheme/threat-model/scheduler with both
+/// observers attached and decodes the transient leak set through the
+/// kernel's channel.
 #[must_use]
 pub fn measure_leaks(
     kernel: &AttackKernel,
     scheme: Scheme,
+    threat_model: ThreatModel,
     scheduler: SchedulerKind,
 ) -> LeakMeasurement {
     let mut config = CoreConfig::mega();
     config.scheduler = scheduler;
-    let mut core = Core::with_scheme(config, scheme, kernel.trace.clone());
+    let scheme_cfg = battery_scheme_config(scheme, threat_model);
+    let mut core = Core::new(config, scheme_cfg, kernel.trace.clone());
     core.memory_mut().attach_leakage_observer();
+    core.memory_mut().attach_contention_observer();
     core.run_to_completion(MAX_CYCLES);
-    let obs = core
+    let leakage = core
         .memory()
         .leakage_observer()
         .expect("observer attached before the run");
+    let contention = core
+        .memory()
+        .contention_observer()
+        .expect("observer attached before the run");
     LeakMeasurement {
-        slots: obs.transient_slots(
-            kernel.channel.base,
-            kernel.channel.stride,
-            kernel.channel.entries,
-        ),
-        transient_changes: obs.transient_changes().count(),
+        slots: kernel.decode_transient_slots(leakage, contention),
+        transient_changes: leakage.transient_changes().count(),
+        transient_port_uses: contention.transient_port_uses(),
     }
 }
 
-fn judge(kernel: &AttackKernel, scheme: Scheme) -> ScenarioVerdict {
-    let wheel = measure_leaks(kernel, scheme, SchedulerKind::EventWheel);
-    let reference = measure_leaks(kernel, scheme, SchedulerKind::Reference);
+fn judge(kernel: &AttackKernel, scheme: Scheme, threat_model: ThreatModel) -> ScenarioVerdict {
+    let wheel = measure_leaks(kernel, scheme, threat_model, SchedulerKind::EventWheel);
+    let reference = measure_leaks(kernel, scheme, threat_model, SchedulerKind::Reference);
     // Full-measurement equality: a divergence in the total transient
-    // change count (even outside the probe channel) is a scheduler
-    // regression too, not just slot-set differences.
+    // change count or port pressure (even outside the probe channel) is a
+    // scheduler regression too, not just slot-set differences.
     let scheduler_independent = wheel == reference;
+    let claimed = kernel.claimed_under(threat_model);
 
     let mut failures = Vec::new();
     if !scheduler_independent {
         failures.push(format!(
-            "leak measurement depends on the scheduler: event-wheel {:?}/{} \
-             changes vs reference {:?}/{} changes",
-            wheel.slots, wheel.transient_changes, reference.slots, reference.transient_changes
+            "leak measurement depends on the scheduler: event-wheel {:?}/{}/{}p \
+             vs reference {:?}/{}/{}p",
+            wheel.slots,
+            wheel.transient_changes,
+            wheel.transient_port_uses,
+            reference.slots,
+            reference.transient_changes,
+            reference.transient_port_uses
         ));
     }
-    if scheme.is_secure() {
+    if scheme.is_secure() && claimed {
         if !wheel.slots.is_empty() {
             failures.push(format!(
-                "secure scheme leaked probe slots {:?} (secret {})",
+                "secure scheme leaked probe slots {:?} under its claimed \
+                 {threat_model} model (secret {})",
                 wheel.slots, kernel.secret
             ));
         }
     } else {
+        // Baseline always; secure schemes when the scenario escapes the
+        // model's claim: the channel must demonstrably transmit, inside
+        // the documented secret address set.
+        let who = if scheme.is_secure() {
+            "out-of-claim scheme"
+        } else {
+            "baseline"
+        };
         for &slot in &kernel.expected_slots {
             if !wheel.slots.contains(&slot) {
                 failures.push(format!(
-                    "baseline failed to leak expected slot {slot} (got {:?}) — \
+                    "{who} failed to leak expected slot {slot} (got {:?}) — \
                      the attack kernel no longer transmits",
                     wheel.slots
                 ));
@@ -138,7 +189,7 @@ fn judge(kernel: &AttackKernel, scheme: Scheme) -> ScenarioVerdict {
         let allowed: BTreeSet<usize> = kernel.allowed_slots.iter().copied().collect();
         for &slot in wheel.slots.difference(&allowed) {
             failures.push(format!(
-                "baseline leaked slot {slot} outside the documented secret \
+                "{who} leaked slot {slot} outside the documented secret \
                  address set {allowed:?}"
             ));
         }
@@ -147,6 +198,8 @@ fn judge(kernel: &AttackKernel, scheme: Scheme) -> ScenarioVerdict {
     ScenarioVerdict {
         scenario: kernel.trace.name().to_string(),
         scheme,
+        threat_model,
+        claimed,
         pass: failures.is_empty(),
         wheel,
         reference,
@@ -155,89 +208,122 @@ fn judge(kernel: &AttackKernel, scheme: Scheme) -> ScenarioVerdict {
     }
 }
 
-/// Runs the whole battery × scheme × scheduler grid and judges every cell.
+/// Runs the whole threat-model × battery × scheme × scheduler grid and
+/// judges every cell.
 #[must_use]
-pub fn verify_security() -> SecurityVerdict {
+pub fn verify_security(threat_models: &[ThreatModel]) -> SecurityVerdict {
     let battery = attack_battery(BATTERY_SECRET);
-    let cells: Vec<ScenarioVerdict> = battery
+    let cells: Vec<ScenarioVerdict> = threat_models
         .iter()
-        .flat_map(|kernel| Scheme::all().into_iter().map(|s| judge(kernel, s)))
+        .flat_map(|&model| {
+            battery.iter().flat_map(move |kernel| {
+                Scheme::all()
+                    .into_iter()
+                    .map(move |s| judge(kernel, s, model))
+            })
+        })
         .collect();
     let ok = cells.iter().all(|c| c.pass);
     SecurityVerdict { cells, ok }
 }
 
-/// Renders the verdict as the leak-count matrix report (plus CSV).
+/// Renders the verdict as one leak-count matrix per threat model (plus a
+/// combined CSV).
 #[must_use]
 pub fn security_matrix_report(verdict: &SecurityVerdict) -> Report {
-    let mut rows = vec![{
-        let mut h = vec!["Scenario".to_string()];
-        h.extend(Scheme::all().iter().map(|s| s.label().to_string()));
-        h
-    }];
     let mut csv = String::from(
-        "scenario,scheme,leaked_slots_wheel,leaked_slots_reference,\
-         transient_changes_wheel,scheduler_independent,pass\n",
+        "threat_model,scenario,scheme,claimed,leaked_slots_wheel,\
+         leaked_slots_reference,transient_changes_wheel,\
+         transient_port_uses_wheel,scheduler_independent,pass\n",
     );
     let mut failures = Vec::new();
-    let scenarios: Vec<String> = {
+    let mut text = format!(
+        "Security verification: transient leaks per threat model, scenario \
+         and scheme (secret {BATTERY_SECRET}; leak = probe slots changed by \
+         squashed instructions, decoded from cache state or MSHR occupancy \
+         per scenario; Baseline must leak every scenario, secure schemes \
+         none that the model claims, both schedulers must agree; * marks a \
+         scenario outside the model's claim, where secure schemes are \
+         expected to leak like Baseline)\n"
+    );
+    let models: Vec<ThreatModel> = {
         let mut seen = Vec::new();
         for c in &verdict.cells {
-            if !seen.contains(&c.scenario) {
-                seen.push(c.scenario.clone());
+            if !seen.contains(&c.threat_model) {
+                seen.push(c.threat_model);
             }
         }
         seen
     };
-    for scenario in &scenarios {
-        let mut row = vec![scenario.clone()];
-        for scheme in Scheme::all() {
-            let cell = verdict
-                .cells
-                .iter()
-                .find(|c| &c.scenario == scenario && c.scheme == scheme)
-                .expect("full matrix");
-            row.push(format!(
-                "{} leak{} {}",
-                cell.wheel.slots.len(),
-                if cell.wheel.slots.len() == 1 { "" } else { "s" },
-                if cell.pass { "ok" } else { "FAIL" }
-            ));
-            let fmt_slots = |m: &LeakMeasurement| {
-                m.slots
+    for model in models {
+        let model_cells: Vec<&ScenarioVerdict> = verdict
+            .cells
+            .iter()
+            .filter(|c| c.threat_model == model)
+            .collect();
+        let scenarios: Vec<String> = {
+            let mut seen = Vec::new();
+            for c in &model_cells {
+                if !seen.contains(&c.scenario) {
+                    seen.push(c.scenario.clone());
+                }
+            }
+            seen
+        };
+        let mut rows = vec![{
+            let mut h = vec![format!("Scenario [{model}]")];
+            h.extend(Scheme::all().iter().map(|s| s.label().to_string()));
+            h
+        }];
+        for scenario in &scenarios {
+            let mut row = vec![scenario.clone()];
+            for scheme in Scheme::all() {
+                let cell = model_cells
                     .iter()
-                    .map(ToString::to_string)
-                    .collect::<Vec<_>>()
-                    .join("|")
-            };
-            csv.push_str(&format!(
-                "{scenario},{scheme},{},{},{},{},{}\n",
-                fmt_slots(&cell.wheel),
-                fmt_slots(&cell.reference),
-                cell.wheel.transient_changes,
-                cell.scheduler_independent,
-                cell.pass
-            ));
-            failures.extend(
-                cell.failures
-                    .iter()
-                    .map(|f| format!("  {scenario} / {scheme}: {f}")),
-            );
+                    .find(|c| &c.scenario == scenario && c.scheme == scheme)
+                    .expect("full matrix");
+                row.push(format!(
+                    "{} leak{}{} {}",
+                    cell.wheel.slots.len(),
+                    if cell.wheel.slots.len() == 1 { "" } else { "s" },
+                    if cell.claimed { "" } else { "*" },
+                    if cell.pass { "ok" } else { "FAIL" }
+                ));
+                let fmt_slots = |m: &LeakMeasurement| {
+                    m.slots
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join("|")
+                };
+                csv.push_str(&format!(
+                    "{model},{scenario},{scheme},{},{},{},{},{},{},{}\n",
+                    cell.claimed,
+                    fmt_slots(&cell.wheel),
+                    fmt_slots(&cell.reference),
+                    cell.wheel.transient_changes,
+                    cell.wheel.transient_port_uses,
+                    cell.scheduler_independent,
+                    cell.pass
+                ));
+                failures.extend(
+                    cell.failures
+                        .iter()
+                        .map(|f| format!("  [{model}] {scenario} / {scheme}: {f}")),
+                );
+            }
+            rows.push(row);
         }
-        rows.push(row);
+        let _ = write!(text, "{}", format_table(&rows));
+        text.push('\n');
     }
-    let mut text = format!(
-        "Security verification: transient leaks per scenario and scheme \
-         (secret {}, leak = probe slots changed by squashed instructions; \
-         Baseline must leak every scenario, secure schemes none, both \
-         schedulers must agree)\n{}",
-        BATTERY_SECRET,
-        format_table(&rows)
-    );
     if verdict.ok {
-        text.push_str("\nVERIFIED: baseline leaks on all scenarios, secure schemes on none.\n");
+        text.push_str(
+            "VERIFIED: baseline leaks on all scenarios, secure schemes on \
+             none their threat model claims.\n",
+        );
     } else {
-        let _ = write!(text, "\nFAILED:\n{}\n", failures.join("\n"));
+        let _ = write!(text, "FAILED:\n{}\n", failures.join("\n"));
     }
     Report {
         text,
@@ -248,26 +334,32 @@ pub fn security_matrix_report(verdict: &SecurityVerdict) -> Report {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sb_workloads::ChannelKind;
 
     #[test]
-    fn the_security_property_holds() {
+    fn the_security_property_holds_under_both_models() {
         // The headline regression test: every scenario leaks under
-        // Baseline, none under the secure schemes, identically on both
-        // schedulers. 5 scenarios x 4 schemes x 2 schedulers.
-        let verdict = verify_security();
+        // Baseline, none that the model claims under the secure schemes,
+        // identically on both schedulers. 2 models x 8 scenarios x 4
+        // schemes x 2 schedulers.
+        let verdict = verify_security(&ThreatModel::all());
         let failed: Vec<String> = verdict
             .cells
             .iter()
             .filter(|c| !c.pass)
-            .flat_map(|c| c.failures.clone())
+            .flat_map(|c| {
+                c.failures.iter().map(move |f| {
+                    format!("[{}] {} / {}: {f}", c.threat_model, c.scenario, c.scheme)
+                })
+            })
             .collect();
         assert!(verdict.ok, "security verification failed:\n{failed:#?}");
-        assert_eq!(verdict.cells.len(), 20, "full matrix");
+        assert_eq!(verdict.cells.len(), 64, "full matrix");
     }
 
     #[test]
     fn baseline_leak_counts_are_positive_and_prefetch_amplified() {
-        let verdict = verify_security();
+        let verdict = verify_security(&[ThreatModel::Spectre]);
         for cell in &verdict.cells {
             if cell.scheme == Scheme::Baseline {
                 assert!(
@@ -286,6 +378,139 @@ mod tests {
             amp.wheel.slots.len() > 3,
             "prefetcher must amplify beyond the 3 directly-touched lines: {:?}",
             amp.wheel.slots
+        );
+    }
+
+    #[test]
+    fn m_shadow_scenario_separates_the_threat_models() {
+        // The regression test that the threat-model axis is real: the
+        // M-shadow kernel's taint root is covered by no C/D shadow, so
+        // under the Spectre model every secure scheme leaks it (an
+        // out-of-claim cell that still PASSES, with the Baseline's exact
+        // signature), while under the Futuristic model the same schemes
+        // block it completely. A battery config that silently dropped the
+        // threat model could not produce both halves.
+        let kernel = sb_workloads::m_shadow_kernel(BATTERY_SECRET);
+        for scheme in Scheme::secure() {
+            let spectre = judge(&kernel, scheme, ThreatModel::Spectre);
+            assert!(!spectre.claimed);
+            assert!(spectre.pass, "{scheme}: {:?}", spectre.failures);
+            assert_eq!(
+                spectre.wheel.slots.iter().copied().collect::<Vec<_>>(),
+                vec![BATTERY_SECRET],
+                "{scheme} must leak the M-shadow scenario under Spectre"
+            );
+            let futuristic = judge(&kernel, scheme, ThreatModel::Futuristic);
+            assert!(futuristic.claimed);
+            assert!(futuristic.pass, "{scheme}: {:?}", futuristic.failures);
+            assert!(
+                futuristic.wheel.slots.is_empty(),
+                "{scheme} must block the M-shadow scenario under Futuristic"
+            );
+        }
+    }
+
+    #[test]
+    fn battery_config_requires_and_propagates_the_threat_model() {
+        // The config-builder bugfix: the threat model cannot be omitted,
+        // and what you pass is what the core runs.
+        for model in ThreatModel::all() {
+            let cfg = battery_scheme_config(Scheme::SttIssue, model);
+            assert_eq!(cfg.threat_model, model);
+            let core = Core::new(
+                CoreConfig::mega(),
+                cfg,
+                sb_workloads::spectre_v1_kernel(1).trace,
+            );
+            assert_eq!(core.scheme_config().threat_model, model);
+        }
+    }
+
+    #[test]
+    fn contention_scenario_is_judged_through_the_contention_observer() {
+        let kernel = sb_workloads::mshr_contention_kernel(BATTERY_SECRET);
+        assert_eq!(kernel.channel_kind, ChannelKind::MshrContention);
+        let base = measure_leaks(
+            &kernel,
+            Scheme::Baseline,
+            ThreatModel::Spectre,
+            SchedulerKind::EventWheel,
+        );
+        assert_eq!(
+            base.slots.iter().copied().collect::<Vec<_>>(),
+            vec![BATTERY_SECRET],
+            "transient MSHR occupancy must decode the secret"
+        );
+        assert!(
+            base.transient_port_uses > 0,
+            "the squashed burst consumed memory ports"
+        );
+        for scheme in Scheme::secure() {
+            let m = measure_leaks(
+                &kernel,
+                scheme,
+                ThreatModel::Spectre,
+                SchedulerKind::EventWheel,
+            );
+            assert!(m.slots.is_empty(), "{scheme} must close the MSHR channel");
+        }
+    }
+
+    #[test]
+    fn port_pressure_transmits_without_any_cache_state_change() {
+        // A pure-contention microkernel: the transient burst hits WARM
+        // lines, so the leakage observer records nothing transient at all
+        // — yet the burst's port pressure still encodes the secret. This
+        // is the "non-cache-state transmitter" the contention observer
+        // exists for.
+        use sb_isa::{ArchReg, MicroOp, OpClass, TraceBuilder};
+        let x = ArchReg::int;
+        let secret = 5usize;
+        let mut b = TraceBuilder::new("port-pressure");
+        // Victim working set: warm `secret + 1` lines (committed code).
+        for k in 0..=secret {
+            b.load(x(10), x(28), 0x2800_0000 + k as u64 * 4096, 8);
+        }
+        b.load(x(9), x(28), 0x3800_0000, 8);
+        b.push(MicroOp::compute(OpClass::IntDiv, x(9), Some(x(9)), None));
+        b.push(MicroOp::compute(OpClass::IntDiv, x(9), Some(x(9)), None));
+        let br = b.branch(Some(x(9)), None, true, true);
+        // Transient burst: `secret + 1` WARM loads — hits, no fills, no
+        // MSHRs, no evictions. Addresses are secret-independent
+        // constants; the COUNT is the signal.
+        let burst: Vec<MicroOp> = (0..=secret)
+            .map(|k| MicroOp::load(x(4), x(2), 0x2800_0000 + k as u64 * 4096, 8))
+            .collect();
+        b.wrong_path(br, burst);
+        b.alu(x(5), None, None);
+        let trace = b.build();
+
+        let mut config = CoreConfig::mega();
+        config.scheduler = SchedulerKind::EventWheel;
+        let mut core = Core::new(
+            config,
+            battery_scheme_config(Scheme::Baseline, ThreatModel::Spectre),
+            trace,
+        );
+        core.memory_mut().attach_leakage_observer();
+        core.memory_mut().attach_contention_observer();
+        core.run_to_completion(MAX_CYCLES);
+        assert_eq!(
+            core.memory()
+                .leakage_observer()
+                .unwrap()
+                .transient_changes()
+                .count(),
+            0,
+            "warm hits change no cache state"
+        );
+        assert_eq!(
+            core.memory()
+                .contention_observer()
+                .unwrap()
+                .transient_port_uses(),
+            secret + 1,
+            "port pressure alone carries the secret"
         );
     }
 
@@ -312,10 +537,12 @@ mod tests {
             trace: b.build(),
             secret: 5,
             channel: ProbeChannel::page_stride(),
+            channel_kind: ChannelKind::CacheState,
+            min_model: ThreatModel::Spectre,
             expected_slots: vec![5],
             allowed_slots: vec![5],
         };
-        let cell = judge(&kernel, Scheme::SttIssue);
+        let cell = judge(&kernel, Scheme::SttIssue, ThreatModel::Spectre);
         assert!(!cell.pass, "an untainted transmitter must fail the judge");
         assert!(
             cell.failures
@@ -325,9 +552,9 @@ mod tests {
             cell.failures
         );
         // And a baseline judged against an impossible signature fails too.
-        let mut impossible = spectre_v1_kernel_with_wrong_signature();
+        let mut impossible = sb_workloads::spectre_v1_kernel(3);
         impossible.expected_slots = vec![15];
-        let cell = judge(&impossible, Scheme::Baseline);
+        let cell = judge(&impossible, Scheme::Baseline, ThreatModel::Spectre);
         assert!(!cell.pass);
         assert!(
             cell.failures
@@ -338,13 +565,9 @@ mod tests {
         );
     }
 
-    fn spectre_v1_kernel_with_wrong_signature() -> AttackKernel {
-        sb_workloads::spectre_v1_kernel(3)
-    }
-
     #[test]
-    fn matrix_report_renders_all_scenarios_and_verdict() {
-        let verdict = verify_security();
+    fn matrix_report_renders_all_scenarios_models_and_verdict() {
+        let verdict = verify_security(&ThreatModel::all());
         let report = security_matrix_report(&verdict);
         for name in [
             "spectre-v1",
@@ -352,6 +575,9 @@ mod tests {
             "ssb",
             "store-forward",
             "nested-speculation",
+            "prime-probe",
+            "mshr-contention",
+            "m-shadow",
         ] {
             assert!(
                 report.text.contains(name),
@@ -359,12 +585,28 @@ mod tests {
                 report.text
             );
         }
+        assert!(report.text.contains("[spectre]"));
+        assert!(report.text.contains("[futuristic]"));
+        // The out-of-claim marker shows up exactly on the M-shadow row of
+        // the Spectre table's secure columns.
+        assert!(report.text.contains('*'));
         assert!(report.text.contains("VERIFIED"));
         assert_eq!(report.csv[0].0, "security_matrix.csv");
         assert_eq!(
             report.csv[0].1.lines().count(),
-            21,
-            "header + 20 matrix cells"
+            65,
+            "header + 64 matrix cells"
         );
+    }
+
+    #[test]
+    fn single_model_verdicts_are_half_the_matrix() {
+        let spectre_only = verify_security(&[ThreatModel::Spectre]);
+        assert!(spectre_only.ok);
+        assert_eq!(spectre_only.cells.len(), 32);
+        assert!(spectre_only
+            .cells
+            .iter()
+            .all(|c| c.threat_model == ThreatModel::Spectre));
     }
 }

@@ -1,7 +1,7 @@
 //! The two-level cache hierarchy plus DRAM model that backs the core's LSU.
 
 use crate::cache::{Cache, CacheConfig};
-use crate::observer::{Attribution, CacheChangeKind, LeakageObserver};
+use crate::observer::{Attribution, CacheChangeKind, ContentionObserver, LeakageObserver};
 use crate::prefetch::StridePrefetcher;
 use sb_isa::Seq;
 use std::fmt;
@@ -112,6 +112,9 @@ pub struct MemoryHierarchy {
     /// should not bloat the hierarchy for the overwhelmingly common
     /// unobserved runs.
     leakage: Option<Box<LeakageObserver>>,
+    /// Attached contention observer (MSHR occupancy + memory-port
+    /// pressure), same detached-is-free contract as `leakage`.
+    contention: Option<Box<ContentionObserver>>,
 }
 
 impl MemoryHierarchy {
@@ -130,6 +133,7 @@ impl MemoryHierarchy {
             demand_accesses: 0,
             prefetches: 0,
             leakage: None,
+            contention: None,
         }
     }
 
@@ -151,10 +155,41 @@ impl MemoryHierarchy {
         self.leakage.take().map(|b| *b)
     }
 
+    /// Attaches a fresh [`ContentionObserver`]: from now on every MSHR
+    /// occupancy and reported memory-port use is recorded with its
+    /// attribution. Replaces any previous observer.
+    pub fn attach_contention_observer(&mut self) {
+        self.contention = Some(Box::new(ContentionObserver::new()));
+    }
+
+    /// The attached contention observer, if any.
+    #[must_use]
+    pub fn contention_observer(&self) -> Option<&ContentionObserver> {
+        self.contention.as_deref()
+    }
+
+    /// Detaches and returns the contention observer.
+    pub fn take_contention_observer(&mut self) -> Option<ContentionObserver> {
+        self.contention.take().map(|b| *b)
+    }
+
+    /// The core's issue path consumed a memory port on behalf of `attr`
+    /// (a load issue, a store address generation, or a forwarding slot).
+    /// No-op unless a contention observer is attached — reporting never
+    /// perturbs timing or statistics.
+    pub fn note_port_use(&mut self, attr: Attribution) {
+        if let Some(obs) = self.contention.as_deref_mut() {
+            obs.record_port_use(attr);
+        }
+    }
+
     /// The core squashed every instruction with `seq >= first_removed`;
-    /// forwarded to the attached observer (no-op when detached).
+    /// forwarded to the attached observers (no-op when detached).
     pub fn note_squash(&mut self, first_removed: Seq) {
         if let Some(obs) = self.leakage.as_deref_mut() {
+            obs.note_squash(first_removed);
+        }
+        if let Some(obs) = self.contention.as_deref_mut() {
             obs.note_squash(first_removed);
         }
     }
@@ -202,6 +237,14 @@ impl MemoryHierarchy {
                 )
             }
         };
+        if let (Some(obs), Some(attr), Some(line)) =
+            (self.contention.as_deref_mut(), attr, l1.filled_line)
+        {
+            // The MSHR tracking this demand L1 miss stays occupied for the
+            // fill's full latency — observable resource pressure even
+            // before (and independently of) the retained cache state.
+            obs.record_mshr(line, latency, attr);
+        }
         if let (Some(obs), Some(attr)) = (self.leakage.as_deref_mut(), attr) {
             if let Some(line) = l1.filled_line {
                 // One MSHR tracks each outstanding demand L1 miss.
@@ -426,6 +469,40 @@ mod tests {
         );
         assert_eq!(obs.transient_changes().count(), 3);
         assert!(obs.changes().iter().any(|c| !c.is_transient()));
+    }
+
+    #[test]
+    fn contention_observer_sees_mshr_occupancy_and_port_pressure() {
+        let mut m = no_prefetch();
+        m.attach_contention_observer();
+        // Cold miss: MSHR held for the DRAM fill's full latency.
+        let out = m.access_attributed(0x4000_0040, AccessKind::Read, Some(attr(5, true, true)));
+        m.note_port_use(attr(5, true, true));
+        // Warm hit: a port use but no MSHR.
+        m.access_attributed(0x4000_0040, AccessKind::Read, Some(attr(6, true, true)));
+        m.note_port_use(attr(6, true, true));
+        m.note_squash(Seq::new(5));
+        let obs = m.contention_observer().expect("attached");
+        assert_eq!(obs.transient_port_uses(), 2);
+        assert_eq!(obs.transient_mshr_cycles(), u64::from(out.latency));
+        assert_eq!(
+            obs.transient_mshr_slots(0x4000_0000, 64, 8)
+                .into_iter()
+                .collect::<Vec<_>>(),
+            vec![1]
+        );
+        // One MSHR (the cold miss only) + two port uses.
+        let taken = m.take_contention_observer().expect("still attached");
+        assert_eq!(taken.len(), 3);
+        assert!(m.contention_observer().is_none());
+    }
+
+    #[test]
+    fn detached_contention_observer_records_nothing() {
+        let mut m = no_prefetch();
+        m.note_port_use(attr(1, true, true));
+        m.access_attributed(0x80, AccessKind::Read, Some(attr(1, true, true)));
+        assert!(m.contention_observer().is_none());
     }
 
     #[test]

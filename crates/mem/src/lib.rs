@@ -15,7 +15,10 @@
 //! transient access left behind, and the `verify-security` battery
 //! attaches a [`LeakageObserver`] to charge every fill, eviction, prefetch
 //! install and MSHR allocation to the instruction that caused it — the
-//! ground truth the security verification compares schemes against.
+//! ground truth the security verification compares schemes against —
+//! plus a [`ContentionObserver`] charging MSHR occupancy and memory-port
+//! pressure the same way (the non-cache-state channels: the core's issue
+//! paths report port uses via [`MemoryHierarchy::note_port_use`]).
 //! Behaviour here is part of the golden-stats contract: any change to
 //! hit/miss or prefetch decisions changes `SimStats` and trips the
 //! differential tests.
@@ -28,6 +31,7 @@ mod prefetch;
 pub use cache::{AccessTrace, Cache, CacheConfig};
 pub use hierarchy::{AccessKind, AccessOutcome, HierarchyConfig, MemoryHierarchy, ServedBy};
 pub use observer::{
-    Attribution, CacheChange, CacheChangeKind, LeakageObserver, SideChannelObserver,
+    Attribution, CacheChange, CacheChangeKind, ContentionEvent, ContentionKind, ContentionObserver,
+    LeakageObserver, SideChannelObserver,
 };
 pub use prefetch::StridePrefetcher;

@@ -284,6 +284,179 @@ impl LeakageObserver {
     }
 }
 
+/// The kind of transient *resource pressure* a [`ContentionEvent`] records.
+/// Unlike [`CacheChangeKind`], none of these are retained cache state: they
+/// are occupancy — a co-resident attacker observes them as latency on its
+/// own accesses during the transient window, not as hits afterwards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ContentionKind {
+    /// A demand L1 miss held a miss-status holding register for the fill's
+    /// full latency; *which* MSHR (i.e. which line) is busy is observable
+    /// through bank-conflict timing.
+    MshrOccupancy,
+    /// The attributed instruction consumed a memory issue port for a cycle
+    /// (a load issue, a store address generation, or a store-to-load
+    /// forward slot).
+    MemPortUse,
+}
+
+/// One attributed resource-pressure event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ContentionEvent {
+    /// What resource was pressured.
+    pub kind: ContentionKind,
+    /// Line address the pressure concerns: the missing line for MSHR
+    /// occupancy, `None` for a bare port use (port pressure carries no
+    /// address — the *count* is the signal).
+    pub line_addr: Option<u64>,
+    /// How many cycles the resource was held (the fill latency for an
+    /// MSHR, 1 for a port slot).
+    pub cycles: u32,
+    /// The instruction charged with the pressure.
+    pub attr: Attribution,
+    /// Set by [`ContentionObserver::note_squash`] once the attributed
+    /// instruction is squashed.
+    transient: bool,
+}
+
+impl ContentionEvent {
+    /// Whether the attributed instruction was squashed — the pressure was
+    /// exerted by an execution that architecturally never happened: a
+    /// contention side channel.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        self.transient
+    }
+}
+
+/// Records attributed MSHR-occupancy and memory-port-pressure events — the
+/// non-cache-state counterpart of [`LeakageObserver`]. A transient
+/// secret-dependent burst occupies MSHRs and issue ports even when it
+/// changes no retained cache state (e.g. a burst of warm hits), so this
+/// observer is what makes contention channels judgeable: the
+/// `verify-security` battery's `mshr-contention` scenario decodes its
+/// secret from the set of MSHRs squashed instructions occupied.
+///
+/// Attach with [`MemoryHierarchy::attach_contention_observer`]; detached
+/// (the default), the hierarchy and the core's issue path pay only a
+/// `None` check.
+#[derive(Clone, Debug, Default)]
+pub struct ContentionObserver {
+    events: Vec<ContentionEvent>,
+}
+
+impl ContentionObserver {
+    /// An empty observer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one MSHR occupancy (hierarchy-internal: one per demand L1
+    /// miss, held for the fill's latency).
+    pub(crate) fn record_mshr(&mut self, line_addr: u64, cycles: u32, attr: Attribution) {
+        self.events.push(ContentionEvent {
+            kind: ContentionKind::MshrOccupancy,
+            line_addr: Some(line_addr),
+            cycles,
+            attr,
+            transient: false,
+        });
+    }
+
+    /// Records one memory-port use (reported by the core's issue path via
+    /// [`MemoryHierarchy::note_port_use`]).
+    pub(crate) fn record_port_use(&mut self, attr: Attribution) {
+        self.events.push(ContentionEvent {
+            kind: ContentionKind::MemPortUse,
+            line_addr: None,
+            cycles: 1,
+            attr,
+            transient: false,
+        });
+    }
+
+    /// The core squashed every instruction with `seq >= first_removed`:
+    /// their pressure events become transient (same contract as
+    /// [`LeakageObserver::note_squash`]).
+    pub fn note_squash(&mut self, first_removed: Seq) {
+        for e in &mut self.events {
+            if e.attr.seq >= first_removed {
+                e.transient = true;
+            }
+        }
+    }
+
+    /// Every recorded event, in occurrence order.
+    #[must_use]
+    pub fn events(&self) -> &[ContentionEvent] {
+        &self.events
+    }
+
+    /// Events attributed to squashed instructions.
+    pub fn transient_events(&self) -> impl Iterator<Item = &ContentionEvent> {
+        self.events.iter().filter(|e| e.is_transient())
+    }
+
+    /// Probe-array slots whose lines had a transient MSHR occupancy —
+    /// the contention-channel analogue of
+    /// [`LeakageObserver::transient_slots`], with the same slot geometry.
+    #[must_use]
+    pub fn transient_mshr_slots(&self, base: u64, stride: u64, entries: usize) -> BTreeSet<usize> {
+        assert!(stride > 0, "probe slots need a positive stride");
+        self.transient_events()
+            .filter(|e| e.kind == ContentionKind::MshrOccupancy)
+            .filter_map(|e| {
+                let off = e.line_addr?.checked_sub(base)?;
+                let slot = (off / stride) as usize;
+                (slot < entries).then_some(slot)
+            })
+            .collect()
+    }
+
+    /// Number of memory-port slots consumed by squashed instructions —
+    /// pure port pressure, nonzero even for transient bursts that change
+    /// no cache state at all.
+    #[must_use]
+    pub fn transient_port_uses(&self) -> usize {
+        self.transient_events()
+            .filter(|e| e.kind == ContentionKind::MemPortUse)
+            .count()
+    }
+
+    /// Total MSHR-occupancy cycles charged to squashed instructions.
+    #[must_use]
+    pub fn transient_mshr_cycles(&self) -> u64 {
+        self.transient_events()
+            .filter(|e| e.kind == ContentionKind::MshrOccupancy)
+            .map(|e| u64::from(e.cycles))
+            .sum()
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl fmt::Display for ContentionObserver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} contention events ({} transient)",
+            self.events.len(),
+            self.transient_events().count()
+        )
+    }
+}
+
 impl fmt::Display for LeakageObserver {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -393,6 +566,34 @@ mod tests {
         assert_eq!(transient, vec![0x80]);
         assert!(obs.transient_lines().contains(&0x80));
         assert_eq!(obs.len(), 2);
+    }
+
+    #[test]
+    fn contention_observer_decodes_transient_mshr_slots() {
+        let mut obs = ContentionObserver::new();
+        obs.record_mshr(0x1000, 98, leak_attr(4)); // slot 0
+        obs.record_mshr(0x1000 + 3 * 4096, 98, leak_attr(4)); // slot 3
+        obs.record_mshr(0x1000 + 4096, 14, leak_attr(2)); // slot 1, commits
+        obs.record_port_use(leak_attr(4));
+        obs.record_port_use(leak_attr(2));
+        obs.note_squash(Seq::new(3));
+        let slots = obs.transient_mshr_slots(0x1000, 4096, 16);
+        assert_eq!(slots.into_iter().collect::<Vec<_>>(), vec![0, 3]);
+        assert_eq!(obs.transient_port_uses(), 1);
+        assert_eq!(obs.transient_mshr_cycles(), 196);
+        assert_eq!(obs.len(), 5);
+        assert_eq!(format!("{obs}"), "5 contention events (3 transient)");
+    }
+
+    #[test]
+    fn port_uses_carry_no_address_and_mshr_decode_ignores_them() {
+        let mut obs = ContentionObserver::new();
+        obs.record_port_use(leak_attr(1));
+        obs.note_squash(Seq::new(1));
+        assert_eq!(obs.transient_port_uses(), 1);
+        assert!(obs.transient_mshr_slots(0, 4096, 16).is_empty());
+        assert_eq!(obs.events()[0].line_addr, None);
+        assert_eq!(obs.events()[0].cycles, 1);
     }
 
     #[test]

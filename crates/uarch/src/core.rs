@@ -82,7 +82,11 @@
 //!   to the hierarchy, so an attached `sb_mem::LeakageObserver` can
 //!   charge each cache-state change to its instruction and resolve which
 //!   changes were transient — the `verify-security` battery's ground
-//!   truth. Observation never perturbs timing or statistics.
+//!   truth. The issue paths additionally report every memory-port
+//!   consumption (load issue, store address generation, forwarding slot)
+//!   to an attached `sb_mem::ContentionObserver`, which the battery's
+//!   MSHR/port-contention scenario decodes. Observation never perturbs
+//!   timing or statistics.
 
 use crate::config::{CoreConfig, Fidelity, SchedulerKind};
 use crate::frontend::{Fetched, Frontend};
@@ -380,6 +384,22 @@ impl Core {
     #[must_use]
     pub fn scheme(&self) -> Scheme {
         self.scheme_cfg.scheme
+    }
+
+    /// The full scheme configuration (including the threat model).
+    #[must_use]
+    pub fn scheme_config(&self) -> SchemeConfig {
+        self.scheme_cfg
+    }
+
+    /// Number of speculation shadows currently in flight — diagnostic
+    /// introspection for the threat-model tests (under the Futuristic
+    /// model every in-flight load casts an M-shadow that only resolves
+    /// once the load is bound to commit, so this count differs between
+    /// models on identical traces).
+    #[must_use]
+    pub fn shadows_in_flight(&self) -> usize {
+        self.tracker.len()
     }
 
     /// The core configuration.
@@ -1382,6 +1402,15 @@ impl Core {
         let seq = inst.seq;
         let addr = inst.mem().expect("load has address").addr;
         let speculative = self.tracker.is_speculative(seq);
+        // Whichever plan the load follows (cache read, bypass, forwarding
+        // slot) it consumes a memory port this cycle: report the pressure
+        // for an attached contention observer (no-op when detached —
+        // observation never perturbs timing or statistics).
+        self.mem.note_port_use(Attribution {
+            seq,
+            speculative,
+            wrong_path: inst.wrong_path(),
+        });
         let latency = match plan {
             LoadPlan::Forward(src) => {
                 self.rob.hot_mut(idx).set_fwd_src(src);
@@ -1600,6 +1629,17 @@ impl Core {
                 }
             }
         }
+        // Address generation consumes a memory port: report the pressure
+        // for an attached contention observer.
+        let (seq, wrong_path) = {
+            let h = self.rob.hot(idx);
+            (h.seq, h.wrong_path())
+        };
+        self.mem.note_port_use(Attribution {
+            seq,
+            speculative: self.tracker.is_speculative(seq),
+            wrong_path,
+        });
         self.rob.hot_mut(idx).set_addr_launched(true);
         self.schedule(self.cycle + 1, handle, Event::StoreAddr);
         *budget -= 1;

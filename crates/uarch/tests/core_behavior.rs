@@ -454,6 +454,125 @@ fn futuristic_threat_model_costs_more() {
     );
 }
 
+/// M-shadow lifecycle, cast side (§6): under the Futuristic model a load
+/// casts a Memory shadow at *dispatch*, not at issue or completion, and
+/// the identical trace under the Spectre model casts nothing.
+#[test]
+fn m_shadow_is_cast_at_dispatch_and_only_under_futuristic() {
+    use sb_core::{SchemeConfig, ThreatModel};
+    let mut b = TraceBuilder::new("m-cast");
+    b.load(x(1), x(2), 0x900_0000, 8); // cold: stays in flight a long time
+    b.alu(x(3), None, None);
+    b.alu(x(4), None, None);
+    let t = b.build();
+    for (model, expected) in [(ThreatModel::Spectre, 0), (ThreatModel::Futuristic, 1)] {
+        let cfg = SchemeConfig::rtl(Scheme::Baseline, 2).with_threat_model(model);
+        let mut core = Core::new(CoreConfig::mega(), cfg, t.clone());
+        assert_eq!(core.shadows_in_flight(), 0, "{model:?}: nothing dispatched");
+        core.step(); // the whole group dispatches in cycle 0
+        assert_eq!(
+            core.shadows_in_flight(),
+            expected,
+            "{model:?}: M-shadow presence right after dispatch"
+        );
+        core.run_to_completion(1_000_000);
+        assert_eq!(core.shadows_in_flight(), 0, "{model:?}: drained at the end");
+    }
+}
+
+/// M-shadow lifecycle, release side: the shadow outlives the load's
+/// *completion* (data back from DRAM) and dies exactly when the load is
+/// bound to commit — the `shadow_token` resolved on the commit path.
+#[test]
+fn m_shadow_survives_completion_and_releases_at_commit() {
+    use sb_core::{SchemeConfig, ThreatModel};
+    use sb_isa::OpClass;
+    let mut b = TraceBuilder::new("m-release");
+    // A ~120-cycle dependent divide chain ahead of the load keeps the ROB
+    // head busy long past the load's ~98-cycle DRAM fill: the load
+    // completes around cycle 102 but cannot commit before ~123, so the
+    // shadow's survival past completion is structurally guaranteed.
+    for _ in 0..10 {
+        b.push(MicroOp::compute(OpClass::IntDiv, x(7), Some(x(7)), None));
+    }
+    b.load(x(1), x(2), 0x2000, 8);
+    b.alu(x(3), None, None);
+    let t = b.build();
+    let cfg = SchemeConfig::rtl(Scheme::Baseline, 2).with_threat_model(ThreatModel::Futuristic);
+    let mut core = Core::new(CoreConfig::mega(), cfg, t);
+    // Step until the load has executed (its L1/L2/DRAM access happened —
+    // observable as a demand access) but nothing has committed.
+    while core.memory().demand_accesses() == 0 {
+        core.step();
+        assert!(core.cycle() < 10_000, "load never executed");
+    }
+    assert_eq!(
+        core.shadows_in_flight(),
+        1,
+        "the M-shadow must survive the load's execution"
+    );
+    // The divides at the head take ~28 cycles; the load completes well
+    // before. Its shadow must persist every cycle until the load commits.
+    while core.stats().committed_loads.get() == 0 {
+        assert_eq!(
+            core.shadows_in_flight(),
+            1,
+            "released before bound-to-commit"
+        );
+        core.step();
+        assert!(core.cycle() < 10_000, "load never committed");
+    }
+    assert_eq!(
+        core.shadows_in_flight(),
+        0,
+        "bound-to-commit must release the M-shadow"
+    );
+}
+
+/// M-shadow lifecycle, squash side: wrong-path loads cast M-shadows under
+/// the Futuristic model; the mispredict squash must reclaim them (a leaked
+/// shadow would pin the speculation frontier and deadlock the core).
+#[test]
+fn squash_reclaims_wrong_path_m_shadows() {
+    use sb_core::{SchemeConfig, ThreatModel};
+    let mut b = TraceBuilder::new("m-squash");
+    b.load(x(9), x(8), 0x900_0000, 8); // slow branch operand
+    let br = b.branch(Some(x(9)), None, true, true);
+    b.wrong_path(
+        br,
+        vec![
+            MicroOp::load(x(1), x(2), 0x2000, 8),
+            MicroOp::load(x(3), x(2), 0x2040, 8),
+            MicroOp::load(x(4), x(2), 0x2080, 8),
+        ],
+    );
+    b.alu(x(5), None, None);
+    let t = b.build();
+    let peak = |model: ThreatModel| {
+        let cfg = SchemeConfig::rtl(Scheme::Baseline, 2).with_threat_model(model);
+        let mut core = Core::new(CoreConfig::mega(), cfg, t.clone());
+        let mut peak = 0;
+        while !core.is_done() {
+            peak = peak.max(core.shadows_in_flight());
+            core.step();
+            assert!(core.cycle() < 1_000_000, "deadlock");
+        }
+        assert_eq!(core.shadows_in_flight(), 0, "{model:?}: shadows leaked");
+        assert_eq!(core.stats().committed.get(), t.len() as u64);
+        peak
+    };
+    let spectre_peak = peak(ThreatModel::Spectre);
+    let futuristic_peak = peak(ThreatModel::Futuristic);
+    assert!(
+        futuristic_peak > spectre_peak,
+        "wrong-path loads must have cast extra M-shadows \
+         (futuristic peak {futuristic_peak} vs spectre peak {spectre_peak})"
+    );
+    // Spectre tracks only the branch's C-shadow; Futuristic adds the
+    // correct-path load's M-shadow plus the three wrong-path loads'.
+    assert!(futuristic_peak >= 4, "peak was {futuristic_peak}");
+}
+
 /// The memory-dependence predictor stops a load from re-speculating against
 /// the same still-unresolved store after its first forwarding violation —
 /// exactly one flush, not a livelock.
