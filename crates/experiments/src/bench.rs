@@ -6,10 +6,10 @@
 
 use crate::{run_grid, RunSpec};
 use sb_core::Scheme;
-use sb_uarch::{Core, CoreConfig, SchedulerKind};
+use sb_uarch::{CancelToken, Core, CoreConfig, SchedulerKind};
 use sb_workloads::{generate, generate_with, spec2017_profiles, GeneratorKind, TraceStore};
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Safety valve matching the experiment engine's.
 const MAX_CYCLES: u64 = 400_000_000;
@@ -134,6 +134,63 @@ pub struct InstLayoutReport {
     pub points: Vec<LayoutPoint>,
 }
 
+/// One profile's bare-vs-guarded runner measurement (`runner` in
+/// `BENCH_core.json`): the identical simulation with and without the
+/// fault-tolerance machinery the job layer wraps around every grid point
+/// (`catch_unwind` plus a live cancel token polled at cycle-batch
+/// granularity, with an armed-but-distant deadline).
+#[derive(Clone, Debug)]
+pub struct RunnerPoint {
+    /// Profile name (e.g. `502.gcc`).
+    pub profile: String,
+    /// Simulated micro-ops per second with a bare `Core::run`.
+    pub bare_ops_per_sec: f64,
+    /// Same, under `catch_unwind` with the cancel token attached.
+    pub guarded_ops_per_sec: f64,
+}
+
+impl RunnerPoint {
+    /// Overhead of the guarded path in percent (negative = noise in the
+    /// guarded path's favor).
+    #[must_use]
+    pub fn overhead_percent(&self) -> f64 {
+        (self.bare_ops_per_sec / self.guarded_ops_per_sec - 1.0) * 100.0
+    }
+}
+
+/// The fault-tolerance overhead ceiling the bench enforces: the panic
+/// isolation and cancellation plumbing must stay in the noise.
+pub const RUNNER_OVERHEAD_LIMIT_PERCENT: f64 = 2.0;
+
+/// The `runner` section: per-profile overhead of the fault-tolerant
+/// execution path on the Mega × STT-Issue basket.
+#[derive(Clone, Debug, Default)]
+pub struct RunnerReport {
+    /// Per-profile measurements.
+    pub points: Vec<RunnerPoint>,
+}
+
+impl RunnerReport {
+    /// Mean overhead across the basket, in percent (0 when unmeasured).
+    #[must_use]
+    pub fn mean_overhead_percent(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points
+            .iter()
+            .map(RunnerPoint::overhead_percent)
+            .sum::<f64>()
+            / self.points.len() as f64
+    }
+
+    /// Whether the overhead stays under [`RUNNER_OVERHEAD_LIMIT_PERCENT`].
+    #[must_use]
+    pub fn within_budget(&self) -> bool {
+        self.mean_overhead_percent() < RUNNER_OVERHEAD_LIMIT_PERCENT
+    }
+}
+
 /// The full bench outcome.
 #[derive(Clone, Debug)]
 pub struct BenchReport {
@@ -147,6 +204,8 @@ pub struct BenchReport {
     pub tracegen: TraceGenReport,
     /// Hot/cold instruction-layout comparison.
     pub inst_layout: InstLayoutReport,
+    /// Fault-tolerant-runner overhead comparison.
+    pub runner: RunnerReport,
     /// Options the bench ran with.
     pub options: BenchOptions,
 }
@@ -226,6 +285,29 @@ impl BenchReport {
             });
         }
         s.push_str("  ]},\n");
+        s.push_str("  \"runner\": {\"points\": [\n");
+        for (i, p) in self.runner.points.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"profile\": \"{}\", \"bare_ops_per_sec\": {:.1}, \
+                 \"guarded_ops_per_sec\": {:.1}, \"overhead_percent\": {:.3}}}",
+                p.profile,
+                p.bare_ops_per_sec,
+                p.guarded_ops_per_sec,
+                p.overhead_percent()
+            );
+            s.push_str(if i + 1 < self.runner.points.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        let _ = writeln!(
+            s,
+            "  ], \"mean_overhead_percent\": {:.3}, \"limit_percent\": {:.1}}},",
+            self.runner.mean_overhead_percent(),
+            RUNNER_OVERHEAD_LIMIT_PERCENT
+        );
         let _ = writeln!(
             s,
             "  \"tracegen\": {{\"reference_secs\": {:.4}, \"batched_secs\": {:.4}, \
@@ -297,6 +379,12 @@ impl BenchReport {
                 p.speedup()
             );
         }
+        let _ = writeln!(
+            s,
+            "fault-tolerant runner (mega x STT-Issue): mean overhead {:.2}% (limit {:.1}%)",
+            self.runner.mean_overhead_percent(),
+            RUNNER_OVERHEAD_LIMIT_PERCENT
+        );
         let _ = writeln!(
             s,
             "grid wall-clock ({} uops/bench): event-wheel {:.2}s, reference {:.2}s ({:.2}x)",
@@ -403,6 +491,55 @@ fn measure_inst_layout(opts: &BenchOptions) -> InstLayoutReport {
     }
 }
 
+/// Measures the fault-tolerant runner's overhead: Mega × STT-Issue per
+/// basket profile, bare `Core::run` against the guarded path the job layer
+/// uses for every grid point (`catch_unwind` plus an attached cancel token
+/// with a distant-but-armed deadline, so the per-batch deadline check is
+/// actually exercised). Interleaved best-of-5, matching
+/// `measure_inst_layout`'s discipline.
+fn measure_runner(opts: &BenchOptions) -> RunnerReport {
+    let profiles = spec2017_profiles();
+    let mut points = Vec::new();
+    for name in BASKET {
+        let profile = profiles
+            .iter()
+            .find(|p| p.name == name)
+            .expect("basket profile exists");
+        let trace = generate(profile, opts.ops, opts.seed);
+        let mut best = [f64::INFINITY; 2];
+        for _ in 0..5 {
+            // Bare: the pre-PR execution path.
+            let mut core = Core::with_scheme(CoreConfig::mega(), Scheme::SttIssue, trace.clone());
+            let start = Instant::now();
+            core.run(MAX_CYCLES);
+            best[0] = best[0].min(start.elapsed().as_secs_f64());
+            assert!(core.is_done(), "bare runner point did not finish");
+
+            // Guarded: what run_batch wraps around every job.
+            let token = CancelToken::new().child(Some(Instant::now() + Duration::from_secs(3600)));
+            let mut core = Core::with_scheme(CoreConfig::mega(), Scheme::SttIssue, trace.clone());
+            core.set_cancel_token(token);
+            let start = Instant::now();
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                core.run(MAX_CYCLES);
+                core
+            }));
+            best[1] = best[1].min(start.elapsed().as_secs_f64());
+            let core = run.expect("guarded runner point must not panic");
+            assert!(
+                core.is_done() && !core.interrupted(),
+                "guarded runner point did not finish"
+            );
+        }
+        points.push(RunnerPoint {
+            profile: name.to_string(),
+            bare_ops_per_sec: opts.ops as f64 / best[0],
+            guarded_ops_per_sec: opts.ops as f64 / best[1],
+        });
+    }
+    RunnerReport { points }
+}
+
 /// Times trace production over the full 22-profile suite at `ops` micro-ops
 /// each: both generator kinds (best of three passes after an untimed warmup,
 /// matching `measure_point`'s discipline), then a cold store pass (into a
@@ -493,6 +630,13 @@ pub fn run_core_bench(opts: &BenchOptions) -> BenchReport {
 
     let tracegen = measure_tracegen(opts.ops, opts.seed);
     let inst_layout = measure_inst_layout(opts);
+    let runner = measure_runner(opts);
+    assert!(
+        runner.within_budget(),
+        "fault-tolerant runner overhead {:.2}% exceeds the {RUNNER_OVERHEAD_LIMIT_PERCENT}% \
+         budget; the catch_unwind/token-poll path must stay in the noise",
+        runner.mean_overhead_percent()
+    );
 
     let spec = RunSpec {
         ops: opts.grid_ops,
@@ -526,6 +670,7 @@ pub fn run_core_bench(opts: &BenchOptions) -> BenchReport {
         grid_reference_secs,
         tracegen,
         inst_layout,
+        runner,
         options: opts.clone(),
     }
 }
@@ -561,6 +706,13 @@ mod tests {
                     reference_ops_per_sec: 2_000_000.0,
                 }],
             },
+            runner: RunnerReport {
+                points: vec![RunnerPoint {
+                    profile: "502.gcc".into(),
+                    bare_ops_per_sec: 1_010_000.0,
+                    guarded_ops_per_sec: 1_000_000.0,
+                }],
+            },
             options: BenchOptions::default(),
         };
         let json = report.to_json();
@@ -580,6 +732,12 @@ mod tests {
         assert!((report.tracegen.warm_speedup() - 8.0).abs() < 1e-9);
         assert!(report.summary().contains("grid wall-clock"));
         assert!(report.summary().contains("trace generation"));
+        assert!(json.contains("\"runner\""));
+        assert!(json.contains("\"overhead_percent\": 1.000"));
+        assert!(json.contains("\"limit_percent\": 2.0"));
+        assert!((report.runner.mean_overhead_percent() - 1.0).abs() < 1e-9);
+        assert!(report.runner.within_budget());
+        assert!(report.summary().contains("fault-tolerant runner"));
     }
 
     #[test]
@@ -595,10 +753,16 @@ mod tests {
             grid_reference_secs: 1.0,
             tracegen: TraceGenReport::default(),
             inst_layout: InstLayoutReport::default(),
+            runner: RunnerReport::default(),
             options: BenchOptions::default(),
         };
         assert!(report.to_json().contains("\"reference_ops_per_sec\": null"));
         assert!(report.points[0].speedup().is_none());
+        // An unmeasured runner section reports zero overhead in budget.
+        assert!(report.runner.within_budget());
+        assert!(report
+            .to_json()
+            .contains("\"mean_overhead_percent\": 0.000"));
     }
 
     #[test]

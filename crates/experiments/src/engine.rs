@@ -1,16 +1,24 @@
 //! The run grid: simulate every (config, scheme, benchmark) point, with
-//! deterministic seeding, over a bounded worker pool.
+//! deterministic seeding, over the fault-tolerant job layer.
 //!
 //! All grid points are flattened into one job list (configs × schemes ×
 //! benchmarks) so the pool stays saturated end-to-end instead of
-//! serializing on (config, scheme) suite boundaries.
+//! serializing on (config, scheme) suite boundaries. Each point runs as a
+//! [`crate::jobs`] job: panics are isolated, per-job deadlines and the
+//! global run budget are enforced cooperatively through the core's cancel
+//! token, and every completed point's `SimStats` is persisted to the
+//! [`crate::stats_store::StatsStore`] so `--resume` re-simulates only the
+//! missing points.
 
+use crate::jobs::{self, JobCtx, JobError, JobFailure, JobPolicy};
 use crate::pool;
+use crate::stats_store::{combine_fp, tag_fp, StatsStore};
 use sb_core::Scheme;
 use sb_stats::{BenchResult, SimStats, SuiteSummary};
 use sb_uarch::{Core, CoreConfig};
 use sb_workloads::{cached_generate, spec2017_profiles, WorkloadProfile};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Safety valve: no benchmark may run longer than this many cycles.
 const MAX_CYCLES: u64 = 400_000_000;
@@ -32,6 +40,57 @@ impl Default for RunSpec {
         }
     }
 }
+
+/// Typed failure of a grid lookup or report computation — what used to be
+/// a `panic!` deep inside a report function and is now surfaced as a
+/// per-report failure by the CLI.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// A configuration name outside the BOOM sweep.
+    UnknownConfig(String),
+    /// The `(config, scheme)` point was not part of the grid.
+    MissingGridPoint {
+        /// Requested configuration name.
+        config: String,
+        /// Requested scheme.
+        scheme: Scheme,
+    },
+    /// The point ran but some of its benchmarks failed, so suite-level
+    /// summaries would silently average over a partial basket.
+    IncompleteSuite {
+        /// Configuration name.
+        config: String,
+        /// Scheme.
+        scheme: Scheme,
+        /// Benchmarks that produced results.
+        have: usize,
+        /// Benchmarks the suite requires.
+        want: usize,
+    },
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::UnknownConfig(name) => write!(f, "unknown config {name}"),
+            ExperimentError::MissingGridPoint { config, scheme } => {
+                write!(f, "no grid point ({config}, {scheme})")
+            }
+            ExperimentError::IncompleteSuite {
+                config,
+                scheme,
+                have,
+                want,
+            } => write!(
+                f,
+                "suite ({config}, {scheme}) is incomplete: {have} of {want} \
+                 benchmarks produced results"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
 
 /// Runs one benchmark on one (config, scheme) point; returns the suite row
 /// and the full statistics.
@@ -57,11 +116,23 @@ pub fn run_bench(
 /// identically.
 #[must_use]
 pub fn bench_trace(profile: &WorkloadProfile, spec: &RunSpec) -> sb_isa::Trace {
-    let seed = spec.seed ^ fxhash(profile.name);
-    cached_generate(profile, spec.ops, seed)
+    cached_generate(profile, spec.ops, bench_seed(profile, spec))
+}
+
+/// The per-benchmark seed `bench_trace` generates with — also the seed
+/// component of the point's stats-store key, so trace identity and result
+/// identity are keyed consistently.
+fn bench_seed(profile: &WorkloadProfile, spec: &RunSpec) -> u64 {
+    spec.seed ^ fxhash(profile.name)
 }
 
 /// [`run_bench`] on a pre-generated trace.
+///
+/// # Panics
+///
+/// Panics when the benchmark does not finish within the cycle safety
+/// valve. Grid runs go through the job layer instead
+/// ([`run_grid_with`]), where the same condition is a typed job failure.
 #[must_use]
 pub fn run_bench_on_trace(
     config: &CoreConfig,
@@ -84,6 +155,35 @@ pub fn run_bench_on_trace(
     )
 }
 
+/// The cancellation-aware grid job body: runs one point under the job's
+/// cancel token, classifying interruption (deadline vs budget) and
+/// non-termination as typed failures instead of panicking.
+fn run_bench_cancellable(
+    config: &CoreConfig,
+    scheme: Scheme,
+    profile: &WorkloadProfile,
+    trace: sb_isa::Trace,
+    ctx: &JobCtx,
+) -> Result<(BenchResult, SimStats), JobFailure> {
+    let mut core = Core::with_scheme(config.clone(), scheme, trace);
+    core.set_cancel_token(ctx.cancel.clone());
+    core.run(MAX_CYCLES);
+    if core.interrupted() {
+        return Err(ctx.interruption());
+    }
+    if !core.is_done() {
+        return Err(JobFailure::permanent(format!(
+            "{} on {} ({scheme}) did not finish within {MAX_CYCLES} cycles",
+            profile.name, config.name
+        )));
+    }
+    let stats = core.stats().clone();
+    Ok((
+        BenchResult::new(profile.name, stats.committed.get(), stats.cycles.get()),
+        stats,
+    ))
+}
+
 fn fxhash(s: &str) -> u64 {
     // Small deterministic string hash for per-benchmark seeds.
     s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
@@ -101,80 +201,272 @@ pub fn run_suite(config: &CoreConfig, scheme: Scheme, spec: &RunSpec) -> Vec<Ben
     })
 }
 
-/// All suite results for a set of configurations and schemes.
+/// All suite results for a set of configurations and schemes. Suites may
+/// be *partial* after a degraded run (some jobs failed); the accessors
+/// return typed errors instead of panicking so report functions surface
+/// exactly which point is missing or incomplete.
 #[derive(Debug, Default)]
 pub struct GridResults {
-    /// `(config name, scheme)` → per-benchmark rows.
+    /// `(config name, scheme)` → per-benchmark rows (survivors only).
     suites: HashMap<(String, Scheme), Vec<BenchResult>>,
+    /// Rows a complete suite must have (0 = accept any, for hand-built
+    /// grids in tests).
+    benchmarks: usize,
 }
 
 impl GridResults {
     /// Looks up one suite.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the point was not part of the grid.
-    #[must_use]
-    pub fn suite(&self, config: &str, scheme: Scheme) -> &[BenchResult] {
-        self.suites
+    /// [`ExperimentError::MissingGridPoint`] if the point was not part of
+    /// the grid; [`ExperimentError::IncompleteSuite`] if some of its
+    /// benchmark jobs failed.
+    pub fn suite(&self, config: &str, scheme: Scheme) -> Result<&[BenchResult], ExperimentError> {
+        let rows = self
+            .suites
             .get(&(config.to_string(), scheme))
-            .unwrap_or_else(|| panic!("no grid point ({config}, {scheme})"))
+            .ok_or_else(|| ExperimentError::MissingGridPoint {
+                config: config.to_string(),
+                scheme,
+            })?;
+        if self.benchmarks > 0 && rows.len() != self.benchmarks {
+            return Err(ExperimentError::IncompleteSuite {
+                config: config.to_string(),
+                scheme,
+                have: rows.len(),
+                want: self.benchmarks,
+            });
+        }
+        Ok(rows)
     }
 
     /// Baseline-normalized summary for one (config, scheme).
-    #[must_use]
-    pub fn summary(&self, config: &str, scheme: Scheme) -> SuiteSummary {
-        SuiteSummary::new(
-            self.suite(config, Scheme::Baseline).to_vec(),
-            self.suite(config, scheme).to_vec(),
-        )
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GridResults::suite`] errors for either the baseline or
+    /// the scheme suite.
+    pub fn summary(&self, config: &str, scheme: Scheme) -> Result<SuiteSummary, ExperimentError> {
+        Ok(SuiteSummary::new(
+            self.suite(config, Scheme::Baseline)?.to_vec(),
+            self.suite(config, scheme)?.to_vec(),
+        ))
     }
 
     /// Absolute baseline suite IPC for a configuration (Table 1's row).
-    #[must_use]
-    pub fn baseline_ipc(&self, config: &str) -> f64 {
-        sb_stats::suite_ipc(self.suite(config, Scheme::Baseline))
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GridResults::suite`] errors.
+    pub fn baseline_ipc(&self, config: &str) -> Result<f64, ExperimentError> {
+        Ok(sb_stats::suite_ipc(self.suite(config, Scheme::Baseline)?))
     }
 }
 
-/// Runs the whole grid: every scheme on every given configuration. All
-/// (config, scheme, benchmark) points run as one flat job list over the
-/// bounded pool, so wide machines parallelize across the entire grid and
-/// narrow machines never oversubscribe.
+/// Execution options for [`run_grid_with`].
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Job-layer policy: workers, deadlines, budget, retries, faults.
+    pub policy: JobPolicy,
+    /// Read the stats store before simulating (the `--resume` path).
+    /// Writes happen whenever the store is enabled, resume or not, so
+    /// every completed run leaves a resumable cache behind.
+    pub resume: bool,
+    /// The result store; `None` disables persistence entirely.
+    pub store: Option<StatsStore>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            policy: JobPolicy::default(),
+            resume: false,
+            store: StatsStore::from_env(),
+        }
+    }
+}
+
+/// What a grid run did: how much was simulated versus served from the
+/// stats store, and every per-job failure.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Points simulated this run.
+    pub simulated: usize,
+    /// Points served from the stats store (`--resume` hits).
+    pub from_cache: usize,
+    /// Total points in the grid.
+    pub total: usize,
+    /// Every failed job, in index order.
+    pub failures: Vec<JobError>,
+}
+
+impl RunReport {
+    /// True when every point produced a result.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The per-job failure report (empty string when clean); same format
+    /// as [`jobs::BatchReport::render_failures`].
+    #[must_use]
+    pub fn render_failures(&self) -> String {
+        jobs::render_failures(&self.failures, self.total)
+    }
+}
+
+/// Runs the whole grid under explicit execution options: every scheme on
+/// every given configuration, flattened into one job list over the
+/// fault-tolerant job layer. Returns the (possibly partial) grid plus a
+/// run report of cache hits, simulations, and per-job failures.
 #[must_use]
-pub fn run_grid(configs: &[CoreConfig], spec: &RunSpec) -> GridResults {
+pub fn run_grid_with(
+    configs: &[CoreConfig],
+    spec: &RunSpec,
+    opts: &RunOptions,
+) -> (GridResults, RunReport) {
     let profiles = spec2017_profiles();
     let points: Vec<(&CoreConfig, Scheme)> = configs
         .iter()
         .flat_map(|c| Scheme::all().into_iter().map(move |s| (c, s)))
         .collect();
+    let jobs_n = points.len() * profiles.len();
+    let labels: Vec<String> = (0..jobs_n)
+        .map(|k| {
+            let (config, scheme) = points[k / profiles.len()];
+            format!(
+                "{}/{}/{}",
+                config.name,
+                scheme,
+                profiles[k % profiles.len()].name
+            )
+        })
+        .collect();
+    // Resolve every point's stats-store key up front so the resume pass
+    // can decide which traces it still needs.
+    let keys: Vec<(u64, u64)> = (0..jobs_n)
+        .map(|k| {
+            let (config, scheme) = points[k / profiles.len()];
+            let profile = &profiles[k % profiles.len()];
+            let fp = combine_fp([
+                config.fingerprint(),
+                tag_fp(&scheme.to_string()),
+                profile.fingerprint(),
+            ]);
+            (bench_seed(profile, spec), fp)
+        })
+        .collect();
     // Each benchmark's trace is identical across all (config, scheme)
     // points: generate once, share, and clone per run (a memcpy, far
-    // cheaper than regeneration).
-    let traces: Vec<sb_isa::Trace> = profiles.iter().map(|p| bench_trace(p, spec)).collect();
-    let jobs = points.len() * profiles.len();
-    let rows = pool::run_indexed(jobs, pool::default_workers(), |k| {
+    // cheaper than regeneration). On a fully-cached resume every slot
+    // stays `None` and zero traces are generated.
+    let traces: Vec<std::sync::OnceLock<sb_isa::Trace>> = (0..profiles.len())
+        .map(|_| std::sync::OnceLock::new())
+        .collect();
+    let simulated = AtomicUsize::new(0);
+    let from_cache = AtomicUsize::new(0);
+    let report = jobs::run_batch(&labels, &opts.policy, |ctx| {
+        let k = ctx.index;
         let (config, scheme) = points[k / profiles.len()];
         let b = k % profiles.len();
-        run_bench_on_trace(config, scheme, &profiles[b], traces[b].clone()).0
+        let profile = &profiles[b];
+        let (seed, fp) = keys[k];
+        if opts.resume {
+            if let Some(store) = &opts.store {
+                if let Some(stats) = store.load(profile.name, spec.ops, seed, fp) {
+                    from_cache.fetch_add(1, Ordering::Relaxed);
+                    return Ok(BenchResult::new(
+                        profile.name,
+                        stats.committed.get(),
+                        stats.cycles.get(),
+                    ));
+                }
+            }
+        }
+        let trace = traces[b].get_or_init(|| bench_trace(profile, spec)).clone();
+        let (row, stats) = run_bench_cancellable(config, scheme, profile, trace, ctx)?;
+        simulated.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &opts.store {
+            // A failed save is a cache bypass, never a run failure.
+            if let Ok(path) = store.save(profile.name, spec.ops, seed, fp, &stats) {
+                if let Some(plan) = &opts.policy.faults {
+                    if plan.corrupts_stats_at(k) {
+                        let _ = crate::faults::corrupt_file(&path);
+                    }
+                }
+            }
+        }
+        Ok(row)
     });
-    let mut grid = GridResults::default();
-    for ((config, scheme), suite) in points.iter().zip(rows.chunks(profiles.len())) {
-        grid.suites
-            .insert((config.name.to_string(), *scheme), suite.to_vec());
+    let mut grid = GridResults {
+        suites: HashMap::new(),
+        benchmarks: profiles.len(),
+    };
+    for (pi, (config, scheme)) in points.iter().enumerate() {
+        let rows: Vec<BenchResult> = report.results[pi * profiles.len()..(pi + 1) * profiles.len()]
+            .iter()
+            .filter_map(Clone::clone)
+            .collect();
+        grid.suites.insert((config.name.to_string(), *scheme), rows);
     }
+    let run_report = RunReport {
+        simulated: simulated.into_inner(),
+        from_cache: from_cache.into_inner(),
+        total: jobs_n,
+        failures: report.failures,
+    };
+    (grid, run_report)
+}
+
+/// Runs the whole grid with default options (no resume, default policy,
+/// stats store from the environment).
+///
+/// # Panics
+///
+/// Panics if any grid job fails — callers that need partial results and a
+/// failure report use [`run_grid_with`].
+#[must_use]
+pub fn run_grid(configs: &[CoreConfig], spec: &RunSpec) -> GridResults {
+    let (grid, report) = run_grid_with(configs, spec, &RunOptions::default());
+    assert!(
+        report.ok(),
+        "grid run failed:\n{}",
+        report.render_failures()
+    );
     grid
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultPlan;
 
     fn tiny() -> RunSpec {
         RunSpec {
             ops: 3_000,
             seed: 7,
         }
+    }
+
+    /// Options pinned to a scratch store so tests neither read nor write
+    /// the developer's real `target/stats-cache`.
+    fn scratch_opts(tag: &str) -> (RunOptions, StatsStore) {
+        let dir = std::env::temp_dir().join(format!("sb-engine-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = StatsStore::new(&dir);
+        (
+            RunOptions {
+                policy: JobPolicy::default(),
+                resume: false,
+                store: Some(store.clone()),
+            },
+            store,
+        )
+    }
+
+    fn cleanup(store: &StatsStore) {
+        let _ = std::fs::remove_dir_all(store.dir());
     }
 
     #[test]
@@ -200,15 +492,125 @@ mod tests {
 
     #[test]
     fn grid_lookup_roundtrip() {
-        let grid = run_grid(&[CoreConfig::small()], &tiny());
-        let s = grid.summary("small", Scheme::SttIssue);
+        let (opts, store) = scratch_opts("roundtrip");
+        let (grid, report) = run_grid_with(&[CoreConfig::small()], &tiny(), &opts);
+        assert!(report.ok());
+        assert_eq!(report.simulated, 4 * 22);
+        assert_eq!(report.from_cache, 0);
+        let s = grid.summary("small", Scheme::SttIssue).unwrap();
         assert_eq!(s.normalized_ipc().len(), 22);
-        assert!(grid.baseline_ipc("small") > 0.0);
+        assert!(grid.baseline_ipc("small").unwrap() > 0.0);
+        cleanup(&store);
     }
 
     #[test]
-    #[should_panic(expected = "no grid point")]
-    fn missing_grid_point_panics() {
-        let _ = GridResults::default().suite("mega", Scheme::Baseline);
+    fn missing_grid_point_is_a_typed_error() {
+        // Regression: this used to panic ("no grid point") from deep
+        // inside a report function.
+        let err = GridResults::default()
+            .suite("mega", Scheme::Baseline)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ExperimentError::MissingGridPoint {
+                config: "mega".to_string(),
+                scheme: Scheme::Baseline,
+            }
+        );
+        assert!(err.to_string().contains("no grid point"));
+    }
+
+    #[test]
+    fn warm_resume_serves_the_whole_grid_from_cache() {
+        let (mut opts, store) = scratch_opts("warm");
+        let (cold_grid, cold) = run_grid_with(&[CoreConfig::small()], &tiny(), &opts);
+        assert_eq!((cold.simulated, cold.from_cache), (88, 0));
+        opts.resume = true;
+        let (warm_grid, warm) = run_grid_with(&[CoreConfig::small()], &tiny(), &opts);
+        assert_eq!(
+            (warm.simulated, warm.from_cache),
+            (0, 88),
+            "a fully-cached resume must perform zero simulations"
+        );
+        for scheme in Scheme::all() {
+            assert_eq!(
+                cold_grid.suite("small", scheme).unwrap(),
+                warm_grid.suite("small", scheme).unwrap(),
+                "cached results must be identical to simulated ones"
+            );
+        }
+        cleanup(&store);
+    }
+
+    #[test]
+    fn resume_simulates_only_missing_points_and_heals_corruption() {
+        let (mut opts, store) = scratch_opts("partial");
+        // Corrupt one point's entry on the cold run (fault injection) and
+        // delete another outright: resume must re-simulate exactly those.
+        opts.policy.faults = Some(FaultPlan::parse("corrupt-stats@3").unwrap());
+        let (_, cold) = run_grid_with(&[CoreConfig::small()], &tiny(), &opts);
+        assert_eq!(cold.simulated, 88);
+        let profiles = spec2017_profiles();
+        let victim = &profiles[5];
+        let spec = tiny();
+        let fp = combine_fp([
+            CoreConfig::small().fingerprint(),
+            tag_fp(&Scheme::Baseline.to_string()),
+            victim.fingerprint(),
+        ]);
+        let victim_path = store.path_for(victim.name, spec.ops, bench_seed(victim, &spec), fp);
+        assert!(victim_path.exists());
+        std::fs::remove_file(&victim_path).unwrap();
+        opts.policy.faults = None;
+        opts.resume = true;
+        let (grid, warm) = run_grid_with(&[CoreConfig::small()], &spec, &opts);
+        assert!(warm.ok());
+        assert_eq!(
+            (warm.simulated, warm.from_cache),
+            (2, 86),
+            "exactly the corrupted and the deleted entries re-simulate"
+        );
+        assert!(victim_path.exists(), "the resume pass heals the store");
+        assert_eq!(grid.suite("small", Scheme::Baseline).unwrap().len(), 22);
+        cleanup(&store);
+    }
+
+    #[test]
+    fn injected_panic_yields_a_partial_grid_and_a_named_failure() {
+        let (mut opts, store) = scratch_opts("panic");
+        opts.policy.faults = Some(FaultPlan::parse("panic@0").unwrap());
+        let (grid, report) = run_grid_with(&[CoreConfig::small()], &tiny(), &opts);
+        assert_eq!(report.failures.len(), 1);
+        let e = &report.failures[0];
+        assert_eq!(e.index, 0);
+        assert_eq!(e.label, "small/Baseline/500.perlbench");
+        assert!(matches!(e.cause, JobFailure::Panicked(_)));
+        // The victim suite is incomplete; every other suite survived whole.
+        assert!(matches!(
+            grid.suite("small", Scheme::Baseline),
+            Err(ExperimentError::IncompleteSuite {
+                have: 21,
+                want: 22,
+                ..
+            })
+        ));
+        for scheme in Scheme::secure() {
+            assert_eq!(grid.suite("small", scheme).unwrap().len(), 22);
+        }
+        assert!(report.render_failures().contains("panic@0"));
+        cleanup(&store);
+    }
+
+    #[test]
+    fn disabled_store_still_runs_and_counts_nothing_cached() {
+        let opts = RunOptions {
+            policy: JobPolicy::default(),
+            resume: true, // resume with no store is a clean no-op
+            store: None,
+        };
+        let (grid, report) = run_grid_with(&[CoreConfig::small()], &tiny(), &opts);
+        assert!(report.ok());
+        assert_eq!((report.simulated, report.from_cache), (88, 0));
+        assert!(grid.baseline_ipc("small").unwrap() > 0.0);
     }
 }

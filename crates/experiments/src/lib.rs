@@ -8,20 +8,27 @@
 
 pub mod bench;
 mod engine;
+pub mod faults;
+pub mod jobs;
 pub mod pool;
 mod render;
 mod reports;
 pub mod security;
+pub mod stats_store;
 
 pub use engine::{
-    bench_trace, run_bench, run_bench_on_trace, run_grid, run_suite, GridResults, RunSpec,
+    bench_trace, run_bench, run_bench_on_trace, run_grid, run_grid_with, run_suite,
+    ExperimentError, GridResults, RunOptions, RunReport, RunSpec,
 };
+pub use faults::{FaultPlan, FAULT_ENV};
+pub use jobs::{BatchReport, JobCtx, JobError, JobFailure, JobPolicy};
 pub use render::{bar, format_table};
 pub use reports::{
     fig10_report, fig1_table3_report, fig6_report, fig7_report, fig8_report, fig9_report,
     sec92_report, security_report, table1_report, table4_report, table5_report, Report,
 };
 pub use security::{
-    battery_scheme_config, measure_leaks, security_matrix_report, verify_security, LeakMeasurement,
-    ScenarioVerdict, SecurityVerdict,
+    battery_scheme_config, measure_leaks, security_matrix_report, verify_security,
+    verify_security_with, LeakMeasurement, ScenarioVerdict, SecurityVerdict,
 };
+pub use stats_store::{StatsStore, STATS_CACHE_ENV};

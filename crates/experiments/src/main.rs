@@ -2,9 +2,12 @@
 //! benchmark the simulator itself, or verify the security property.
 //!
 //! ```text
-//! sb-experiments [--ops N] [--seed S] [--out DIR] [--no-trace-cache] [EXPERIMENT...]
+//! sb-experiments [--ops N] [--seed S] [--out DIR] [--no-trace-cache] [--resume]
+//!                [--job-deadline SECS] [--run-budget SECS] [--inject-faults SPEC]
+//!                [EXPERIMENT...]
 //! sb-experiments bench [--ops N] [--seed S] [--bench-json PATH]
 //! sb-experiments verify-security [--out DIR] [--threat-model spectre|futuristic|both]
+//!                [--job-deadline SECS] [--run-budget SECS] [--inject-faults SPEC]
 //! ```
 //!
 //! Experiments: `table1 fig6 fig7 fig8 fig9 fig10 table3 table4 table5
@@ -16,6 +19,24 @@
 //! so repeated invocations skip generation; `--no-trace-cache` disables
 //! the store for this run, and the `SB_TRACE_CACHE` environment variable
 //! disables (`0`/`off`) or redirects (a path) it globally.
+//!
+//! Grid results are persisted the same way: every simulated point's
+//! `SimStats` lands in the checksummed stats store (default
+//! `target/stats-cache/`; `SB_STATS_CACHE` disables or redirects it with
+//! `SB_TRACE_CACHE`'s exact semantics). `--resume` additionally *reads*
+//! the store before simulating, so a killed or partially failed run picks
+//! up where it left off — only the missing points are simulated, and a
+//! fully cached grid performs zero simulations.
+//!
+//! Grid and battery jobs run panic-isolated: a job that panics, exceeds
+//! `--job-deadline`, or is cancelled by the global `--run-budget` becomes
+//! a line in the failure report (`N of M jobs failed: #i label: cause`)
+//! while every other job's result is kept; the affected reports are
+//! skipped with a per-report error and the process exits 1. Transient
+//! failures retry with bounded backoff. `--inject-faults
+//! panic@I,overrun@I,corrupt-stats@I` (or the `SB_FAULT_INJECT`
+//! environment variable; the flag wins) deterministically injects faults
+//! at job index I to exercise exactly that machinery.
 //!
 //! `bench` measures simulated-ops/sec for every (config × scheme) point on
 //! both schedulers plus full-grid wall clock, and writes `BENCH_core.json`
@@ -36,13 +57,15 @@
 use sb_core::ThreatModel;
 use sb_experiments::bench::{run_core_bench, BenchOptions};
 use sb_experiments::{
-    fig10_report, fig1_table3_report, fig6_report, fig7_report, fig8_report, fig9_report, run_grid,
-    sec92_report, security_matrix_report, security_report, table1_report, table4_report,
-    table5_report, verify_security, GridResults, RunSpec,
+    fig10_report, fig1_table3_report, fig6_report, fig7_report, fig8_report, fig9_report,
+    run_grid_with, sec92_report, security_matrix_report, security_report, table1_report,
+    table4_report, table5_report, verify_security_with, ExperimentError, FaultPlan, GridResults,
+    JobPolicy, Report, RunOptions, RunSpec,
 };
 use sb_uarch::CoreConfig;
 use std::path::PathBuf;
 use std::str::FromStr;
+use std::time::Duration;
 
 /// Experiment names (selectable together, `all` being the default).
 const EXPERIMENT_NAMES: &[&str] = &[
@@ -54,11 +77,17 @@ const EXPERIMENT_NAMES: &[&str] = &[
 const SUBCOMMANDS: &[&str] = &["bench", "verify-security"];
 
 const USAGE: &str =
-    "usage: sb-experiments [--ops N] [--seed S] [--out DIR] [--no-trace-cache] [EXPERIMENT...]\n\
+    "usage: sb-experiments [--ops N] [--seed S] [--out DIR] [--no-trace-cache] [--resume]\n\
+     \x20                     [--job-deadline SECS] [--run-budget SECS] [--inject-faults SPEC]\n\
+     \x20                     [EXPERIMENT...]\n\
      experiments: table1 fig1 fig6 fig7 fig8 fig9 fig10 table3 table4 table5 sec92 security all\n\
      or: sb-experiments bench [--ops N] [--seed S] [--bench-json PATH]\n\
      or: sb-experiments verify-security [--out DIR] [--threat-model spectre|futuristic|both]\n\
-     traces are cached under target/trace-cache/ (SB_TRACE_CACHE=0 or --no-trace-cache disables)";
+     \x20                     [--job-deadline SECS] [--run-budget SECS] [--inject-faults SPEC]\n\
+     traces are cached under target/trace-cache/ (SB_TRACE_CACHE=0 or --no-trace-cache disables)\n\
+     grid stats are cached under target/stats-cache/ (SB_STATS_CACHE=0 disables; --resume reads \
+     them back)\n\
+     fault spec: comma-separated panic@I | overrun@I | corrupt-stats@I (also via SB_FAULT_INJECT)";
 
 #[derive(Debug)]
 struct Args {
@@ -69,6 +98,10 @@ struct Args {
     experiments: Vec<String>,
     threat_models: Vec<ThreatModel>,
     no_trace_cache: bool,
+    resume: bool,
+    job_deadline: Option<Duration>,
+    run_budget: Option<Duration>,
+    faults: Option<FaultPlan>,
     help: bool,
 }
 
@@ -95,6 +128,17 @@ fn flag_value<T: FromStr>(flag: &str, value: Option<String>) -> Result<T, String
         .map_err(|_| format!("invalid value for {flag}: '{raw}'"))
 }
 
+/// Parses a duration flag given in (possibly fractional) seconds.
+fn secs_value(flag: &str, value: Option<String>) -> Result<Duration, String> {
+    let secs: f64 = flag_value(flag, value)?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!(
+            "invalid value for {flag}: '{secs}' (want non-negative seconds)"
+        ));
+    }
+    Ok(Duration::from_secs_f64(secs))
+}
+
 fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut spec = RunSpec::default();
     let mut ops_overridden = false;
@@ -103,6 +147,10 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut experiments = Vec::new();
     let mut threat_models = ThreatModel::all().to_vec();
     let mut no_trace_cache = false;
+    let mut resume = false;
+    let mut job_deadline = None;
+    let mut run_budget = None;
+    let mut faults = None;
     let mut help = false;
     let mut flags_given: Vec<&'static str> = Vec::new();
     let mut it = args.into_iter();
@@ -132,6 +180,26 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
             "--no-trace-cache" => {
                 no_trace_cache = true;
                 flags_given.push("--no-trace-cache");
+            }
+            "--resume" => {
+                resume = true;
+                flags_given.push("--resume");
+            }
+            "--job-deadline" => {
+                job_deadline = Some(secs_value("--job-deadline", it.next())?);
+                flags_given.push("--job-deadline");
+            }
+            "--run-budget" => {
+                run_budget = Some(secs_value("--run-budget", it.next())?);
+                flags_given.push("--run-budget");
+            }
+            "--inject-faults" => {
+                let spec = it.next().ok_or("--inject-faults requires a value")?;
+                faults = Some(
+                    FaultPlan::parse(&spec)
+                        .map_err(|e| format!("invalid value for --inject-faults: {e}"))?,
+                );
+                flags_given.push("--inject-faults");
             }
             "--help" | "-h" => {
                 help = true;
@@ -171,8 +239,17 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
             ));
         }
         let accepted: &[&str] = match sub {
+            // bench measures raw throughput: no job layer, no store.
             "bench" => &["--ops", "--seed", "--bench-json"],
-            _ => &["--out", "--threat-model"], // verify-security
+            // verify-security runs on the job layer but has no stats
+            // store, so --resume stays rejected.
+            _ => &[
+                "--out",
+                "--threat-model",
+                "--job-deadline",
+                "--run-budget",
+                "--inject-faults",
+            ],
         };
         if let Some(rejected) = flags_given.iter().find(|f| !accepted.contains(f)) {
             return Err(format!(
@@ -209,7 +286,27 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
         experiments,
         threat_models,
         no_trace_cache,
+        resume,
+        job_deadline,
+        run_budget,
+        faults,
         help,
+    })
+}
+
+/// Builds the job policy from the CLI flags, resolving the fault plan:
+/// `--inject-faults` wins over `SB_FAULT_INJECT`; a malformed environment
+/// spec is a hard error (a typo must never silently disarm the harness).
+fn job_policy(args: &Args) -> Result<JobPolicy, String> {
+    let faults = match &args.faults {
+        Some(plan) => Some(plan.clone()),
+        None => FaultPlan::from_env()?,
+    };
+    Ok(JobPolicy {
+        job_deadline: args.job_deadline,
+        run_budget: args.run_budget,
+        faults,
+        ..JobPolicy::default()
     })
 }
 
@@ -233,7 +330,7 @@ fn run_bench_command(args: &Args) {
 }
 
 /// The `verify-security` subcommand: leak matrix + hard verdict.
-fn run_verify_security(args: &Args) {
+fn run_verify_security(args: &Args, policy: &JobPolicy) {
     let models = args
         .threat_models
         .iter()
@@ -243,7 +340,7 @@ fn run_verify_security(args: &Args) {
     eprintln!(
         "verifying security: 8-scenario attack battery x 4 schemes x 2 schedulers x {models}..."
     );
-    let verdict = verify_security(&args.threat_models);
+    let verdict = verify_security_with(&args.threat_models, policy);
     let report = security_matrix_report(&verdict);
     println!("{}", report.text);
     std::fs::create_dir_all(&args.out).expect("create output dir");
@@ -272,12 +369,19 @@ fn main() {
     if args.no_trace_cache {
         std::env::set_var(sb_workloads::TRACE_CACHE_ENV, "0");
     }
+    let policy = match job_policy(&args) {
+        Ok(policy) => policy,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     if args.experiments.iter().any(|e| e == "bench") {
         run_bench_command(&args);
         return;
     }
     if args.experiments.iter().any(|e| e == "verify-security") {
-        run_verify_security(&args);
+        run_verify_security(&args, &policy);
         return;
     }
     let all = args.experiments.iter().any(|e| e == "all");
@@ -288,47 +392,75 @@ fn main() {
     ]
     .iter()
     .any(|e| wants(e));
+    let mut degraded = false;
     let grid: Option<GridResults> = needs_grid.then(|| {
         eprintln!(
-            "running grid: 4 configs x 4 schemes x 22 benchmarks, {} uops each...",
-            args.spec.ops
+            "running grid: 4 configs x 4 schemes x 22 benchmarks, {} uops each{}...",
+            args.spec.ops,
+            if args.resume { " (resume)" } else { "" }
         );
-        run_grid(&CoreConfig::boom_sweep(), &args.spec)
+        let opts = RunOptions {
+            policy: policy.clone(),
+            resume: args.resume,
+            ..RunOptions::default()
+        };
+        let (grid, run) = run_grid_with(&CoreConfig::boom_sweep(), &args.spec, &opts);
+        eprintln!(
+            "grid: {} simulated, {} from cache, {} of {} failed",
+            run.simulated,
+            run.from_cache,
+            run.failures.len(),
+            run.total
+        );
+        if !run.ok() {
+            eprint!("{}", run.render_failures());
+            degraded = true;
+        }
+        grid
     });
+    let grid = grid.as_ref();
 
-    let mut reports = Vec::new();
+    // Each report renders independently: a grid degraded by failed jobs
+    // takes down only the reports whose data is missing; the rest still
+    // print and write their CSVs.
+    let mut reports: Vec<Report> = Vec::new();
+    let mut report_errors: Vec<String> = Vec::new();
+    let mut push = |name: &str, r: Result<Report, ExperimentError>| match r {
+        Ok(report) => reports.push(report),
+        Err(e) => report_errors.push(format!("{name}: {e}")),
+    };
     if wants("table1") {
-        reports.push(table1_report(grid.as_ref().expect("grid")));
+        push("table1", table1_report(grid.expect("grid")));
     }
     if wants("fig6") {
-        reports.push(fig6_report(grid.as_ref().expect("grid")));
+        push("fig6", fig6_report(grid.expect("grid")));
     }
     if wants("fig7") {
-        reports.push(fig7_report(grid.as_ref().expect("grid")));
+        push("fig7", fig7_report(grid.expect("grid")));
     }
     if wants("fig8") {
-        reports.push(fig8_report(grid.as_ref().expect("grid")));
+        push("fig8", fig8_report(grid.expect("grid")));
     }
     if wants("fig9") {
-        reports.push(fig9_report());
+        push("fig9", fig9_report());
     }
     if wants("fig10") {
-        reports.push(fig10_report(grid.as_ref().expect("grid")));
+        push("fig10", fig10_report(grid.expect("grid")));
     }
     if wants("table3") || wants("fig1") {
-        reports.push(fig1_table3_report(grid.as_ref().expect("grid")));
+        push("table3", fig1_table3_report(grid.expect("grid")));
     }
     if wants("table4") {
-        reports.push(table4_report(&args.spec));
+        push("table4", Ok(table4_report(&args.spec)));
     }
     if wants("table5") {
-        reports.push(table5_report(grid.as_ref().expect("grid"), &args.spec));
+        push("table5", table5_report(grid.expect("grid"), &args.spec));
     }
     if wants("sec92") {
-        reports.push(sec92_report(&args.spec));
+        push("sec92", Ok(sec92_report(&args.spec)));
     }
     if wants("security") {
-        reports.push(security_report());
+        push("security", Ok(security_report()));
     }
 
     std::fs::create_dir_all(&args.out).expect("create output dir");
@@ -340,6 +472,13 @@ fn main() {
         }
     }
     eprintln!("CSV written to {}", args.out.display());
+    for e in &report_errors {
+        eprintln!("report skipped: {e}");
+    }
+    if degraded || !report_errors.is_empty() {
+        eprintln!("run degraded: rerun with --resume to fill in the missing points");
+        std::process::exit(1);
+    }
 }
 
 #[cfg(test)]
@@ -509,5 +648,83 @@ mod tests {
     fn help_flag_is_captured_not_exited() {
         assert!(parse(&["--help"]).unwrap().help);
         assert!(parse(&["-h"]).unwrap().help);
+    }
+
+    #[test]
+    fn fault_tolerance_flags_parse() {
+        let a = parse(&[
+            "--resume",
+            "--job-deadline",
+            "2.5",
+            "--run-budget",
+            "600",
+            "--inject-faults",
+            "panic@3,corrupt-stats@7",
+            "table1",
+        ])
+        .unwrap();
+        assert!(a.resume);
+        assert_eq!(a.job_deadline, Some(Duration::from_millis(2500)));
+        assert_eq!(a.run_budget, Some(Duration::from_secs(600)));
+        let plan = a.faults.unwrap();
+        assert!(plan.panics_at(3) && plan.corrupts_stats_at(7));
+        assert!(!plan.panics_at(0));
+    }
+
+    #[test]
+    fn malformed_durations_and_fault_specs_fail_loudly() {
+        let err = parse(&["--job-deadline", "soon"]).unwrap_err();
+        assert!(
+            err.contains("--job-deadline") && err.contains("soon"),
+            "{err}"
+        );
+        let err = parse(&["--run-budget", "-4"]).unwrap_err();
+        assert!(err.contains("--run-budget"), "{err}");
+        let err = parse(&["--inject-faults", "explode@2"]).unwrap_err();
+        assert!(
+            err.contains("--inject-faults") && err.contains("explode"),
+            "{err}"
+        );
+        let err = parse(&["--inject-faults"]).unwrap_err();
+        assert!(err.contains("--inject-faults requires a value"), "{err}");
+    }
+
+    #[test]
+    fn job_flags_are_shared_but_resume_is_grid_only() {
+        // The job layer runs both the grid and the battery: deadlines,
+        // budget and faults are accepted by verify-security too.
+        assert!(parse(&[
+            "verify-security",
+            "--job-deadline",
+            "5",
+            "--run-budget",
+            "60",
+            "--inject-faults",
+            "panic@0"
+        ])
+        .is_ok());
+        // bench has neither job layer nor store.
+        let err = parse(&["bench", "--inject-faults", "panic@0"]).unwrap_err();
+        assert!(
+            err.contains("--inject-faults") && err.contains("bench"),
+            "{err}"
+        );
+        // --resume reads the stats store, which only the grid has.
+        let err = parse(&["verify-security", "--resume"]).unwrap_err();
+        assert!(
+            err.contains("--resume") && err.contains("verify-security"),
+            "{err}"
+        );
+        let err = parse(&["bench", "--resume"]).unwrap_err();
+        assert!(err.contains("--resume"), "{err}");
+    }
+
+    #[test]
+    fn cli_fault_plan_wins_over_the_environment() {
+        // job_policy resolution is pure given parsed args with a CLI plan
+        // (the env is only consulted when the flag is absent).
+        let a = parse(&["--inject-faults", "overrun@1"]).unwrap();
+        let policy = job_policy(&a).unwrap();
+        assert!(policy.faults.unwrap().overruns_at(1));
     }
 }

@@ -3,7 +3,7 @@
 //! visible at a glance. Every report also emits CSV for downstream
 //! plotting.
 
-use crate::engine::{run_bench, GridResults, RunSpec};
+use crate::engine::{run_bench, ExperimentError, GridResults, RunSpec};
 use crate::render::{bar, format_table};
 use sb_core::{Scheme, SchemeConfig};
 use sb_mem::SideChannelObserver;
@@ -25,19 +25,29 @@ const BOOM_NAMES: [&str; 4] = ["small", "medium", "large", "mega"];
 /// Redwood Cove class SPEC2017 IPC the paper extrapolates to (Table 1).
 const INTEL_IPC: f64 = 2.03;
 
-fn cfg(name: &str) -> CoreConfig {
+/// Resolves a BOOM-sweep configuration by name.
+///
+/// # Errors
+///
+/// [`ExperimentError::UnknownConfig`] for names outside the sweep — what
+/// used to be a `panic!` deep inside a report function.
+fn cfg(name: &str) -> Result<CoreConfig, ExperimentError> {
     match name {
-        "small" => CoreConfig::small(),
-        "medium" => CoreConfig::medium(),
-        "large" => CoreConfig::large(),
-        "mega" => CoreConfig::mega(),
-        other => panic!("unknown config {other}"),
+        "small" => Ok(CoreConfig::small()),
+        "medium" => Ok(CoreConfig::medium()),
+        "large" => Ok(CoreConfig::large()),
+        "mega" => Ok(CoreConfig::mega()),
+        other => Err(ExperimentError::UnknownConfig(other.to_string())),
     }
 }
 
 /// Table 1: configuration characteristics and measured baseline IPC.
-#[must_use]
-pub fn table1_report(grid: &GridResults) -> Report {
+///
+/// # Errors
+///
+/// Propagates grid-lookup failures (missing or incomplete suites after a
+/// degraded run) so the CLI reports them per report instead of crashing.
+pub fn table1_report(grid: &GridResults) -> Result<Report, ExperimentError> {
     let paper_ipc = [0.46, 0.60, 0.943, 1.27];
     let mut rows = vec![vec![
         "Config".to_string(),
@@ -49,8 +59,8 @@ pub fn table1_report(grid: &GridResults) -> Report {
     ]];
     let mut csv = String::from("config,width,mem_ports,rob,paper_ipc,measured_ipc\n");
     for (name, paper) in BOOM_NAMES.iter().zip(paper_ipc) {
-        let c = cfg(name);
-        let ipc = grid.baseline_ipc(name);
+        let c = cfg(name)?;
+        let ipc = grid.baseline_ipc(name)?;
         rows.push(vec![
             name.to_string(),
             c.width.to_string(),
@@ -64,18 +74,21 @@ pub fn table1_report(grid: &GridResults) -> Report {
             c.width, c.mem_ports, c.rob_entries
         ));
     }
-    Report {
+    Ok(Report {
         text: format!(
             "Table 1: BOOM configurations, baseline IPC\n{}",
             format_table(&rows)
         ),
         csv: vec![("table1.csv".into(), csv)],
-    }
+    })
 }
 
 /// Figure 6: per-benchmark IPC normalized to baseline on the Mega config.
-#[must_use]
-pub fn fig6_report(grid: &GridResults) -> Report {
+///
+/// # Errors
+///
+/// Propagates grid-lookup failures.
+pub fn fig6_report(grid: &GridResults) -> Result<Report, ExperimentError> {
     let schemes = Scheme::secure();
     let mut rows = vec![{
         let mut h = vec!["Benchmark".to_string()];
@@ -84,7 +97,10 @@ pub fn fig6_report(grid: &GridResults) -> Report {
         h
     }];
     let mut csv = String::from("benchmark,stt_rename,stt_issue,nda\n");
-    let summaries: Vec<_> = schemes.iter().map(|&s| grid.summary("mega", s)).collect();
+    let summaries: Vec<_> = schemes
+        .iter()
+        .map(|&s| grid.summary("mega", s))
+        .collect::<Result<_, _>>()?;
     let names: Vec<String> = summaries[0]
         .normalized_ipc()
         .into_iter()
@@ -119,15 +135,18 @@ pub fn fig6_report(grid: &GridResults) -> Report {
         means[1],
         means[2]
     );
-    Report {
+    Ok(Report {
         text,
         csv: vec![("fig6.csv".into(), csv)],
-    }
+    })
 }
 
 /// Figure 7: normalized IPC for every configuration, per scheme.
-#[must_use]
-pub fn fig7_report(grid: &GridResults) -> Report {
+///
+/// # Errors
+///
+/// Propagates grid-lookup failures.
+pub fn fig7_report(grid: &GridResults) -> Result<Report, ExperimentError> {
     let mut text = String::from("Figure 7: normalized IPC across configurations\n");
     let mut csv = String::from("scheme,config,benchmark,normalized_ipc\n");
     for scheme in Scheme::secure() {
@@ -138,8 +157,8 @@ pub fn fig7_report(grid: &GridResults) -> Report {
         }];
         let per_cfg: Vec<Vec<(String, f64)>> = BOOM_NAMES
             .iter()
-            .map(|c| grid.summary(c, scheme).normalized_ipc())
-            .collect();
+            .map(|c| Ok(grid.summary(c, scheme)?.normalized_ipc()))
+            .collect::<Result<_, ExperimentError>>()?;
         for (i, (bench, _)) in per_cfg[0].iter().enumerate() {
             let name = bench.clone();
             let mut row = vec![name.clone()];
@@ -154,33 +173,36 @@ pub fn fig7_report(grid: &GridResults) -> Report {
         for c in BOOM_NAMES {
             mean.push(format!(
                 "{:.3}",
-                grid.summary(c, scheme).mean_normalized_ipc()
+                grid.summary(c, scheme)?.mean_normalized_ipc()
             ));
         }
         rows.push(mean);
         text.push_str(&format!("\n({})\n{}", scheme, format_table(&rows)));
     }
-    Report {
+    Ok(Report {
         text,
         csv: vec![("fig7.csv".into(), csv)],
-    }
+    })
 }
 
 fn scheme_trend(
     grid: &GridResults,
-    value: impl Fn(&str, Scheme) -> f64,
+    value: impl Fn(&str, Scheme) -> Result<f64, ExperimentError>,
     scheme: Scheme,
-) -> Vec<TrendPoint> {
+) -> Result<Vec<TrendPoint>, ExperimentError> {
     BOOM_NAMES
         .iter()
-        .map(|c| TrendPoint::new(grid.baseline_ipc(c), value(c, scheme)))
+        .map(|c| Ok(TrendPoint::new(grid.baseline_ipc(c)?, value(c, scheme)?)))
         .collect()
 }
 
 /// Figure 8: relative IPC against absolute baseline IPC, with the linear
 /// trend and the Redwood-Cove-class extrapolation.
-#[must_use]
-pub fn fig8_report(grid: &GridResults) -> Report {
+///
+/// # Errors
+///
+/// Propagates grid-lookup failures.
+pub fn fig8_report(grid: &GridResults) -> Result<Report, ExperimentError> {
     let mut rows = vec![vec![
         "Scheme".to_string(),
         "small".into(),
@@ -195,9 +217,9 @@ pub fn fig8_report(grid: &GridResults) -> Report {
     for scheme in Scheme::secure() {
         let pts = scheme_trend(
             grid,
-            |c, s| grid.summary(c, s).mean_normalized_ipc(),
+            |c, s| Ok(grid.summary(c, s)?.mean_normalized_ipc()),
             scheme,
-        );
+        )?;
         let fit = LinearFit::fit(&pts);
         let mut row = vec![scheme.label().to_string()];
         for (c, p) in BOOM_NAMES.iter().zip(&pts) {
@@ -214,15 +236,18 @@ pub fn fig8_report(grid: &GridResults) -> Report {
          extrapolated for leading cores)\n{}",
         format_table(&rows)
     );
-    Report {
+    Ok(Report {
         text,
         csv: vec![("fig8.csv".into(), csv)],
-    }
+    })
 }
 
 /// Figure 9: achievable frequency (MHz) per configuration and scheme.
-#[must_use]
-pub fn fig9_report() -> Report {
+///
+/// # Errors
+///
+/// Propagates configuration-lookup failures.
+pub fn fig9_report() -> Result<Report, ExperimentError> {
     let mut rows = vec![{
         let mut h = vec!["Config".to_string()];
         h.extend(Scheme::all().iter().map(|s| s.label().to_string()));
@@ -230,7 +255,7 @@ pub fn fig9_report() -> Report {
     }];
     let mut csv = String::from("config,scheme,mhz\n");
     for name in BOOM_NAMES {
-        let c = cfg(name);
+        let c = cfg(name)?;
         let mut row = vec![name.to_string()];
         for s in Scheme::all() {
             let f = frequency_mhz(&c, s);
@@ -244,15 +269,18 @@ pub fn fig9_report() -> Report {
          ~80% of baseline; NDA at or above baseline)\n{}",
         format_table(&rows)
     );
-    Report {
+    Ok(Report {
         text,
         csv: vec![("fig9.csv".into(), csv)],
-    }
+    })
 }
 
 /// Figure 10: relative timing against absolute baseline IPC.
-#[must_use]
-pub fn fig10_report(grid: &GridResults) -> Report {
+///
+/// # Errors
+///
+/// Propagates grid-lookup failures.
+pub fn fig10_report(grid: &GridResults) -> Result<Report, ExperimentError> {
     let mut rows = vec![vec![
         "Scheme".to_string(),
         "small".into(),
@@ -263,7 +291,7 @@ pub fn fig10_report(grid: &GridResults) -> Report {
     ]];
     let mut csv = String::from("scheme,config,abs_ipc,rel_timing\n");
     for scheme in Scheme::secure() {
-        let pts = scheme_trend(grid, |c, s| relative_timing(&cfg(c), s), scheme);
+        let pts = scheme_trend(grid, |c, s| Ok(relative_timing(&cfg(c)?, s)), scheme)?;
         let fit = LinearFit::fit(&pts);
         let mut row = vec![scheme.label().to_string()];
         for (c, p) in BOOM_NAMES.iter().zip(&pts) {
@@ -278,16 +306,19 @@ pub fn fig10_report(grid: &GridResults) -> Report {
          ~1.0, STT-Issue flat-but-offset, STT-Rename degrading with width)\n{}",
         format_table(&rows)
     );
-    Report {
+    Ok(Report {
         text,
         csv: vec![("fig10.csv".into(), csv)],
-    }
+    })
 }
 
 /// Figure 1 + Table 3: performance = IPC × timing, with the halved-growth
 /// Redwood-Cove extrapolation.
-#[must_use]
-pub fn fig1_table3_report(grid: &GridResults) -> Report {
+///
+/// # Errors
+///
+/// Propagates grid-lookup failures.
+pub fn fig1_table3_report(grid: &GridResults) -> Result<Report, ExperimentError> {
     let paper: [(&str, [f64; 5]); 3] = [
         ("STT-Rename", [0.98, 0.93, 0.84, 0.65, 0.53]),
         ("STT-Issue", [0.98, 0.86, 0.81, 0.73, 0.62]),
@@ -305,11 +336,11 @@ pub fn fig1_table3_report(grid: &GridResults) -> Report {
     let mut csv = String::from("scheme,config,abs_ipc,performance\n");
     for (scheme, (_, paper_row)) in Scheme::secure().into_iter().zip(paper) {
         let perf = |c: &str, s: Scheme| {
-            grid.summary(c, s).mean_normalized_ipc() * relative_timing(&cfg(c), s)
+            Ok(grid.summary(c, s)?.mean_normalized_ipc() * relative_timing(&cfg(c)?, s))
         };
-        let pts = scheme_trend(grid, perf, scheme);
+        let pts = scheme_trend(grid, perf, scheme)?;
         let fit = LinearFit::fit(&pts);
-        let mega_ipc = grid.baseline_ipc("mega");
+        let mega_ipc = grid.baseline_ipc("mega")?;
         let intel = fit.predict_halved_growth(mega_ipc, INTEL_IPC);
         let mut row = vec![scheme.label().to_string()];
         for (c, p) in BOOM_NAMES.iter().zip(&pts) {
@@ -326,10 +357,10 @@ pub fn fig1_table3_report(grid: &GridResults) -> Report {
          growth Intel extrapolation\n{}",
         format_table(&rows)
     );
-    Report {
+    Ok(Report {
         text,
         csv: vec![("table3.csv".into(), csv)],
-    }
+    })
 }
 
 /// Table 4: area (LUT/FF) and power relative to baseline at the Mega
@@ -386,8 +417,11 @@ pub fn table4_report(spec: &RunSpec) -> Report {
 
 /// Table 5: IPC loss on Medium/Large/Mega (RTL fidelity) against gem5-like
 /// abstract-fidelity configurations.
-#[must_use]
-pub fn table5_report(grid: &GridResults, spec: &RunSpec) -> Report {
+///
+/// # Errors
+///
+/// Propagates grid-lookup failures.
+pub fn table5_report(grid: &GridResults, spec: &RunSpec) -> Result<Report, ExperimentError> {
     let paper: [(&str, f64, f64, f64); 3] = [
         ("medium", 7.3, 6.4, 10.7),
         ("large", 11.3, 10.0, 18.6),
@@ -403,11 +437,11 @@ pub fn table5_report(grid: &GridResults, spec: &RunSpec) -> Report {
     ]];
     let mut csv = String::from("config,baseline_ipc,stt_rename_loss,stt_issue_loss,nda_loss\n");
     for (name, pr, pi, pn) in paper {
-        let ipc = grid.baseline_ipc(name);
+        let ipc = grid.baseline_ipc(name)?;
         let losses: Vec<f64> = Scheme::secure()
             .iter()
-            .map(|&s| grid.summary(name, s).ipc_loss_percent())
-            .collect();
+            .map(|&s| Ok(grid.summary(name, s)?.ipc_loss_percent()))
+            .collect::<Result<_, ExperimentError>>()?;
         rows.push(vec![
             format!("BOOM {name}"),
             format!("{ipc:.2}"),
@@ -460,10 +494,10 @@ pub fn table5_report(grid: &GridResults, spec: &RunSpec) -> Report {
          fidelity)\n{}",
         format_table(&rows)
     );
-    Report {
+    Ok(Report {
         text,
         csv: vec![("table5.csv".into(), csv)],
-    }
+    })
 }
 
 /// §9.2: the exchange2 pathology — store-to-load forwarding errors per
@@ -621,7 +655,7 @@ mod tests {
 
     #[test]
     fn fig9_report_is_grid_free() {
-        let r = fig9_report();
+        let r = fig9_report().expect("grid-free report");
         assert!(r.text.contains("mega"));
         assert!(
             r.csv[0].1.lines().count() > 16,
@@ -646,14 +680,14 @@ mod tests {
             seed: 3,
         };
         for r in [
-            table1_report(&grid),
-            fig6_report(&grid),
-            fig7_report(&grid),
-            fig8_report(&grid),
-            fig10_report(&grid),
-            fig1_table3_report(&grid),
+            table1_report(&grid).unwrap(),
+            fig6_report(&grid).unwrap(),
+            fig7_report(&grid).unwrap(),
+            fig8_report(&grid).unwrap(),
+            fig10_report(&grid).unwrap(),
+            fig1_table3_report(&grid).unwrap(),
             table4_report(&spec),
-            table5_report(&grid, &spec),
+            table5_report(&grid, &spec).unwrap(),
             sec92_report(&spec),
         ] {
             assert!(!r.text.is_empty());

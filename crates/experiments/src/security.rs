@@ -29,7 +29,14 @@
 //! Any violated assertion turns into a failed [`ScenarioVerdict`] and a
 //! nonzero exit from `sb-experiments verify-security` — the CI tripwire
 //! that a taint-propagation regression cannot ship silently.
+//!
+//! The battery runs on the panic-isolated job pool ([`crate::jobs`]): a
+//! cell that panics, overruns its deadline, or is cancelled by the run
+//! budget becomes a [`JobError`] in [`SecurityVerdict::job_failures`]
+//! instead of taking down the whole verification, and the matrix report
+//! renders the surviving cells plus the failures.
 
+use crate::jobs::{self, JobCtx, JobError, JobFailure, JobPolicy};
 use crate::render::format_table;
 use crate::reports::Report;
 use sb_core::{Scheme, SchemeConfig, ThreatModel};
@@ -100,9 +107,14 @@ pub struct ScenarioVerdict {
 /// verdict.
 #[derive(Clone, Debug)]
 pub struct SecurityVerdict {
-    /// One verdict per cell, threat-model-major then battery-major.
+    /// One verdict per surviving cell, threat-model-major then
+    /// battery-major. Cells whose job failed are absent here and listed
+    /// in [`SecurityVerdict::job_failures`] instead.
     pub cells: Vec<ScenarioVerdict>,
-    /// Whether every cell passed.
+    /// Cells that never produced a verdict: panicked, deadline-exceeded,
+    /// or cancelled jobs, labelled `model/scenario/scheme`.
+    pub job_failures: Vec<JobError>,
+    /// Whether every cell ran to a verdict and every verdict passed.
     pub ok: bool,
 }
 
@@ -116,13 +128,38 @@ pub fn measure_leaks(
     threat_model: ThreatModel,
     scheduler: SchedulerKind,
 ) -> LeakMeasurement {
+    measure_leaks_in(kernel, scheme, threat_model, scheduler, None)
+        .expect("a run without a cancel token cannot be interrupted")
+}
+
+/// The cancellation-aware body of [`measure_leaks`]: with a [`JobCtx`]
+/// attached, the core run observes the job's cancel token and an
+/// interrupted or non-terminating run becomes a typed [`JobFailure`].
+fn measure_leaks_in(
+    kernel: &AttackKernel,
+    scheme: Scheme,
+    threat_model: ThreatModel,
+    scheduler: SchedulerKind,
+    ctx: Option<&JobCtx>,
+) -> Result<LeakMeasurement, JobFailure> {
     let mut config = CoreConfig::mega();
     config.scheduler = scheduler;
     let scheme_cfg = battery_scheme_config(scheme, threat_model);
     let mut core = Core::new(config, scheme_cfg, kernel.trace.clone());
+    if let Some(ctx) = ctx {
+        core.set_cancel_token(ctx.cancel.clone());
+    }
     core.memory_mut().attach_leakage_observer();
     core.memory_mut().attach_contention_observer();
-    core.run_to_completion(MAX_CYCLES);
+    core.run(MAX_CYCLES);
+    if core.interrupted() {
+        return Err(ctx.expect("only a token can interrupt").interruption());
+    }
+    assert!(
+        core.is_done(),
+        "battery kernel {} did not finish within {MAX_CYCLES} cycles",
+        kernel.trace.name()
+    );
     let leakage = core
         .memory()
         .leakage_observer()
@@ -131,16 +168,28 @@ pub fn measure_leaks(
         .memory()
         .contention_observer()
         .expect("observer attached before the run");
-    LeakMeasurement {
+    Ok(LeakMeasurement {
         slots: kernel.decode_transient_slots(leakage, contention),
         transient_changes: leakage.transient_changes().count(),
         transient_port_uses: contention.transient_port_uses(),
-    }
+    })
 }
 
+#[cfg(test)]
 fn judge(kernel: &AttackKernel, scheme: Scheme, threat_model: ThreatModel) -> ScenarioVerdict {
-    let wheel = measure_leaks(kernel, scheme, threat_model, SchedulerKind::EventWheel);
-    let reference = measure_leaks(kernel, scheme, threat_model, SchedulerKind::Reference);
+    judge_in(kernel, scheme, threat_model, None).expect("uncancellable judge cannot fail")
+}
+
+/// Judges one cell under a job's cancel token; both scheduler runs observe
+/// the token.
+fn judge_in(
+    kernel: &AttackKernel,
+    scheme: Scheme,
+    threat_model: ThreatModel,
+    ctx: Option<&JobCtx>,
+) -> Result<ScenarioVerdict, JobFailure> {
+    let wheel = measure_leaks_in(kernel, scheme, threat_model, SchedulerKind::EventWheel, ctx)?;
+    let reference = measure_leaks_in(kernel, scheme, threat_model, SchedulerKind::Reference, ctx)?;
     // Full-measurement equality: a divergence in the total transient
     // change count or port pressure (even outside the probe channel) is a
     // scheduler regression too, not just slot-set differences.
@@ -195,7 +244,7 @@ fn judge(kernel: &AttackKernel, scheme: Scheme, threat_model: ThreatModel) -> Sc
         }
     }
 
-    ScenarioVerdict {
+    Ok(ScenarioVerdict {
         scenario: kernel.trace.name().to_string(),
         scheme,
         threat_model,
@@ -205,26 +254,49 @@ fn judge(kernel: &AttackKernel, scheme: Scheme, threat_model: ThreatModel) -> Sc
         reference,
         scheduler_independent,
         failures,
-    }
+    })
 }
 
 /// Runs the whole threat-model × battery × scheme × scheduler grid and
-/// judges every cell.
+/// judges every cell, with the default job policy (no deadlines, no
+/// budget, no fault injection).
 #[must_use]
 pub fn verify_security(threat_models: &[ThreatModel]) -> SecurityVerdict {
+    verify_security_with(threat_models, &JobPolicy::default())
+}
+
+/// Runs the battery on the fault-tolerant job pool: each cell is one job
+/// (labelled `model/scenario/scheme`), panic-isolated and subject to the
+/// policy's deadlines, budget, retries, and fault plan. Failed cells are
+/// dropped from [`SecurityVerdict::cells`] and reported in
+/// [`SecurityVerdict::job_failures`]; `ok` requires both a clean run and
+/// all-pass verdicts.
+#[must_use]
+pub fn verify_security_with(threat_models: &[ThreatModel], policy: &JobPolicy) -> SecurityVerdict {
     let battery = attack_battery(BATTERY_SECRET);
-    let cells: Vec<ScenarioVerdict> = threat_models
+    let points: Vec<(ThreatModel, &AttackKernel, Scheme)> = threat_models
         .iter()
         .flat_map(|&model| {
-            battery.iter().flat_map(move |kernel| {
-                Scheme::all()
-                    .into_iter()
-                    .map(move |s| judge(kernel, s, model))
-            })
+            battery
+                .iter()
+                .flat_map(move |kernel| Scheme::all().into_iter().map(move |s| (model, kernel, s)))
         })
         .collect();
-    let ok = cells.iter().all(|c| c.pass);
-    SecurityVerdict { cells, ok }
+    let labels: Vec<String> = points
+        .iter()
+        .map(|(model, kernel, scheme)| format!("{model}/{}/{scheme}", kernel.trace.name()))
+        .collect();
+    let report = jobs::run_batch(&labels, policy, |ctx| {
+        let (model, kernel, scheme) = points[ctx.index];
+        judge_in(kernel, scheme, model, Some(ctx))
+    });
+    let cells: Vec<ScenarioVerdict> = report.results.into_iter().flatten().collect();
+    let ok = report.failures.is_empty() && cells.iter().all(|c| c.pass);
+    SecurityVerdict {
+        cells,
+        job_failures: report.failures,
+        ok,
+    }
 }
 
 /// Renders the verdict as one leak-count matrix per threat model (plus a
@@ -278,10 +350,15 @@ pub fn security_matrix_report(verdict: &SecurityVerdict) -> Report {
         for scenario in &scenarios {
             let mut row = vec![scenario.clone()];
             for scheme in Scheme::all() {
-                let cell = model_cells
+                // A degraded run (panicked/cancelled cell) leaves holes in
+                // the matrix: render them instead of crashing the report.
+                let Some(cell) = model_cells
                     .iter()
                     .find(|c| &c.scenario == scenario && c.scheme == scheme)
-                    .expect("full matrix");
+                else {
+                    row.push("(no result)".into());
+                    continue;
+                };
                 row.push(format!(
                     "{} leak{}{} {}",
                     cell.wheel.slots.len(),
@@ -317,6 +394,12 @@ pub fn security_matrix_report(verdict: &SecurityVerdict) -> Report {
         let _ = write!(text, "{}", format_table(&rows));
         text.push('\n');
     }
+    failures.extend(
+        verdict
+            .job_failures
+            .iter()
+            .map(|e| format!("  job failed: {e}")),
+    );
     if verdict.ok {
         text.push_str(
             "VERIFIED: baseline leaks on all scenarios, secure schemes on \
@@ -597,6 +680,48 @@ mod tests {
             65,
             "header + 64 matrix cells"
         );
+    }
+
+    #[test]
+    fn a_panicking_cell_degrades_to_a_job_failure() {
+        use crate::faults::FaultPlan;
+        let policy = JobPolicy {
+            faults: Some(FaultPlan::parse("panic@0").unwrap()),
+            ..JobPolicy::default()
+        };
+        let verdict = verify_security_with(&[ThreatModel::Spectre], &policy);
+        assert!(!verdict.ok, "a lost cell must fail the verdict");
+        assert_eq!(verdict.cells.len(), 31, "31 of 32 cells survive");
+        assert_eq!(verdict.job_failures.len(), 1);
+        let err = &verdict.job_failures[0];
+        assert_eq!(err.index, 0);
+        assert!(
+            err.label.starts_with("spectre/spectre-v1/"),
+            "label carries model/scenario/scheme: {}",
+            err.label
+        );
+        // Every surviving cell still passes on its own merits.
+        assert!(verdict.cells.iter().all(|c| c.pass));
+        let report = security_matrix_report(&verdict);
+        assert!(report.text.contains("(no result)"), "{}", report.text);
+        assert!(report.text.contains("FAILED"));
+        assert!(report.text.contains("injected fault: panic@0"));
+    }
+
+    #[test]
+    fn a_zero_budget_cancels_every_cell() {
+        let policy = JobPolicy {
+            run_budget: Some(std::time::Duration::ZERO),
+            ..JobPolicy::default()
+        };
+        let verdict = verify_security_with(&[ThreatModel::Spectre], &policy);
+        assert!(!verdict.ok);
+        assert!(verdict.cells.is_empty(), "no cell may produce a verdict");
+        assert_eq!(verdict.job_failures.len(), 32);
+        assert!(verdict
+            .job_failures
+            .iter()
+            .all(|e| matches!(e.cause, JobFailure::Cancelled)));
     }
 
     #[test]

@@ -55,6 +55,13 @@ impl fmt::Display for SchedulerKind {
     }
 }
 
+/// Bumped whenever a simulator change alters `SimStats` for *any*
+/// (configuration, trace) pair, so persisted result caches keyed through
+/// [`CoreConfig::fingerprint`] invalidate instead of serving statistics an
+/// older simulator produced. (The golden-stats differential suite catches
+/// unintended behavior changes; intended ones must bump this.)
+pub const SIM_RESULTS_REVISION: u64 = 1;
+
 /// A core design point.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CoreConfig {
@@ -236,6 +243,55 @@ impl CoreConfig {
         }
     }
 
+    /// A stable fingerprint of everything in the configuration that
+    /// determines simulation *results* — every pipeline resource, latency
+    /// and the full memory-hierarchy geometry, plus [`SIM_RESULTS_REVISION`]
+    /// — so a persisted result store (`sb-experiments`' stats cache) keyed
+    /// by it can never serve statistics produced under different
+    /// parameters or by an older simulator.
+    ///
+    /// [`CoreConfig::scheduler`] is deliberately *excluded*: both
+    /// schedulers produce bit-identical `SimStats` (proven by the
+    /// golden-stats differential suite), so memoized results are valid
+    /// across them by construction.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let fold = |h: u64, v: u64| (h ^ v).wrapping_mul(0x100_0000_01b3);
+        let mut h = self
+            .name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| fold(h, u64::from(b)));
+        h = fold(h, SIM_RESULTS_REVISION);
+        for v in [
+            self.width as u64,
+            self.mem_ports as u64,
+            self.rob_entries as u64,
+            self.iq_entries as u64,
+            self.lq_entries as u64,
+            self.sq_entries as u64,
+            self.phys_regs as u64,
+            self.max_br_tags as u64,
+            u64::from(self.redirect_penalty),
+            u64::from(self.dispatch_latency),
+            match self.fidelity {
+                Fidelity::Rtl => 1,
+                Fidelity::Abstract => 2,
+            },
+        ] {
+            h = fold(h, v);
+        }
+        for cache in [&self.hierarchy.l1d, &self.hierarchy.l2] {
+            h = fold(h, cache.sets as u64);
+            h = fold(h, cache.ways as u64);
+            h = fold(h, cache.line_bytes as u64);
+            h = fold(h, u64::from(cache.latency));
+        }
+        h = fold(h, u64::from(self.hierarchy.dram_latency));
+        h = fold(h, self.hierarchy.l1_prefetch_degree as u64);
+        h = fold(h, self.hierarchy.l2_prefetch_degree as u64);
+        h
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -301,6 +357,74 @@ mod tests {
         let mut c = CoreConfig::small();
         c.width = 0;
         c.validate();
+    }
+
+    #[test]
+    fn fingerprint_covers_every_result_determining_field() {
+        let base = CoreConfig::mega().fingerprint();
+        let mutations: Vec<CoreConfig> = vec![
+            {
+                let mut c = CoreConfig::mega();
+                c.width = 5;
+                c
+            },
+            {
+                let mut c = CoreConfig::mega();
+                c.rob_entries = 256;
+                c
+            },
+            {
+                let mut c = CoreConfig::mega();
+                c.redirect_penalty += 1;
+                c
+            },
+            {
+                let mut c = CoreConfig::mega();
+                c.hierarchy.dram_latency += 1;
+                c
+            },
+            {
+                let mut c = CoreConfig::mega();
+                c.hierarchy.l1d.latency += 1;
+                c
+            },
+            {
+                let mut c = CoreConfig::mega();
+                c.hierarchy.l2_prefetch_degree += 1;
+                c
+            },
+            {
+                let mut c = CoreConfig::mega();
+                c.fidelity = Fidelity::Abstract;
+                c
+            },
+        ];
+        for m in &mutations {
+            assert_ne!(
+                m.fingerprint(),
+                base,
+                "a result-determining change must move the fingerprint"
+            );
+        }
+        // Distinct presets never collide with each other either.
+        let fps: Vec<u64> = CoreConfig::boom_sweep()
+            .iter()
+            .map(CoreConfig::fingerprint)
+            .collect();
+        for (i, a) in fps.iter().enumerate() {
+            for b in &fps[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_the_scheduler_kind() {
+        // Both schedulers produce bit-identical SimStats (golden-stats
+        // suite), so memoized results are shared across them on purpose.
+        let mut c = CoreConfig::mega();
+        c.scheduler = SchedulerKind::Reference;
+        assert_eq!(c.fingerprint(), CoreConfig::mega().fingerprint());
     }
 
     #[test]

@@ -309,6 +309,13 @@ pub struct Core {
 
     stats: SimStats,
     done: bool,
+
+    /// Cooperative cancellation: polled every
+    /// [`crate::cancel::CANCEL_POLL_CYCLES`] cycles inside [`Core::run`].
+    cancel: Option<crate::cancel::CancelToken>,
+    /// Set when a run stopped because the token read as cancelled (as
+    /// opposed to finishing or exhausting `max_cycles`).
+    interrupted: bool,
 }
 
 impl Core {
@@ -362,6 +369,8 @@ impl Core {
             br_tags_used: 0,
             stats: SimStats::new(),
             done: false,
+            cancel: None,
+            interrupted: false,
             scheduler,
             config,
             scheme_cfg,
@@ -444,10 +453,48 @@ impl Core {
         self.cycle
     }
 
-    /// Runs until the trace is fully committed or `max_cycles` elapse.
+    /// Attaches a cooperative cancellation token: [`Core::run`] polls it
+    /// every [`crate::cancel::CANCEL_POLL_CYCLES`] cycles and stops early
+    /// (setting [`Core::interrupted`]) once it reads as cancelled. A job
+    /// runner uses this to enforce soft per-job deadlines and batch-wide
+    /// run budgets without preemption.
+    pub fn set_cancel_token(&mut self, token: crate::cancel::CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Whether the last [`Core::run`] stopped because the attached
+    /// cancellation token fired (rather than finishing the trace or
+    /// exhausting its cycle limit).
+    #[must_use]
+    pub fn interrupted(&self) -> bool {
+        self.interrupted
+    }
+
+    /// Runs until the trace is fully committed, `max_cycles` elapse, or an
+    /// attached [`crate::cancel::CancelToken`] reads as cancelled (polled
+    /// at cycle-batch granularity; see [`Core::set_cancel_token`]).
     pub fn run(&mut self, max_cycles: u64) -> &SimStats {
+        let Some(token) = self.cancel.clone() else {
+            // No token attached: the loop stays branch-free on the poll
+            // (the common path for tests and single-shot runs).
+            while !self.done && self.cycle < max_cycles {
+                self.step();
+            }
+            return &self.stats;
+        };
+        self.interrupted = false;
+        let mut next_poll = self.cycle + crate::cancel::CANCEL_POLL_CYCLES;
         while !self.done && self.cycle < max_cycles {
             self.step();
+            // `>=` rather than `==`: idle fast-forward can jump the cycle
+            // counter past any particular value.
+            if self.cycle >= next_poll {
+                if token.is_cancelled() {
+                    self.interrupted = true;
+                    break;
+                }
+                next_poll = self.cycle + crate::cancel::CANCEL_POLL_CYCLES;
+            }
         }
         &self.stats
     }

@@ -29,6 +29,7 @@
 //! assert_eq!(stats.committed.get(), 2);
 //! ```
 
+pub mod cancel;
 mod config;
 mod core;
 mod frontend;
@@ -39,7 +40,8 @@ mod rob;
 mod sched;
 
 pub use crate::core::Core;
-pub use config::{CoreConfig, Fidelity, SchedulerKind};
+pub use cancel::{CancelToken, CANCEL_POLL_CYCLES};
+pub use config::{CoreConfig, Fidelity, SchedulerKind, SIM_RESULTS_REVISION};
 pub use frontend::{Fetched, Frontend};
 pub use inst::{ColdInst, HotInst, Phase};
 pub use memdep::MemDepPredictor;

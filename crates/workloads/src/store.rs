@@ -38,6 +38,54 @@ pub const TRACE_CACHE_ENV: &str = "SB_TRACE_CACHE";
 /// Distinguishes concurrent writers' temporary files within one process.
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// Resolves a cache directory from an environment variable with the
+/// `SB_TRACE_CACHE` semantics every persistent store in this workspace
+/// shares (`sb-experiments`' stats cache reuses this directly so the two
+/// knobs can never drift): unset, empty, or whitespace-only means
+/// `default_dir`; `0`/`off` (any case, whitespace-trimmed) disables the
+/// store (`None`); anything else redirects to that path.
+#[must_use]
+pub fn cache_dir_from_env(var: &str, default_dir: impl FnOnce() -> PathBuf) -> Option<PathBuf> {
+    match std::env::var(var) {
+        // Match on the trimmed value throughout: `" 0"` or `"0\n"`
+        // (trailing newline from a shell wrapper) must disable the
+        // store, not become a whitespace-named cache directory.
+        Ok(v) => match v.trim() {
+            t if t == "0" || t.eq_ignore_ascii_case("off") => None,
+            "" => Some(default_dir()),
+            dir => Some(PathBuf::from(dir)),
+        },
+        Err(_) => Some(default_dir()),
+    }
+}
+
+/// The filename stem every content-addressed store in this workspace keys
+/// entries by: sanitized workload name, ops, seed and content
+/// fingerprint. Distinct raw names that sanitize identically get a hash
+/// suffix so the two keys don't perpetually evict each other. Callers
+/// append their own `-v{version}.{ext}` suffix ([`TraceStore::path_for`];
+/// `sb-experiments`' stats store does the same with its own format
+/// version, so trace keys and stats keys stay structurally identical).
+#[must_use]
+pub fn cache_entry_stem(name: &str, ops: usize, seed: u64, fp: u64) -> String {
+    let mut sanitized: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if sanitized != name {
+        #[allow(clippy::cast_possible_truncation)]
+        let name_hash = crate::fnv::hash_str(name) as u32;
+        sanitized.push_str(&format!("_{name_hash:08x}"));
+    }
+    format!("{sanitized}-{ops}-{seed:016x}-{fp:016x}")
+}
+
 /// A directory of serialized traces keyed by
 /// `(workload name, ops, seed, format version)`.
 #[derive(Clone, Debug)]
@@ -63,17 +111,7 @@ impl TraceStore {
     /// cwd-relative `""`) nor a silent disable.
     #[must_use]
     pub fn from_env() -> Option<TraceStore> {
-        match std::env::var(TRACE_CACHE_ENV) {
-            // Match on the trimmed value throughout: `" 0"` or `"0\n"`
-            // (trailing newline from a shell wrapper) must disable the
-            // store, not become a whitespace-named cache directory.
-            Ok(v) => match v.trim() {
-                t if t == "0" || t.eq_ignore_ascii_case("off") => None,
-                "" => Some(TraceStore::new(Self::default_dir())),
-                dir => Some(TraceStore::new(dir)),
-            },
-            Err(_) => Some(TraceStore::new(Self::default_dir())),
-        }
+        cache_dir_from_env(TRACE_CACHE_ENV, Self::default_dir).map(TraceStore::new)
     }
 
     /// The default cache directory: `$CARGO_TARGET_DIR/trace-cache` when
@@ -105,26 +143,9 @@ impl TraceStore {
     /// whose content is fixed by the build (e.g. attack kernels).
     #[must_use]
     pub fn path_for(&self, name: &str, ops: usize, seed: u64, fp: u64) -> PathBuf {
-        let mut sanitized: String = name
-            .chars()
-            .map(|c| {
-                if c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_') {
-                    c
-                } else {
-                    '_'
-                }
-            })
-            .collect();
-        if sanitized != name {
-            // Distinct raw names may sanitize identically; disambiguate so
-            // the two keys don't perpetually evict each other.
-            #[allow(clippy::cast_possible_truncation)]
-            let name_hash = crate::fnv::hash_str(name) as u32;
-            sanitized.push_str(&format!("_{name_hash:08x}"));
-        }
-        self.dir.join(format!(
-            "{sanitized}-{ops}-{seed:016x}-{fp:016x}-v{TRACE_FORMAT_VERSION}.sbtrace"
-        ))
+        let stem = cache_entry_stem(name, ops, seed, fp);
+        self.dir
+            .join(format!("{stem}-v{TRACE_FORMAT_VERSION}.sbtrace"))
     }
 
     /// Loads the cached trace for a key, or `None` on miss or on *any*
