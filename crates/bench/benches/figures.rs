@@ -66,22 +66,24 @@ fn bench_fig7_fig8(c: &mut Criterion) {
 }
 
 fn bench_fig9_fig10(c: &mut Criterion) {
+    let configs = CoreConfig::boom_sweep();
     c.bench_function("fig9_timing_model", |b| {
-        b.iter(|| black_box(fig9_report()));
+        b.iter(|| black_box(fig9_report(&configs)));
     });
     let grid = small_grid();
     c.bench_function("fig10_relative_timing_trend", |b| {
-        b.iter(|| black_box(fig10_report(&grid)));
+        b.iter(|| black_box(fig10_report(&grid, &configs)));
     });
 }
 
 fn bench_table3(c: &mut Criterion) {
+    let configs = CoreConfig::boom_sweep();
     let grid = small_grid();
     c.bench_function("fig1_table3_performance", |b| {
-        b.iter(|| black_box(fig1_table3_report(&grid)));
+        b.iter(|| black_box(fig1_table3_report(&grid, &configs)));
     });
     c.bench_function("table1_render", |b| {
-        b.iter(|| black_box(table1_report(&grid)));
+        b.iter(|| black_box(table1_report(&grid, &configs)));
     });
 }
 

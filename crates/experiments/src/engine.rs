@@ -55,6 +55,15 @@ pub enum ExperimentError {
         /// Requested scheme.
         scheme: Scheme,
     },
+    /// A figure's trend line could not be fitted: after a degraded run (or
+    /// on a one-config sweep) fewer than two usable points remain, or every
+    /// surviving configuration has the same baseline IPC.
+    DegenerateTrend {
+        /// Scheme whose trend was requested.
+        scheme: Scheme,
+        /// The underlying fit failure.
+        reason: sb_stats::TrendError,
+    },
     /// The point ran but some of its benchmarks failed, so suite-level
     /// summaries would silently average over a partial basket.
     IncompleteSuite {
@@ -85,6 +94,11 @@ impl std::fmt::Display for ExperimentError {
                 f,
                 "suite ({config}, {scheme}) is incomplete: {have} of {want} \
                  benchmarks produced results"
+            ),
+            ExperimentError::DegenerateTrend { scheme, reason } => write!(
+                f,
+                "trend for {scheme} is degenerate: {reason} (need at least \
+                 two configurations with distinct baseline IPC)"
             ),
         }
     }
@@ -122,7 +136,7 @@ pub fn bench_trace(profile: &WorkloadProfile, spec: &RunSpec) -> sb_isa::Trace {
 /// The per-benchmark seed `bench_trace` generates with — also the seed
 /// component of the point's stats-store key, so trace identity and result
 /// identity are keyed consistently.
-fn bench_seed(profile: &WorkloadProfile, spec: &RunSpec) -> u64 {
+pub(crate) fn bench_seed(profile: &WorkloadProfile, spec: &RunSpec) -> u64 {
     spec.seed ^ fxhash(profile.name)
 }
 
@@ -165,7 +179,31 @@ fn run_bench_cancellable(
     trace: sb_isa::Trace,
     ctx: &JobCtx,
 ) -> Result<(BenchResult, SimStats), JobFailure> {
-    let mut core = Core::with_scheme(config.clone(), scheme, trace);
+    let core = Core::with_scheme(config.clone(), scheme, trace);
+    finish_cancellable(core, config, profile, ctx)
+}
+
+/// [`run_bench_cancellable`] with an explicit scheme configuration — the
+/// sweep's job body, where the threat model is an axis rather than the
+/// fidelity-derived default.
+pub(crate) fn run_scheme_cfg_cancellable(
+    config: &CoreConfig,
+    scheme_cfg: sb_core::SchemeConfig,
+    profile: &WorkloadProfile,
+    trace: sb_isa::Trace,
+    ctx: &JobCtx,
+) -> Result<(BenchResult, SimStats), JobFailure> {
+    let core = Core::new(config.clone(), scheme_cfg, trace);
+    finish_cancellable(core, config, profile, ctx)
+}
+
+fn finish_cancellable(
+    mut core: Core,
+    config: &CoreConfig,
+    profile: &WorkloadProfile,
+    ctx: &JobCtx,
+) -> Result<(BenchResult, SimStats), JobFailure> {
+    let scheme = core.scheme();
     core.set_cancel_token(ctx.cancel.clone());
     core.run(MAX_CYCLES);
     if core.interrupted() {
@@ -209,12 +247,25 @@ pub fn run_suite(config: &CoreConfig, scheme: Scheme, spec: &RunSpec) -> Vec<Ben
 pub struct GridResults {
     /// `(config name, scheme)` → per-benchmark rows (survivors only).
     suites: HashMap<(String, Scheme), Vec<BenchResult>>,
+    /// Configuration names actually in the grid, in run order — the list
+    /// report builders iterate instead of hardwiring the BOOM names.
+    configs: Vec<String>,
     /// Rows a complete suite must have (0 = accept any, for hand-built
     /// grids in tests).
     benchmarks: usize,
 }
 
 impl GridResults {
+    /// The configuration names this grid was run over, in run order.
+    ///
+    /// Report builders derive their rows and trend points from this list,
+    /// so a grid built from any config set (not just the four BOOM points)
+    /// reports exactly the configurations it actually contains.
+    #[must_use]
+    pub fn configs(&self) -> &[String] {
+        &self.configs
+    }
+
     /// Looks up one suite.
     ///
     /// # Errors
@@ -401,6 +452,7 @@ pub fn run_grid_with(
     });
     let mut grid = GridResults {
         suites: HashMap::new(),
+        configs: configs.iter().map(|c| c.name.to_string()).collect(),
         benchmarks: profiles.len(),
     };
     for (pi, (config, scheme)) in points.iter().enumerate() {

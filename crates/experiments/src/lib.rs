@@ -7,6 +7,7 @@
 //! trace lengths.
 
 pub mod bench;
+pub mod dse;
 mod engine;
 pub mod faults;
 pub mod jobs;

@@ -8,6 +8,9 @@
 //! sb-experiments bench [--ops N] [--seed S] [--bench-json PATH]
 //! sb-experiments verify-security [--out DIR] [--threat-model spectre|futuristic|both]
 //!                [--job-deadline SECS] [--run-budget SECS] [--inject-faults SPEC]
+//! sb-experiments sweep (--spec SPEC | --from-manifest PATH) [--top N] [--out DIR]
+//!                [--ops N] [--seed S] [--no-trace-cache] [--resume]
+//!                [--job-deadline SECS] [--run-budget SECS] [--inject-faults SPEC]
 //! ```
 //!
 //! Experiments: `table1 fig6 fig7 fig8 fig9 fig10 table3 table4 table5
@@ -53,9 +56,26 @@
 //! threat model and exits nonzero unless the Baseline leaks on every
 //! scenario while STT-Rename, STT-Issue and NDA leak on none the judged
 //! model claims — identically under both schedulers.
+//!
+//! `sweep` runs a declarative design-space sweep: `--spec` takes a
+//! whitespace-separated `key=value` list (axes like `rob=32..128:32
+//! width=2,4`, plus `base=`, `preset=boom|gem5`, `scheme=`,
+//! `threat=`, `replicates=`) and every expanded `(config, scheme,
+//! threat)` point runs the full benchmark suite over the same memoized,
+//! fault-tolerant job layer as the grid — `--resume` against a warm store
+//! re-simulates nothing. Results land in `--out` as `leaderboard.csv`
+//! (points ranked on the security-cost/IPC/area/power/frequency frontier,
+//! Pareto front marked, bootstrap confidence intervals over replicates)
+//! and `manifest.json` (the reproduction contract); `--from-manifest`
+//! re-runs a sweep from a manifest alone and reproduces the leaderboard
+//! byte for byte.
 
 use sb_core::ThreatModel;
 use sb_experiments::bench::{run_core_bench, BenchOptions};
+use sb_experiments::dse::{
+    leaderboard, leaderboard_csv, leaderboard_table, manifest_json, parse_manifest, run_sweep,
+    SweepSpec,
+};
 use sb_experiments::{
     fig10_report, fig1_table3_report, fig6_report, fig7_report, fig8_report, fig9_report,
     run_grid_with, sec92_report, security_matrix_report, security_report, table1_report,
@@ -74,7 +94,7 @@ const EXPERIMENT_NAMES: &[&str] = &[
 ];
 
 /// Subcommands: run alone, with their own flag sets.
-const SUBCOMMANDS: &[&str] = &["bench", "verify-security"];
+const SUBCOMMANDS: &[&str] = &["bench", "verify-security", "sweep"];
 
 const USAGE: &str =
     "usage: sb-experiments [--ops N] [--seed S] [--out DIR] [--no-trace-cache] [--resume]\n\
@@ -84,6 +104,13 @@ const USAGE: &str =
      or: sb-experiments bench [--ops N] [--seed S] [--bench-json PATH]\n\
      or: sb-experiments verify-security [--out DIR] [--threat-model spectre|futuristic|both]\n\
      \x20                     [--job-deadline SECS] [--run-budget SECS] [--inject-faults SPEC]\n\
+     or: sb-experiments sweep (--spec SPEC | --from-manifest PATH) [--top N] [--out DIR]\n\
+     \x20                     [--ops N] [--seed S] [--no-trace-cache] [--resume]\n\
+     \x20                     [--job-deadline SECS] [--run-budget SECS] [--inject-faults SPEC]\n\
+     sweep spec: key=value tokens — axes (rob width mem-ports iq lq sq phys-regs br-tags\n\
+     \x20  l1-sets l1-ways l2-sets l2-ways l1-prefetch l2-prefetch) with comma lists or a..b[:step]\n\
+     \x20  ranges, base=small|medium|large|mega|gem5-stt|gem5-nda, preset=boom|gem5,\n\
+     \x20  scheme=all|secure|<list>, threat=spectre|futuristic|both, replicates=N\n\
      traces are cached under target/trace-cache/ (SB_TRACE_CACHE=0 or --no-trace-cache disables)\n\
      grid stats are cached under target/stats-cache/ (SB_STATS_CACHE=0 disables; --resume reads \
      them back)\n\
@@ -97,6 +124,9 @@ struct Args {
     bench_json: PathBuf,
     experiments: Vec<String>,
     threat_models: Vec<ThreatModel>,
+    sweep_spec: Option<String>,
+    from_manifest: Option<PathBuf>,
+    top: Option<usize>,
     no_trace_cache: bool,
     resume: bool,
     job_deadline: Option<Duration>,
@@ -146,6 +176,9 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut bench_json = PathBuf::from("BENCH_core.json");
     let mut experiments = Vec::new();
     let mut threat_models = ThreatModel::all().to_vec();
+    let mut sweep_spec = None;
+    let mut from_manifest = None;
+    let mut top = None;
     let mut no_trace_cache = false;
     let mut resume = false;
     let mut job_deadline = None;
@@ -176,6 +209,20 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
             "--threat-model" => {
                 threat_models = parse_threat_models(it.next())?;
                 flags_given.push("--threat-model");
+            }
+            "--spec" => {
+                sweep_spec = Some(it.next().ok_or("--spec requires a value")?);
+                flags_given.push("--spec");
+            }
+            "--from-manifest" => {
+                from_manifest = Some(PathBuf::from(
+                    it.next().ok_or("--from-manifest requires a value")?,
+                ));
+                flags_given.push("--from-manifest");
+            }
+            "--top" => {
+                top = Some(flag_value("--top", it.next())?);
+                flags_given.push("--top");
             }
             "--no-trace-cache" => {
                 no_trace_cache = true;
@@ -241,6 +288,21 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
         let accepted: &[&str] = match sub {
             // bench measures raw throughput: no job layer, no store.
             "bench" => &["--ops", "--seed", "--bench-json"],
+            // sweep has the full grid machinery: job layer, both caches,
+            // resume — plus its own spec/manifest/top flags.
+            "sweep" => &[
+                "--spec",
+                "--from-manifest",
+                "--top",
+                "--out",
+                "--ops",
+                "--seed",
+                "--no-trace-cache",
+                "--resume",
+                "--job-deadline",
+                "--run-budget",
+                "--inject-faults",
+            ],
             // verify-security runs on the job layer but has no stats
             // store, so --resume stays rejected.
             _ => &[
@@ -269,6 +331,9 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
         for (flag, owner) in [
             ("--threat-model", "verify-security"),
             ("--bench-json", "bench"),
+            ("--spec", "sweep"),
+            ("--from-manifest", "sweep"),
+            ("--top", "sweep"),
         ] {
             if flags_given.contains(&flag) {
                 return Err(format!(
@@ -278,6 +343,30 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
             }
         }
     }
+    // The sweep's inputs are mutually exclusive ways of naming the same
+    // run: a manifest *is* the spec+ops+seed bundle, so combining it with
+    // any of them would silently reproduce something else.
+    if experiments.iter().any(|e| e == "sweep") {
+        match (&sweep_spec, &from_manifest) {
+            (Some(_), Some(_)) => {
+                return Err("--spec and --from-manifest are mutually exclusive".into())
+            }
+            (None, None) => {
+                return Err("'sweep' requires --spec or --from-manifest".into());
+            }
+            (None, Some(_)) => {
+                for flag in ["--ops", "--seed"] {
+                    if flags_given.contains(&flag) {
+                        return Err(format!(
+                            "{flag} conflicts with --from-manifest (the manifest records \
+                             its own parameters)"
+                        ));
+                    }
+                }
+            }
+            (Some(_), None) => {}
+        }
+    }
     Ok(Args {
         spec,
         ops_overridden,
@@ -285,6 +374,9 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
         bench_json,
         experiments,
         threat_models,
+        sweep_spec,
+        from_manifest,
+        top,
         no_trace_cache,
         resume,
         job_deadline,
@@ -353,6 +445,87 @@ fn run_verify_security(args: &Args, policy: &JobPolicy) {
     }
 }
 
+/// The `sweep` subcommand: expand the spec (or re-load it from a
+/// manifest), run every design point over the memoized job layer, and
+/// write the ranked leaderboard plus the reproduction manifest.
+fn run_sweep_command(args: &Args, policy: &JobPolicy) {
+    let parse_fail = |msg: String| -> ! {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    };
+    let (spec, run) = match &args.from_manifest {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                parse_fail(format!("cannot read manifest {}: {e}", path.display()))
+            });
+            let params = parse_manifest(&text)
+                .unwrap_or_else(|e| parse_fail(format!("{}: {e}", path.display())));
+            (
+                params.spec,
+                RunSpec {
+                    ops: params.ops,
+                    seed: params.seed,
+                },
+            )
+        }
+        None => {
+            let raw = args.sweep_spec.as_deref().expect("enforced at parse");
+            let spec = SweepSpec::parse(raw)
+                .unwrap_or_else(|e| parse_fail(format!("invalid --spec: {e}")));
+            (spec, args.spec.clone())
+        }
+    };
+    // Expand early so a spec that only fails at expansion (invalid point,
+    // cross-product explosion) is still a parse error, not a late abort.
+    let points = spec
+        .points()
+        .unwrap_or_else(|e| parse_fail(format!("invalid sweep: {e}")));
+    eprintln!(
+        "running sweep: {} points x {} replicates x 22 benchmarks, {} uops each{}...",
+        points.len(),
+        spec.replicates(),
+        run.ops,
+        if args.resume { " (resume)" } else { "" }
+    );
+    let opts = RunOptions {
+        policy: policy.clone(),
+        resume: args.resume,
+        ..RunOptions::default()
+    };
+    let outcome = match run_sweep(&spec, &run, &opts) {
+        Ok(outcome) => outcome,
+        Err(e) => parse_fail(format!("invalid sweep: {e}")),
+    };
+    eprintln!(
+        "sweep: {} simulated, {} from cache, {} of {} failed",
+        outcome.report.simulated,
+        outcome.report.from_cache,
+        outcome.report.failures.len(),
+        outcome.report.total
+    );
+    if !outcome.report.ok() {
+        eprint!("{}", outcome.report.render_failures());
+    }
+    let rows = leaderboard(&outcome);
+    println!("{}", leaderboard_table(&rows, args.top));
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+    std::fs::write(args.out.join("leaderboard.csv"), leaderboard_csv(&rows))
+        .expect("write leaderboard csv");
+    std::fs::write(
+        args.out.join("manifest.json"),
+        manifest_json(&spec, &run, &outcome),
+    )
+    .expect("write manifest");
+    eprintln!(
+        "leaderboard.csv and manifest.json written to {}",
+        args.out.display()
+    );
+    if !outcome.report.ok() {
+        eprintln!("run degraded: rerun with --resume to fill in the missing points");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(args) => args,
@@ -384,6 +557,10 @@ fn main() {
         run_verify_security(&args, &policy);
         return;
     }
+    if args.experiments.iter().any(|e| e == "sweep") {
+        run_sweep_command(&args, &policy);
+        return;
+    }
     let all = args.experiments.iter().any(|e| e == "all");
     let wants = |name: &str| all || args.experiments.iter().any(|e| e == name);
 
@@ -393,6 +570,7 @@ fn main() {
     .iter()
     .any(|e| wants(e));
     let mut degraded = false;
+    let configs = CoreConfig::boom_sweep();
     let grid: Option<GridResults> = needs_grid.then(|| {
         eprintln!(
             "running grid: 4 configs x 4 schemes x 22 benchmarks, {} uops each{}...",
@@ -404,7 +582,7 @@ fn main() {
             resume: args.resume,
             ..RunOptions::default()
         };
-        let (grid, run) = run_grid_with(&CoreConfig::boom_sweep(), &args.spec, &opts);
+        let (grid, run) = run_grid_with(&configs, &args.spec, &opts);
         eprintln!(
             "grid: {} simulated, {} from cache, {} of {} failed",
             run.simulated,
@@ -430,7 +608,7 @@ fn main() {
         Err(e) => report_errors.push(format!("{name}: {e}")),
     };
     if wants("table1") {
-        push("table1", table1_report(grid.expect("grid")));
+        push("table1", table1_report(grid.expect("grid"), &configs));
     }
     if wants("fig6") {
         push("fig6", fig6_report(grid.expect("grid")));
@@ -442,13 +620,13 @@ fn main() {
         push("fig8", fig8_report(grid.expect("grid")));
     }
     if wants("fig9") {
-        push("fig9", fig9_report());
+        push("fig9", fig9_report(&configs));
     }
     if wants("fig10") {
-        push("fig10", fig10_report(grid.expect("grid")));
+        push("fig10", fig10_report(grid.expect("grid"), &configs));
     }
     if wants("table3") || wants("fig1") {
-        push("table3", fig1_table3_report(grid.expect("grid")));
+        push("table3", fig1_table3_report(grid.expect("grid"), &configs));
     }
     if wants("table4") {
         push("table4", Ok(table4_report(&args.spec)));
@@ -717,6 +895,89 @@ mod tests {
         );
         let err = parse(&["bench", "--resume"]).unwrap_err();
         assert!(err.contains("--resume"), "{err}");
+    }
+
+    #[test]
+    fn sweep_flags_parse() {
+        let a = parse(&[
+            "sweep",
+            "--spec",
+            "base=mega rob=64,128 scheme=secure",
+            "--top",
+            "10",
+            "--out",
+            "/tmp/sweep",
+            "--ops",
+            "4000",
+            "--resume",
+        ])
+        .unwrap();
+        assert_eq!(a.experiments, vec!["sweep"]);
+        assert_eq!(
+            a.sweep_spec.as_deref(),
+            Some("base=mega rob=64,128 scheme=secure")
+        );
+        assert_eq!(a.top, Some(10));
+        assert!(a.resume);
+        assert_eq!(a.spec.ops, 4000);
+        let a = parse(&["sweep", "--from-manifest", "/tmp/manifest.json"]).unwrap();
+        assert_eq!(a.from_manifest, Some(PathBuf::from("/tmp/manifest.json")));
+    }
+
+    #[test]
+    fn sweep_requires_exactly_one_input() {
+        let err = parse(&["sweep"]).unwrap_err();
+        assert!(
+            err.contains("--spec") && err.contains("--from-manifest"),
+            "{err}"
+        );
+        let err = parse(&[
+            "sweep",
+            "--spec",
+            "base=mega",
+            "--from-manifest",
+            "/tmp/m.json",
+        ])
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn manifest_reruns_reject_overriding_its_parameters() {
+        // The manifest records ops and seed; overriding either would
+        // silently reproduce a different sweep under the manifest's name.
+        let err = parse(&["sweep", "--from-manifest", "/tmp/m.json", "--ops", "9999"]).unwrap_err();
+        assert!(
+            err.contains("--ops") && err.contains("--from-manifest"),
+            "{err}"
+        );
+        let err = parse(&["sweep", "--from-manifest", "/tmp/m.json", "--seed", "3"]).unwrap_err();
+        assert!(err.contains("--seed"), "{err}");
+    }
+
+    #[test]
+    fn sweep_flags_are_rejected_outside_sweep() {
+        let err = parse(&["table1", "--spec", "base=mega"]).unwrap_err();
+        assert!(err.contains("--spec") && err.contains("sweep"), "{err}");
+        let err = parse(&["--top", "5"]).unwrap_err();
+        assert!(err.contains("--top") && err.contains("sweep"), "{err}");
+        let err = parse(&["bench", "--from-manifest", "/tmp/m.json"]).unwrap_err();
+        assert!(err.contains("--from-manifest"), "{err}");
+        // And sweep rejects flags it would silently ignore.
+        let err = parse(&["sweep", "--spec", "base=mega", "--threat-model", "both"]).unwrap_err();
+        assert!(err.contains("--threat-model"), "{err}");
+        let err = parse(&["sweep", "--spec", "base=mega", "--bench-json", "/tmp/b"]).unwrap_err();
+        assert!(err.contains("--bench-json"), "{err}");
+    }
+
+    #[test]
+    fn sweep_missing_values_fail_loudly() {
+        let err = parse(&["sweep", "--spec"]).unwrap_err();
+        assert!(err.contains("--spec requires a value"), "{err}");
+        let err = parse(&["sweep", "--from-manifest"]).unwrap_err();
+        assert!(err.contains("--from-manifest requires a value"), "{err}");
+        let err = parse(&["sweep", "--spec", "base=mega", "--top", "many"]).unwrap_err();
+        assert!(err.contains("--top") && err.contains("many"), "{err}");
     }
 
     #[test]

@@ -21,34 +21,40 @@ pub struct Report {
     pub csv: Vec<(String, String)>,
 }
 
-const BOOM_NAMES: [&str; 4] = ["small", "medium", "large", "mega"];
 /// Redwood Cove class SPEC2017 IPC the paper extrapolates to (Table 1).
 const INTEL_IPC: f64 = 2.03;
 
-/// Resolves a BOOM-sweep configuration by name.
-///
-/// # Errors
-///
-/// [`ExperimentError::UnknownConfig`] for names outside the sweep — what
-/// used to be a `panic!` deep inside a report function.
-fn cfg(name: &str) -> Result<CoreConfig, ExperimentError> {
+/// The paper's published baseline IPC for the four BOOM design points
+/// (Table 1) — looked up by name so grids over other configurations simply
+/// have no paper column instead of being misattributed a BOOM row.
+fn paper_ipc(name: &str) -> Option<f64> {
     match name {
-        "small" => Ok(CoreConfig::small()),
-        "medium" => Ok(CoreConfig::medium()),
-        "large" => Ok(CoreConfig::large()),
-        "mega" => Ok(CoreConfig::mega()),
-        other => Err(ExperimentError::UnknownConfig(other.to_string())),
+        "small" => Some(0.46),
+        "medium" => Some(0.60),
+        "large" => Some(0.943),
+        "mega" => Some(1.27),
+        _ => None,
     }
 }
 
-/// Table 1: configuration characteristics and measured baseline IPC.
+/// Maps a degenerate least-squares fit to the typed per-report error the
+/// CLI surfaces — what used to be an `assert!` panic deep inside
+/// `LinearFit::fit` when a degraded grid left fewer than two points.
+fn trend_fit(scheme: Scheme, pts: &[TrendPoint]) -> Result<LinearFit, ExperimentError> {
+    LinearFit::fit(pts).map_err(|reason| ExperimentError::DegenerateTrend { scheme, reason })
+}
+
+/// Table 1: configuration characteristics and measured baseline IPC, one
+/// row per configuration actually in the grid.
 ///
 /// # Errors
 ///
 /// Propagates grid-lookup failures (missing or incomplete suites after a
 /// degraded run) so the CLI reports them per report instead of crashing.
-pub fn table1_report(grid: &GridResults) -> Result<Report, ExperimentError> {
-    let paper_ipc = [0.46, 0.60, 0.943, 1.27];
+pub fn table1_report(
+    grid: &GridResults,
+    configs: &[CoreConfig],
+) -> Result<Report, ExperimentError> {
     let mut rows = vec![vec![
         "Config".to_string(),
         "Width".into(),
@@ -58,19 +64,27 @@ pub fn table1_report(grid: &GridResults) -> Result<Report, ExperimentError> {
         "IPC (measured)".into(),
     ]];
     let mut csv = String::from("config,width,mem_ports,rob,paper_ipc,measured_ipc\n");
-    for (name, paper) in BOOM_NAMES.iter().zip(paper_ipc) {
-        let c = cfg(name)?;
+    for c in configs {
+        let name = c.name;
         let ipc = grid.baseline_ipc(name)?;
+        let paper_cell = match paper_ipc(name) {
+            Some(p) => format!("{p:.3}"),
+            None => "-".into(),
+        };
+        let paper_csv = match paper_ipc(name) {
+            Some(p) => format!("{p}"),
+            None => String::new(),
+        };
         rows.push(vec![
             name.to_string(),
             c.width.to_string(),
             c.mem_ports.to_string(),
             c.rob_entries.to_string(),
-            format!("{paper:.3}"),
+            paper_cell,
             format!("{ipc:.3}"),
         ]);
         csv.push_str(&format!(
-            "{name},{},{},{},{paper},{ipc:.4}\n",
+            "{name},{},{},{},{paper_csv},{ipc:.4}\n",
             c.width, c.mem_ports, c.rob_entries
         ));
     }
@@ -147,22 +161,26 @@ pub fn fig6_report(grid: &GridResults) -> Result<Report, ExperimentError> {
 ///
 /// Propagates grid-lookup failures.
 pub fn fig7_report(grid: &GridResults) -> Result<Report, ExperimentError> {
+    let names = grid.configs();
     let mut text = String::from("Figure 7: normalized IPC across configurations\n");
     let mut csv = String::from("scheme,config,benchmark,normalized_ipc\n");
     for scheme in Scheme::secure() {
         let mut rows = vec![{
             let mut h = vec!["Benchmark".to_string()];
-            h.extend(BOOM_NAMES.iter().map(|s| s.to_string()));
+            h.extend(names.iter().cloned());
             h
         }];
-        let per_cfg: Vec<Vec<(String, f64)>> = BOOM_NAMES
+        let per_cfg: Vec<Vec<(String, f64)>> = names
             .iter()
             .map(|c| Ok(grid.summary(c, scheme)?.normalized_ipc()))
             .collect::<Result<_, ExperimentError>>()?;
+        if per_cfg.is_empty() {
+            continue;
+        }
         for (i, (bench, _)) in per_cfg[0].iter().enumerate() {
             let name = bench.clone();
             let mut row = vec![name.clone()];
-            for (ci, c) in BOOM_NAMES.iter().enumerate() {
+            for (ci, c) in names.iter().enumerate() {
                 let v = per_cfg[ci][i].1;
                 row.push(format!("{v:.3}"));
                 csv.push_str(&format!("{scheme},{c},{name},{v:.4}\n"));
@@ -170,7 +188,7 @@ pub fn fig7_report(grid: &GridResults) -> Result<Report, ExperimentError> {
             rows.push(row);
         }
         let mut mean = vec!["arithmetic-mean".to_string()];
-        for c in BOOM_NAMES {
+        for c in names {
             mean.push(format!(
                 "{:.3}",
                 grid.summary(c, scheme)?.mean_normalized_ipc()
@@ -185,12 +203,14 @@ pub fn fig7_report(grid: &GridResults) -> Result<Report, ExperimentError> {
     })
 }
 
+/// Trend points for `scheme` over the grid's actual configuration list
+/// (x = each configuration's absolute baseline IPC).
 fn scheme_trend(
     grid: &GridResults,
     value: impl Fn(&str, Scheme) -> Result<f64, ExperimentError>,
     scheme: Scheme,
 ) -> Result<Vec<TrendPoint>, ExperimentError> {
-    BOOM_NAMES
+    grid.configs()
         .iter()
         .map(|c| Ok(TrendPoint::new(grid.baseline_ipc(c)?, value(c, scheme)?)))
         .collect()
@@ -201,18 +221,17 @@ fn scheme_trend(
 ///
 /// # Errors
 ///
-/// Propagates grid-lookup failures.
+/// Propagates grid-lookup failures; [`ExperimentError::DegenerateTrend`]
+/// when fewer than two configurations (or none with distinct baseline IPC)
+/// survive to fit a line.
 pub fn fig8_report(grid: &GridResults) -> Result<Report, ExperimentError> {
-    let mut rows = vec![vec![
-        "Scheme".to_string(),
-        "small".into(),
-        "medium".into(),
-        "large".into(),
-        "mega".into(),
-        "slope".into(),
-        "R^2".into(),
-        "@IPC 2.03".into(),
-    ]];
+    let names = grid.configs();
+    let mut rows = vec![{
+        let mut h = vec!["Scheme".to_string()];
+        h.extend(names.iter().cloned());
+        h.extend(["slope".to_string(), "R^2".into(), "@IPC 2.03".into()]);
+        h
+    }];
     let mut csv = String::from("scheme,config,abs_ipc,rel_ipc\n");
     for scheme in Scheme::secure() {
         let pts = scheme_trend(
@@ -220,9 +239,9 @@ pub fn fig8_report(grid: &GridResults) -> Result<Report, ExperimentError> {
             |c, s| Ok(grid.summary(c, s)?.mean_normalized_ipc()),
             scheme,
         )?;
-        let fit = LinearFit::fit(&pts);
+        let fit = trend_fit(scheme, &pts)?;
         let mut row = vec![scheme.label().to_string()];
-        for (c, p) in BOOM_NAMES.iter().zip(&pts) {
+        for (c, p) in names.iter().zip(&pts) {
             row.push(format!("{:.3}", p.value));
             csv.push_str(&format!("{scheme},{c},{:.4},{:.4}\n", p.ipc, p.value));
         }
@@ -242,23 +261,26 @@ pub fn fig8_report(grid: &GridResults) -> Result<Report, ExperimentError> {
     })
 }
 
-/// Figure 9: achievable frequency (MHz) per configuration and scheme.
+/// Figure 9: achievable frequency (MHz) per configuration and scheme,
+/// over the actual configuration list (grid-free — the timing model needs
+/// no simulation results).
 ///
 /// # Errors
 ///
-/// Propagates configuration-lookup failures.
-pub fn fig9_report() -> Result<Report, ExperimentError> {
+/// Currently infallible; returns `Result` so the CLI treats every figure
+/// uniformly and future timing-model failures stay typed.
+pub fn fig9_report(configs: &[CoreConfig]) -> Result<Report, ExperimentError> {
     let mut rows = vec![{
         let mut h = vec!["Config".to_string()];
         h.extend(Scheme::all().iter().map(|s| s.label().to_string()));
         h
     }];
     let mut csv = String::from("config,scheme,mhz\n");
-    for name in BOOM_NAMES {
-        let c = cfg(name)?;
+    for c in configs {
+        let name = c.name;
         let mut row = vec![name.to_string()];
         for s in Scheme::all() {
-            let f = frequency_mhz(&c, s);
+            let f = frequency_mhz(c, s);
             row.push(format!("{f:.1}"));
             csv.push_str(&format!("{name},{s},{f:.2}\n"));
         }
@@ -279,24 +301,35 @@ pub fn fig9_report() -> Result<Report, ExperimentError> {
 ///
 /// # Errors
 ///
-/// Propagates grid-lookup failures.
-pub fn fig10_report(grid: &GridResults) -> Result<Report, ExperimentError> {
-    let mut rows = vec![vec![
-        "Scheme".to_string(),
-        "small".into(),
-        "medium".into(),
-        "large".into(),
-        "mega".into(),
-        "slope".into(),
-    ]];
+/// Propagates grid-lookup failures (a configuration absent from the grid
+/// is a [`ExperimentError::MissingGridPoint`]);
+/// [`ExperimentError::DegenerateTrend`] when too few points survive.
+pub fn fig10_report(grid: &GridResults, configs: &[CoreConfig]) -> Result<Report, ExperimentError> {
+    let mut rows = vec![{
+        let mut h = vec!["Scheme".to_string()];
+        h.extend(configs.iter().map(|c| c.name.to_string()));
+        h.push("slope".into());
+        h
+    }];
     let mut csv = String::from("scheme,config,abs_ipc,rel_timing\n");
     for scheme in Scheme::secure() {
-        let pts = scheme_trend(grid, |c, s| Ok(relative_timing(&cfg(c)?, s)), scheme)?;
-        let fit = LinearFit::fit(&pts);
+        let pts: Vec<TrendPoint> = configs
+            .iter()
+            .map(|c| {
+                Ok(TrendPoint::new(
+                    grid.baseline_ipc(c.name)?,
+                    relative_timing(c, scheme),
+                ))
+            })
+            .collect::<Result<_, ExperimentError>>()?;
+        let fit = trend_fit(scheme, &pts)?;
         let mut row = vec![scheme.label().to_string()];
-        for (c, p) in BOOM_NAMES.iter().zip(&pts) {
+        for (c, p) in configs.iter().zip(&pts) {
             row.push(format!("{:.3}", p.value));
-            csv.push_str(&format!("{scheme},{c},{:.4},{:.4}\n", p.ipc, p.value));
+            csv.push_str(&format!(
+                "{scheme},{},{:.4},{:.4}\n",
+                c.name, p.ipc, p.value
+            ));
         }
         row.push(format!("{:.3}", fit.slope));
         rows.push(row);
@@ -317,35 +350,47 @@ pub fn fig10_report(grid: &GridResults) -> Result<Report, ExperimentError> {
 ///
 /// # Errors
 ///
-/// Propagates grid-lookup failures.
-pub fn fig1_table3_report(grid: &GridResults) -> Result<Report, ExperimentError> {
+/// Propagates grid-lookup failures; [`ExperimentError::DegenerateTrend`]
+/// when too few points survive to extrapolate.
+pub fn fig1_table3_report(
+    grid: &GridResults,
+    configs: &[CoreConfig],
+) -> Result<Report, ExperimentError> {
     let paper: [(&str, [f64; 5]); 3] = [
         ("STT-Rename", [0.98, 0.93, 0.84, 0.65, 0.53]),
         ("STT-Issue", [0.98, 0.86, 0.81, 0.73, 0.62]),
         ("NDA", [1.01, 0.88, 0.80, 0.78, 0.66]),
     ];
-    let mut rows = vec![vec![
-        "Scheme".to_string(),
-        "small".into(),
-        "medium".into(),
-        "large".into(),
-        "mega".into(),
-        "Intel(est)".into(),
-        "paper row".into(),
-    ]];
+    let mut rows = vec![{
+        let mut h = vec!["Scheme".to_string()];
+        h.extend(configs.iter().map(|c| c.name.to_string()));
+        h.extend(["Intel(est)".to_string(), "paper row".into()]);
+        h
+    }];
     let mut csv = String::from("scheme,config,abs_ipc,performance\n");
     for (scheme, (_, paper_row)) in Scheme::secure().into_iter().zip(paper) {
-        let perf = |c: &str, s: Scheme| {
-            Ok(grid.summary(c, s)?.mean_normalized_ipc() * relative_timing(&cfg(c)?, s))
-        };
-        let pts = scheme_trend(grid, perf, scheme)?;
-        let fit = LinearFit::fit(&pts);
-        let mega_ipc = grid.baseline_ipc("mega")?;
-        let intel = fit.predict_halved_growth(mega_ipc, INTEL_IPC);
+        let pts: Vec<TrendPoint> = configs
+            .iter()
+            .map(|c| {
+                Ok(TrendPoint::new(
+                    grid.baseline_ipc(c.name)?,
+                    grid.summary(c.name, scheme)?.mean_normalized_ipc()
+                        * relative_timing(c, scheme),
+                ))
+            })
+            .collect::<Result<_, ExperimentError>>()?;
+        let fit = trend_fit(scheme, &pts)?;
+        // Halved growth beyond the last (widest) observed configuration —
+        // the paper anchors at Mega, the widest BOOM point.
+        let anchor_ipc = pts.last().map_or(INTEL_IPC, |p| p.ipc);
+        let intel = fit.predict_halved_growth(anchor_ipc, INTEL_IPC);
         let mut row = vec![scheme.label().to_string()];
-        for (c, p) in BOOM_NAMES.iter().zip(&pts) {
+        for (c, p) in configs.iter().zip(&pts) {
             row.push(format!("{:.2}", p.value));
-            csv.push_str(&format!("{scheme},{c},{:.4},{:.4}\n", p.ipc, p.value));
+            csv.push_str(&format!(
+                "{scheme},{},{:.4},{:.4}\n",
+                c.name, p.ipc, p.value
+            ));
         }
         row.push(format!("{intel:.2}"));
         row.push(format!("{paper_row:.2?}"));
@@ -636,7 +681,9 @@ pub fn security_report() -> Report {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::run_grid;
+    use crate::engine::{run_grid, run_grid_with, RunOptions};
+    use crate::jobs::JobPolicy;
+    use sb_stats::TrendError;
 
     fn tiny_grid() -> GridResults {
         run_grid(
@@ -653,13 +700,111 @@ mod tests {
         )
     }
 
+    /// A grid over an arbitrary config list, run without touching any
+    /// persistent store.
+    fn storeless_grid(configs: &[CoreConfig], ops: usize) -> GridResults {
+        let opts = RunOptions {
+            policy: JobPolicy::default(),
+            resume: false,
+            store: None,
+        };
+        let (grid, report) = run_grid_with(configs, &RunSpec { ops, seed: 3 }, &opts);
+        assert!(report.ok(), "{}", report.render_failures());
+        grid
+    }
+
     #[test]
     fn fig9_report_is_grid_free() {
-        let r = fig9_report().expect("grid-free report");
+        let r = fig9_report(&CoreConfig::boom_sweep()).expect("grid-free report");
         assert!(r.text.contains("mega"));
         assert!(
             r.csv[0].1.lines().count() > 16,
             "4 configs x 4 schemes + header"
+        );
+    }
+
+    #[test]
+    fn fig9_reports_exactly_the_given_configs() {
+        // Regression: fig9 used to hardwire the BOOM names and error on
+        // (or silently misreport) any other configuration list.
+        let r = fig9_report(&[CoreConfig::gem5_nda()]).unwrap();
+        assert!(r.text.contains("gem5-nda"), "{}", r.text);
+        assert!(!r.text.contains("mega"), "{}", r.text);
+    }
+
+    #[test]
+    fn one_config_trend_is_a_typed_error_not_a_panic() {
+        // Regression: `LinearFit::fit` asserted on <2 points, so fig8 on a
+        // one-config grid panicked the report builder instead of degrading
+        // per the typed-error contract. This test aborts on the old code.
+        let grid = storeless_grid(&[CoreConfig::small()], 1_000);
+        let err = fig8_report(&grid).unwrap_err();
+        assert_eq!(
+            err,
+            ExperimentError::DegenerateTrend {
+                scheme: Scheme::SttRename,
+                reason: TrendError::TooFewPoints { got: 1 },
+            },
+            "expected a typed degenerate-trend error"
+        );
+        assert!(err.to_string().contains("degenerate"), "{err}");
+        // The same contract holds for the other two trend reports.
+        let configs = [CoreConfig::small()];
+        assert!(matches!(
+            fig10_report(&grid, &configs),
+            Err(ExperimentError::DegenerateTrend { .. })
+        ));
+        assert!(matches!(
+            fig1_table3_report(&grid, &configs),
+            Err(ExperimentError::DegenerateTrend { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_grid_trend_is_a_typed_error() {
+        let err = fig8_report(&GridResults::default()).unwrap_err();
+        assert_eq!(
+            err,
+            ExperimentError::DegenerateTrend {
+                scheme: Scheme::SttRename,
+                reason: TrendError::TooFewPoints { got: 0 },
+            }
+        );
+    }
+
+    #[test]
+    fn non_boom_grid_reports_its_own_configs() {
+        // Regression: the trend reports used to hardwire the four BOOM
+        // names, so a grid over any other config set reported missing
+        // points. On the old code this fails with MissingGridPoint.
+        let configs = [CoreConfig::gem5_stt(), CoreConfig::gem5_nda()];
+        let grid = storeless_grid(&configs, 1_000);
+        assert_eq!(grid.configs(), ["gem5-stt", "gem5-nda"]);
+        let fig8 = fig8_report(&grid).unwrap();
+        assert!(fig8.text.contains("gem5-stt"), "{}", fig8.text);
+        assert!(fig8.csv[0].1.contains("gem5-nda"), "{}", fig8.csv[0].1);
+        let fig10 = fig10_report(&grid, &configs).unwrap();
+        assert!(fig10.text.contains("gem5-nda"), "{}", fig10.text);
+        let t3 = fig1_table3_report(&grid, &configs).unwrap();
+        assert!(t3.csv[0].1.contains("gem5-stt"), "{}", t3.csv[0].1);
+        // Table 1 has no paper IPC for non-BOOM configs: "-" in the table.
+        let t1 = table1_report(&grid, &configs).unwrap();
+        assert!(t1.text.contains('-'), "{}", t1.text);
+    }
+
+    #[test]
+    fn absent_config_is_a_clean_missing_point_error() {
+        // A config list naming a point the grid never ran must surface the
+        // typed MissingGridPoint error, not panic or misreport.
+        let grid = storeless_grid(&[CoreConfig::small()], 1_000);
+        let configs = [CoreConfig::small(), CoreConfig::mega()];
+        let err = fig10_report(&grid, &configs).unwrap_err();
+        assert_eq!(
+            err,
+            ExperimentError::MissingGridPoint {
+                config: "mega".into(),
+                scheme: Scheme::Baseline,
+            }
         );
     }
 
@@ -675,17 +820,18 @@ mod tests {
     #[ignore = "several seconds; run with --ignored or the binary"]
     fn full_reports_render() {
         let grid = tiny_grid();
+        let configs = CoreConfig::boom_sweep();
         let spec = RunSpec {
             ops: 2_000,
             seed: 3,
         };
         for r in [
-            table1_report(&grid).unwrap(),
+            table1_report(&grid, &configs).unwrap(),
             fig6_report(&grid).unwrap(),
             fig7_report(&grid).unwrap(),
             fig8_report(&grid).unwrap(),
-            fig10_report(&grid).unwrap(),
-            fig1_table3_report(&grid).unwrap(),
+            fig10_report(&grid, &configs).unwrap(),
+            fig1_table3_report(&grid, &configs).unwrap(),
             table4_report(&spec),
             table5_report(&grid, &spec).unwrap(),
             sec92_report(&spec),

@@ -1,0 +1,179 @@
+//! Property tests for the design-space-exploration layer (via the
+//! offline proptest shim): random sweep specifications must round-trip
+//! through their canonical form regardless of token order, and the
+//! percentile-bootstrap confidence interval must be deterministic per
+//! seed and bracket the sample mean within the sample range.
+
+use proptest::prelude::*;
+use sb_experiments::dse::{replicate_seed, SweepSpec};
+use sb_stats::bootstrap_ci;
+
+const BASES: &[&str] = &["small", "medium", "large", "mega", "gem5-stt", "gem5-nda"];
+
+const AXIS_KEYS: &[&str] = &[
+    "rob",
+    "width",
+    "mem-ports",
+    "iq",
+    "lq",
+    "sq",
+    "phys-regs",
+    "br-tags",
+    "l1-sets",
+    "l1-ways",
+    "l2-sets",
+    "l2-ways",
+    "l1-prefetch",
+    "l2-prefetch",
+];
+
+const SCHEME_SETS: &[&str] = &[
+    "baseline",
+    "nda",
+    "stt-rename,stt-issue",
+    "baseline,nda",
+    "all",
+    "secure",
+    "nda,baseline,nda",
+];
+
+const THREAT_SETS: &[&str] = &["spectre", "futuristic", "both", "futuristic,spectre"];
+
+/// Assembles a parseable spec string from drawn parts: a base, up to
+/// three distinct axes with small value lists (plus one `a..b:step`
+/// range), a scheme set, a threat set and a replicate count — then
+/// rotates the tokens so key order varies across cases.
+#[allow(clippy::too_many_arguments)]
+fn build_spec(
+    base: usize,
+    axes: std::collections::BTreeSet<usize>,
+    values: Vec<usize>,
+    range: (usize, usize, usize),
+    schemes: usize,
+    threats: usize,
+    replicates: usize,
+    rotate: usize,
+) -> String {
+    let mut tokens = vec![format!("base={}", BASES[base % BASES.len()])];
+    for (slot, axis) in axes.iter().enumerate() {
+        if slot == 0 {
+            // One axis gets an inclusive range with a step.
+            let (lo, span, step) = range;
+            tokens.push(format!(
+                "{}={}..{}:{}",
+                AXIS_KEYS[*axis],
+                lo,
+                lo + span,
+                step
+            ));
+        } else {
+            let list: Vec<String> = values.iter().map(|v| (v + slot).to_string()).collect();
+            tokens.push(format!("{}={}", AXIS_KEYS[*axis], list.join(",")));
+        }
+    }
+    tokens.push(format!(
+        "scheme={}",
+        SCHEME_SETS[schemes % SCHEME_SETS.len()]
+    ));
+    tokens.push(format!(
+        "threat={}",
+        THREAT_SETS[threats % THREAT_SETS.len()]
+    ));
+    tokens.push(format!("replicates={replicates}"));
+    let len = tokens.len();
+    tokens.rotate_left(rotate % len);
+    tokens.join(" ")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `parse(canonical(parse(s)))` is `parse(s)` exactly, and the
+    /// canonical string is a fixpoint — the property behind hashing the
+    /// canonical form into the sweep fingerprint.
+    #[test]
+    fn spec_round_trips_through_its_canonical_form(
+        parts in (
+            (0usize..6, prop::collection::btree_set(0usize..14, 0..4), prop::collection::vec(1usize..512, 1..4)),
+            ((1usize..64, 1usize..96, 1usize..32), 0usize..7, 0usize..4),
+            (1usize..33, 0usize..8),
+        )
+    ) {
+        let ((base, axes, values), (range, schemes, threats), (replicates, rotate)) = parts;
+        let input = build_spec(base, axes, values, range, schemes, threats, replicates, rotate);
+        let spec = SweepSpec::parse(&input)
+            .map_err(|e| TestCaseError::fail(format!("{input}: {e}")))?;
+        let canonical = spec.canonical();
+        let reparsed = SweepSpec::parse(&canonical)
+            .map_err(|e| TestCaseError::fail(format!("{canonical}: {e}")))?;
+        prop_assert_eq!(&reparsed, &spec, "canonical form must reparse to the same spec");
+        prop_assert_eq!(reparsed.canonical(), canonical, "canonical form must be a fixpoint");
+    }
+
+    /// Token order never changes the parsed spec: the same tokens under
+    /// any rotation yield the same canonical form.
+    #[test]
+    fn spec_parsing_is_token_order_independent(
+        parts in (
+            (0usize..6, prop::collection::btree_set(0usize..14, 0..4), prop::collection::vec(1usize..512, 1..4)),
+            ((1usize..64, 1usize..96, 1usize..32), 0usize..7, 0usize..4),
+            1usize..33,
+        )
+    ) {
+        let ((base, axes, values), (range, schemes, threats), replicates) = parts;
+        let a = build_spec(base, axes.clone(), values.clone(), range, schemes, threats, replicates, 0);
+        let b = build_spec(base, axes, values, range, schemes, threats, replicates, 3);
+        let spec_a = SweepSpec::parse(&a).map_err(|e| TestCaseError::fail(format!("{a}: {e}")))?;
+        let spec_b = SweepSpec::parse(&b).map_err(|e| TestCaseError::fail(format!("{b}: {e}")))?;
+        prop_assert_eq!(spec_a, spec_b);
+    }
+
+    /// The percentile bootstrap is deterministic per seed, brackets the
+    /// sample mean, and never leaves the sample range (resample means
+    /// are convex combinations of the samples).
+    #[test]
+    fn bootstrap_ci_is_deterministic_and_brackets_the_mean(
+        raw in prop::collection::vec(0u64..1_000_000, 1..24),
+        seed in 0u64..1_000,
+    ) {
+        let samples: Vec<f64> = raw.iter().map(|&v| v as f64 / 1_000.0).collect();
+        let ci = bootstrap_ci(&samples, 200, 0.95, seed);
+        let again = bootstrap_ci(&samples, 200, 0.95, seed);
+        prop_assert_eq!(ci.lo.to_bits(), again.lo.to_bits(), "CI must be deterministic per seed");
+        prop_assert_eq!(ci.hi.to_bits(), again.hi.to_bits());
+
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        prop_assert!(ci.lo <= ci.hi, "lo {} > hi {}", ci.lo, ci.hi);
+        prop_assert!(
+            ci.lo <= mean && mean <= ci.hi,
+            "CI [{}, {}] must bracket the mean {mean}",
+            ci.lo,
+            ci.hi
+        );
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(
+            ci.lo >= min && ci.hi <= max,
+            "CI [{}, {}] must stay within the sample range [{min}, {max}]",
+            ci.lo,
+            ci.hi
+        );
+    }
+
+    /// Replicate seeds: replicate 0 preserves the base seed (a
+    /// one-replicate sweep shares cache entries with the plain grid) and
+    /// all replicates of one base are pairwise distinct.
+    #[test]
+    fn replicate_seeds_are_distinct_and_anchor_at_the_base(base in 0u64..u64::MAX) {
+        prop_assert_eq!(replicate_seed(base, 0), base);
+        let seeds: Vec<u64> = (0..32).map(|r| replicate_seed(base, r)).collect();
+        for i in 0..seeds.len() {
+            for j in i + 1..seeds.len() {
+                prop_assert!(
+                    seeds[i] != seeds[j],
+                    "replicates {i} and {j} of base {base} collide"
+                );
+            }
+        }
+    }
+}

@@ -8,10 +8,12 @@
 //! [`BenchResult`] rows and suite means, and fits [`LinearFit`] trends
 //! for the figures that plot IPC against core width.
 
+mod bootstrap;
 mod counters;
 mod suite;
 mod trend;
 
+pub use bootstrap::{bootstrap_ci, BootstrapCi};
 pub use counters::{Counter, SimStats, StallBreakdown};
 pub use suite::{suite_ipc, BenchResult, SuiteSummary};
-pub use trend::{LinearFit, TrendPoint};
+pub use trend::{LinearFit, TrendError, TrendPoint};

@@ -228,4 +228,45 @@ mod tests {
         let s = SuiteSummary::new(vec![r("a", 0, 0)], vec![r("a", 0, 0)]);
         assert_eq!(s.mean_normalized_ipc(), 0.0);
     }
+
+    #[test]
+    fn empty_suite_summary_stays_finite_everywhere() {
+        // A fully degraded grid point can legitimately produce an empty
+        // suite pair; every derived statistic must stay finite (no NaN that
+        // would poison downstream means or sort order).
+        let s = SuiteSummary::new(vec![], vec![]);
+        assert_eq!(s.baseline_ipc(), 0.0);
+        assert_eq!(s.scheme_ipc(), 0.0);
+        assert_eq!(s.mean_normalized_ipc(), 0.0);
+        assert!(s.ipc_loss_percent().is_finite());
+        assert!(s.normalized_ipc().is_empty());
+    }
+
+    #[test]
+    fn zero_cycle_benchmarks_never_produce_nan() {
+        let s = SuiteSummary::new(
+            vec![r("a", 10, 0), r("b", 100, 100)],
+            vec![r("a", 10, 0), r("b", 50, 100)],
+        );
+        for (_, norm) in s.normalized_ipc() {
+            assert!(norm.is_finite());
+        }
+        assert!(s.mean_normalized_ipc().is_finite());
+        assert!(s.ipc_loss_percent().is_finite());
+    }
+
+    #[test]
+    fn total_cmp_sort_order_is_stable_with_degenerate_rows() {
+        // Leaderboard-style ranking: zero-IPC (degenerate) rows must sort
+        // deterministically below real rows rather than scrambling the
+        // order the way a partial_cmp-based sort would with NaN.
+        let mut ipcs = vec![
+            suite_ipc(&[r("a", 100, 100)]),
+            suite_ipc(&[]),
+            suite_ipc(&[r("b", 300, 100)]),
+            suite_ipc(&[r("c", 10, 0)]),
+        ];
+        ipcs.sort_by(|a, b| f64::total_cmp(b, a));
+        assert_eq!(ipcs, vec![3.0, 1.0, 0.0, 0.0]);
+    }
 }

@@ -25,6 +25,35 @@ impl TrendPoint {
     }
 }
 
+/// Why a trend line could not be fitted.
+///
+/// Degenerate inputs are an expected runtime condition (a degraded grid can
+/// leave a figure with one surviving configuration, and a one-point sweep is
+/// perfectly legal), so fitting returns this error instead of panicking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrendError {
+    /// Fewer than two points were supplied; a line is underdetermined.
+    TooFewPoints {
+        /// How many points were actually supplied.
+        got: usize,
+    },
+    /// All x-values coincide, so the slope is undefined.
+    CoincidentX,
+}
+
+impl fmt::Display for TrendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrendError::TooFewPoints { got } => {
+                write!(f, "need at least two points to fit a line, got {got}")
+            }
+            TrendError::CoincidentX => write!(f, "all x-values coincide; slope undefined"),
+        }
+    }
+}
+
+impl std::error::Error for TrendError {}
+
 /// An ordinary-least-squares line `value = slope * ipc + intercept`.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinearFit {
@@ -37,27 +66,30 @@ pub struct LinearFit {
 impl LinearFit {
     /// Fits a line through the points by ordinary least squares.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if fewer than two points are given or all x-values coincide
-    /// (the slope would be undefined).
-    #[must_use]
-    pub fn fit(points: &[TrendPoint]) -> Self {
-        assert!(points.len() >= 2, "need at least two points to fit a line");
+    /// Returns [`TrendError`] if fewer than two points are given or all
+    /// x-values coincide (the slope would be undefined).
+    pub fn fit(points: &[TrendPoint]) -> Result<Self, TrendError> {
+        if points.len() < 2 {
+            return Err(TrendError::TooFewPoints { got: points.len() });
+        }
         let n = points.len() as f64;
         let mean_x: f64 = points.iter().map(|p| p.ipc).sum::<f64>() / n;
         let mean_y: f64 = points.iter().map(|p| p.value).sum::<f64>() / n;
         let sxx: f64 = points.iter().map(|p| (p.ipc - mean_x).powi(2)).sum();
-        assert!(sxx > 0.0, "all x-values coincide; slope undefined");
+        if !sxx.is_finite() || sxx <= 0.0 {
+            return Err(TrendError::CoincidentX);
+        }
         let sxy: f64 = points
             .iter()
             .map(|p| (p.ipc - mean_x) * (p.value - mean_y))
             .sum();
         let slope = sxy / sxx;
-        LinearFit {
+        Ok(LinearFit {
             slope,
             intercept: mean_y - slope * mean_x,
-        }
+        })
     }
 
     /// Predicted value at `ipc` using the raw fitted slope (the paper's
@@ -113,7 +145,7 @@ mod tests {
     #[test]
     fn exact_line_is_recovered() {
         let pts = [p(0.5, 0.9), p(1.0, 0.8), p(1.5, 0.7)];
-        let fit = LinearFit::fit(&pts);
+        let fit = LinearFit::fit(&pts).unwrap();
         assert!((fit.slope - (-0.2)).abs() < 1e-12);
         assert!((fit.intercept - 1.0).abs() < 1e-12);
         assert!((fit.r_squared(&pts) - 1.0).abs() < 1e-12);
@@ -122,7 +154,7 @@ mod tests {
     #[test]
     fn extrapolation_follows_slope() {
         let pts = [p(0.5, 0.95), p(1.27, 0.65)];
-        let fit = LinearFit::fit(&pts);
+        let fit = LinearFit::fit(&pts).unwrap();
         let at_intel = fit.predict(2.03);
         assert!(at_intel < 0.65, "extrapolation must continue the decline");
     }
@@ -130,7 +162,7 @@ mod tests {
     #[test]
     fn halved_growth_is_less_pessimistic() {
         let pts = [p(0.5, 0.95), p(1.27, 0.65)];
-        let fit = LinearFit::fit(&pts);
+        let fit = LinearFit::fit(&pts).unwrap();
         let raw = fit.predict(2.03);
         let halved = fit.predict_halved_growth(1.27, 2.03);
         assert!(halved > raw);
@@ -142,26 +174,50 @@ mod tests {
     #[test]
     fn noisy_fit_r_squared_below_one() {
         let pts = [p(0.4, 0.99), p(0.6, 0.93), p(0.94, 0.84), p(1.27, 0.65)];
-        let fit = LinearFit::fit(&pts);
+        let fit = LinearFit::fit(&pts).unwrap();
         let r2 = fit.r_squared(&pts);
         assert!(r2 > 0.8 && r2 <= 1.0, "r2 = {r2}");
     }
 
     #[test]
-    #[should_panic(expected = "at least two points")]
-    fn single_point_is_rejected() {
-        let _ = LinearFit::fit(&[p(1.0, 1.0)]);
+    fn single_point_is_a_typed_error() {
+        assert_eq!(
+            LinearFit::fit(&[p(1.0, 1.0)]),
+            Err(TrendError::TooFewPoints { got: 1 })
+        );
+        assert_eq!(
+            LinearFit::fit(&[]),
+            Err(TrendError::TooFewPoints { got: 0 })
+        );
     }
 
     #[test]
-    #[should_panic(expected = "coincide")]
-    fn vertical_line_is_rejected() {
-        let _ = LinearFit::fit(&[p(1.0, 1.0), p(1.0, 2.0)]);
+    fn vertical_line_is_a_typed_error() {
+        assert_eq!(
+            LinearFit::fit(&[p(1.0, 1.0), p(1.0, 2.0)]),
+            Err(TrendError::CoincidentX)
+        );
+    }
+
+    #[test]
+    fn nan_x_values_are_a_typed_error() {
+        assert_eq!(
+            LinearFit::fit(&[p(f64::NAN, 1.0), p(1.0, 2.0)]),
+            Err(TrendError::CoincidentX)
+        );
+    }
+
+    #[test]
+    fn trend_error_messages_are_descriptive() {
+        let few = TrendError::TooFewPoints { got: 1 }.to_string();
+        assert!(few.contains("at least two points"), "{few}");
+        let coincident = TrendError::CoincidentX.to_string();
+        assert!(coincident.contains("coincide"), "{coincident}");
     }
 
     #[test]
     fn display_shows_equation() {
-        let fit = LinearFit::fit(&[p(0.0, 1.0), p(1.0, 0.5)]);
+        let fit = LinearFit::fit(&[p(0.0, 1.0), p(1.0, 0.5)]).unwrap();
         assert!(format!("{fit}").starts_with("y = "));
     }
 }

@@ -384,7 +384,17 @@ impl ReadyRing {
         let mut pos = from.max(self.floor);
         while pos < end {
             let (w, b) = self.locate(pos);
-            let bits = self.words[w] >> b;
+            let mut bits = self.words[w] >> b;
+            // A word visited near the end of a wrapped scan can carry set
+            // bits for positions at or past `end` — ring aliases of
+            // positions *behind* the cursor (memory-port rejections leave
+            // their bits in place mid-scan). Mask them off: without this,
+            // a leftover bit re-surfaces one lap forward as a phantom
+            // entry past the ROB tail.
+            let span = end - pos;
+            if span < u64::from(64 - b) {
+                bits &= (1 << span) - 1;
+            }
             if bits != 0 {
                 let found = pos + u64::from(bits.trailing_zeros());
                 debug_assert!(found < end, "stale ready bit past the ROB tail");
@@ -557,6 +567,27 @@ mod tests {
         r.remove(first);
         r.remove(second);
         assert_eq!(r.next_ready(pack_pos(base, Part::StoreAddr), end), None);
+    }
+
+    #[test]
+    fn leftover_bit_behind_the_cursor_does_not_alias_past_the_tail() {
+        // window 32 -> a single 64-bit word with zero slack: the live range
+        // [10, 74) occupies the whole word, wrapping its boundary.
+        let mut r = ReadyRing::new(32);
+        let base = 5u64;
+        let end = pack_pos(base + 32, Part::StoreAddr); // 74
+                                                        // A memory-port rejection left this bit set behind the cursor.
+        r.insert(pack_pos(7, Part::StoreData)); // position 15
+                                                // The scan resumes past it; the bit's ring alias (15 + 64 = 79)
+                                                // lies beyond `end` and must not surface as a phantom entry past
+                                                // the ROB tail when the wrapped word is rescanned from offset 0.
+        assert_eq!(r.next_ready(20, end), None);
+        // A real entry in the wrapped tail of the word is still found.
+        r.insert(pack_pos(base + 30, Part::Whole)); // position 70
+        assert_eq!(
+            r.next_ready(20, end),
+            Some(pack_pos(base + 30, Part::Whole))
+        );
     }
 
     #[test]
