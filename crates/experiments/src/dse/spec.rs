@@ -225,7 +225,7 @@ pub struct SweepSpec {
     replicates: usize,
 }
 
-fn base_config(name: &str) -> Option<CoreConfig> {
+pub(crate) fn base_config(name: &str) -> Option<CoreConfig> {
     match name {
         "small" => Some(CoreConfig::small()),
         "medium" => Some(CoreConfig::medium()),
@@ -246,7 +246,7 @@ fn scheme_key(scheme: Scheme) -> &'static str {
     }
 }
 
-fn scheme_from_key(key: &str) -> Option<Scheme> {
+pub(crate) fn scheme_from_key(key: &str) -> Option<Scheme> {
     Scheme::all().into_iter().find(|&s| scheme_key(s) == key)
 }
 

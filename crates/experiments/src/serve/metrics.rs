@@ -1,0 +1,183 @@
+//! Daemon observability: monotonic counters behind `METRICS`, liveness
+//! and queue gauges behind `HEALTH`, both rendered through
+//! `crate::render::format_table` like every other report in the repo.
+
+use crate::render::format_table;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotonic counters accumulated over the daemon's lifetime. Shared
+/// (behind an `Arc`) by the executor (job outcomes, point counts) and
+/// every connection handler (snapshots).
+#[derive(Debug)]
+pub struct Metrics {
+    start: Instant,
+    /// Jobs admitted to the queue.
+    pub jobs_accepted: AtomicU64,
+    /// Jobs that finished successfully.
+    pub jobs_completed: AtomicU64,
+    /// Jobs that finished with a typed failure.
+    pub jobs_failed: AtomicU64,
+    /// Jobs cancelled before or during execution.
+    pub jobs_cancelled: AtomicU64,
+    /// Benchmark points simulated by served jobs.
+    pub points_simulated: AtomicU64,
+    /// Benchmark points served from the stats store.
+    pub points_cached: AtomicU64,
+    /// Micro-ops actually simulated (points simulated × trace length) —
+    /// the daemon's total "work done" odometer.
+    pub sim_ops: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh counters; uptime starts now.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics {
+            start: Instant::now(),
+            jobs_accepted: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
+            points_simulated: AtomicU64::new(0),
+            points_cached: AtomicU64::new(0),
+            sim_ops: AtomicU64::new(0),
+        }
+    }
+
+    /// A consistent-enough snapshot (relaxed loads; counters only ever
+    /// grow). Cache hit/miss totals come from the stats store the daemon
+    /// runs against; queue gauges from the job queue.
+    #[must_use]
+    pub fn snapshot(
+        &self,
+        cache_hits: u64,
+        cache_misses: u64,
+        queued: usize,
+        running: usize,
+    ) -> MetricsSnapshot {
+        MetricsSnapshot {
+            uptime_secs: self.start.elapsed().as_secs(),
+            jobs_accepted: self.jobs_accepted.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            points_simulated: self.points_simulated.load(Ordering::Relaxed),
+            points_cached: self.points_cached.load(Ordering::Relaxed),
+            sim_ops: self.sim_ops.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            queued: queued as u64,
+            running: running as u64,
+        }
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+/// One observation of every counter and gauge, ready to render.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Seconds since daemon start.
+    pub uptime_secs: u64,
+    /// Jobs admitted.
+    pub jobs_accepted: u64,
+    /// Jobs completed.
+    pub jobs_completed: u64,
+    /// Jobs failed.
+    pub jobs_failed: u64,
+    /// Jobs cancelled.
+    pub jobs_cancelled: u64,
+    /// Points simulated.
+    pub points_simulated: u64,
+    /// Points served from the stats store.
+    pub points_cached: u64,
+    /// Micro-ops simulated.
+    pub sim_ops: u64,
+    /// Stats-store load hits.
+    pub cache_hits: u64,
+    /// Stats-store load misses.
+    pub cache_misses: u64,
+    /// Jobs currently queued.
+    pub queued: u64,
+    /// Jobs currently running.
+    pub running: u64,
+}
+
+/// The `METRICS` reply body: every monotonic counter, one row each.
+#[must_use]
+pub fn metrics_table(snap: &MetricsSnapshot) -> String {
+    let row = |name: &str, value: u64| vec![name.to_string(), value.to_string()];
+    format_table(&[
+        vec!["metric".to_string(), "value".to_string()],
+        row("uptime_secs", snap.uptime_secs),
+        row("jobs_accepted", snap.jobs_accepted),
+        row("jobs_completed", snap.jobs_completed),
+        row("jobs_failed", snap.jobs_failed),
+        row("jobs_cancelled", snap.jobs_cancelled),
+        row("points_simulated", snap.points_simulated),
+        row("points_cached", snap.points_cached),
+        row("sim_ops", snap.sim_ops),
+        row("cache_hits", snap.cache_hits),
+        row("cache_misses", snap.cache_misses),
+    ])
+}
+
+/// The `HEALTH` reply body: liveness plus the queue gauges.
+#[must_use]
+pub fn health_table(snap: &MetricsSnapshot) -> String {
+    format_table(&[
+        vec!["field".to_string(), "value".to_string()],
+        vec!["status".to_string(), "ok".to_string()],
+        vec!["uptime_secs".to_string(), snap.uptime_secs.to_string()],
+        vec!["queued".to_string(), snap.queued.to_string()],
+        vec!["running".to_string(), snap.running.to_string()],
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression guard for the PR 4 empty-rows underflow class: a fresh
+    /// daemon (every counter zero) must render both tables, with the
+    /// header rule and one row per counter, instead of panicking or
+    /// emitting nothing.
+    #[test]
+    fn zero_valued_snapshot_renders_both_tables() {
+        let snap = MetricsSnapshot::default();
+        let metrics = metrics_table(&snap);
+        assert_eq!(metrics.lines().count(), 12, "{metrics}");
+        assert!(metrics.lines().nth(1).unwrap().starts_with('-'));
+        assert!(metrics.contains("jobs_failed"));
+        let health = health_table(&snap);
+        assert_eq!(health.lines().count(), 6, "{health}");
+        assert!(health.contains("status"));
+        assert!(health
+            .lines()
+            .any(|l| l.starts_with("status") && l.ends_with("ok")));
+    }
+
+    #[test]
+    fn snapshot_reads_counters_and_gauges() {
+        let m = Metrics::new();
+        m.jobs_accepted.fetch_add(3, Ordering::Relaxed);
+        m.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        m.sim_ops.fetch_add(66_000, Ordering::Relaxed);
+        let snap = m.snapshot(88, 2, 4, 1);
+        assert_eq!(snap.jobs_accepted, 3);
+        assert_eq!(snap.jobs_failed, 1);
+        assert_eq!(snap.sim_ops, 66_000);
+        assert_eq!((snap.cache_hits, snap.cache_misses), (88, 2));
+        assert_eq!((snap.queued, snap.running), (4, 1));
+        let rendered = metrics_table(&snap);
+        assert!(rendered.contains("jobs_accepted"));
+        assert!(rendered
+            .lines()
+            .any(|l| l.contains("sim_ops") && l.contains("66000")));
+    }
+}

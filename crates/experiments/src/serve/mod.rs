@@ -1,0 +1,760 @@
+//! Simulation-as-a-service: the `sb-experiments serve` daemon.
+//!
+//! One long-running process owns the stats/trace stores and answers jobs
+//! over a line-delimited TCP protocol ([`proto`]): clients `SUBMIT`
+//! grids, suites, sweeps and security verifications, `WAIT` for streamed
+//! progress (`EVENT <id> point k/n`) and counted result payloads,
+//! `CANCEL` mid-run (the job's [`sb_uarch::cancel::CancelToken`] chains
+//! into every simulating core, which parks within one
+//! `CANCEL_POLL_CYCLES` batch), and read [`metrics`] counters without
+//! disturbing the queue. All execution funnels through the same memoized
+//! engine entry points as the CLI ([`crate::run_points_with`],
+//! [`crate::dse::run_sweep`]), so a repeat submission answers from the
+//! [`crate::stats_store::StatsStore`] with zero simulations — verifiable
+//! from the outside via the `METRICS` cache counters.
+//!
+//! Topology: one acceptor thread (this function), one connection handler
+//! thread per client, and a single executor thread draining the priority
+//! [`queue::JobQueue`]. Jobs parallelize internally over the worker pool,
+//! so one executor keeps the machine saturated without oversubscribing;
+//! the queue orders verification ahead of sweeps ahead of grids.
+
+pub mod metrics;
+pub mod proto;
+pub mod queue;
+
+use crate::dse::{self, leaderboard, leaderboard_csv, run_sweep, SweepSpec};
+use crate::engine::{
+    run_points_with, ExperimentError, GridResults, ProgressSink, RunOptions, RunSpec,
+};
+use crate::jobs::JobPolicy;
+use crate::security::{security_matrix_report, verify_security_with};
+use crate::stats_store::StatsStore;
+use metrics::{health_table, metrics_table, Metrics};
+use proto::{err_line, parse_request, parse_request_bytes, JobId, JobKind, LineFramer, Request};
+use queue::{JobEvent, JobQueue, JobState, WorkItem};
+use sb_core::{Scheme, ThreatModel};
+use sb_uarch::CoreConfig;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often the acceptor polls the shutdown flag between connections.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Daemon configuration, resolved by the CLI.
+#[derive(Debug)]
+pub struct ServeOptions {
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 = OS-assigned; the
+    /// daemon prints the resolved address as its first stdout line).
+    pub addr: String,
+    /// Base execution policy every job inherits (workers, deadlines,
+    /// fault injection). Each job additionally gets its own cancel
+    /// token chained in.
+    pub policy: JobPolicy,
+    /// The stats store jobs run against; `None` disables memoization.
+    pub store: Option<StatsStore>,
+}
+
+/// Runs the daemon until a client sends `SHUTDOWN`. Prints
+/// `listening on <addr>` to stdout once the socket is bound.
+///
+/// # Errors
+///
+/// Propagates socket bind/configuration failures; per-connection I/O
+/// errors only terminate that connection.
+pub fn serve(opts: ServeOptions) -> std::io::Result<()> {
+    let listener = TcpListener::bind(&opts.addr)?;
+    listener.set_nonblocking(true)?;
+    println!("listening on {}", listener.local_addr()?);
+    std::io::stdout().flush()?;
+
+    let queue = Arc::new(JobQueue::new());
+    let metrics = Arc::new(Metrics::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let executor = {
+        let queue = Arc::clone(&queue);
+        let metrics = Arc::clone(&metrics);
+        let store = opts.store.clone();
+        let policy = opts.policy.clone();
+        std::thread::spawn(move || executor_loop(&queue, &metrics, store.as_ref(), &policy))
+    };
+
+    loop {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let queue = Arc::clone(&queue);
+                let metrics = Arc::clone(&metrics);
+                let store = opts.store.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    // A connection dying mid-request only loses that
+                    // client; the daemon keeps serving.
+                    let _ = handle_conn(stream, &queue, &metrics, store.as_ref(), &stop);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // SHUTDOWN already cancelled the backlog; wait for the executor to
+    // finalize whatever was running.
+    let _ = executor.join();
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------------
+
+fn handle_conn(
+    mut stream: TcpStream,
+    queue: &JobQueue,
+    metrics: &Metrics,
+    store: Option<&StatsStore>,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    let mut framer = LineFramer::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(());
+        }
+        for line in framer.push(&buf[..n]) {
+            let reply = match parse_request_bytes(&line) {
+                Err(e) => Reply::Line(err_line(&e)),
+                Ok(req) => answer(&req, queue, metrics, store, stop),
+            };
+            match reply {
+                Reply::Line(text) => write_line(&mut stream, &text)?,
+                Reply::Counted(head, body) => {
+                    write_line(&mut stream, &head)?;
+                    for l in body {
+                        write_line(&mut stream, &l)?;
+                    }
+                }
+                Reply::Wait(id) => stream_job(&mut stream, queue, id)?,
+                Reply::ShuttingDown => {
+                    write_line(&mut stream, "OK shutting-down")?;
+                    queue.shutdown();
+                    stop.store(true, Ordering::Release);
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+enum Reply {
+    Line(String),
+    Counted(String, Vec<String>),
+    Wait(JobId),
+    ShuttingDown,
+}
+
+fn answer(
+    req: &Request,
+    queue: &JobQueue,
+    metrics: &Metrics,
+    store: Option<&StatsStore>,
+    _stop: &AtomicBool,
+) -> Reply {
+    match req {
+        Request::Submit { kind, spec } => match parse_job(*kind, spec) {
+            Err(why) => Reply::Line(format!("ERR bad-spec {}", single_line(&why))),
+            Ok(_) => match queue.submit(*kind, spec.clone()) {
+                Some(id) => {
+                    metrics.jobs_accepted.fetch_add(1, Ordering::Relaxed);
+                    Reply::Line(format!("OK id={id}"))
+                }
+                None => Reply::Line("ERR shutting-down daemon is stopping".to_string()),
+            },
+        },
+        Request::Status(id) => match queue.status(*id) {
+            None => Reply::Line(format!("ERR unknown-job {id}")),
+            Some(state) => Reply::Line(status_line(*id, &state)),
+        },
+        Request::Cancel(id) => match queue.cancel(*id) {
+            None => Reply::Line(format!("ERR unknown-job {id}")),
+            Some(word) => Reply::Line(format!("OK {id} {word}")),
+        },
+        Request::Wait(id) => {
+            if queue.status(*id).is_none() {
+                Reply::Line(format!("ERR unknown-job {id}"))
+            } else {
+                Reply::Wait(*id)
+            }
+        }
+        Request::Health => {
+            let (queued, running) = queue.counts();
+            let snap = metrics.snapshot(hits(store), misses(store), queued, running);
+            counted(health_table(&snap))
+        }
+        Request::Metrics => {
+            let (queued, running) = queue.counts();
+            let snap = metrics.snapshot(hits(store), misses(store), queued, running);
+            counted(metrics_table(&snap))
+        }
+        Request::Shutdown => Reply::ShuttingDown,
+    }
+}
+
+fn hits(store: Option<&StatsStore>) -> u64 {
+    store.map_or(0, StatsStore::hits)
+}
+
+fn misses(store: Option<&StatsStore>) -> u64 {
+    store.map_or(0, StatsStore::misses)
+}
+
+fn counted(table: String) -> Reply {
+    let body: Vec<String> = table.lines().map(str::to_string).collect();
+    Reply::Counted(format!("OK lines={}", body.len()), body)
+}
+
+fn status_line(id: JobId, state: &JobState) -> String {
+    match state {
+        JobState::Queued => format!("OK {id} queued"),
+        JobState::Running { done, total } => format!("OK {id} running {done}/{total}"),
+        JobState::Done { sims, cached, .. } => {
+            format!(
+                "OK {id} done sims={sims} cached={}",
+                *sims == 0 && *cached > 0
+            )
+        }
+        JobState::Failed { cause } => format!("OK {id} failed {cause}"),
+        JobState::Cancelled => format!("OK {id} cancelled"),
+    }
+}
+
+/// Streams a job's events to one `WAIT` client: `EVENT` lines while it
+/// runs, then one terminal line (`DONE`/`FAILED`/`CANCELLED`), with the
+/// `DONE` payload counted by `lines=`.
+fn stream_job(stream: &mut TcpStream, queue: &JobQueue, id: JobId) -> std::io::Result<()> {
+    let Some(rx) = queue.subscribe(id) else {
+        return write_line(stream, &format!("ERR unknown-job {id}"));
+    };
+    // The executor (or shutdown) always finalizes every job, so this
+    // blocking loop terminates.
+    while let Ok(event) = rx.recv() {
+        match event {
+            JobEvent::Progress { done, total } => {
+                write_line(stream, &format!("EVENT {id} point {done}/{total}"))?;
+            }
+            JobEvent::Done {
+                sims,
+                cached,
+                payload,
+            } => {
+                write_line(
+                    stream,
+                    &format!(
+                        "DONE {id} sims={sims} cached={} lines={}",
+                        sims == 0 && cached > 0,
+                        payload.len()
+                    ),
+                )?;
+                for l in &payload {
+                    write_line(stream, l)?;
+                }
+                return Ok(());
+            }
+            JobEvent::Failed { cause } => {
+                return write_line(stream, &format!("FAILED {id} {cause}"));
+            }
+            JobEvent::Cancelled => {
+                return write_line(stream, &format!("CANCELLED {id}"));
+            }
+        }
+    }
+    // Sender dropped without a terminal event: report as failed so the
+    // client never hangs on a silent disconnect.
+    write_line(stream, &format!("FAILED {id} event stream closed"))
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")
+}
+
+// ---------------------------------------------------------------------------
+// Job spec semantics
+// ---------------------------------------------------------------------------
+
+/// A submitted spec, validated and resolved to engine inputs. Validation
+/// runs synchronously at `SUBMIT` time (bad specs are rejected with
+/// `ERR bad-spec` before anything is queued) and again in the executor,
+/// which re-parses the stored pairs.
+enum ParsedJob {
+    Grid {
+        configs: Vec<CoreConfig>,
+        run: RunSpec,
+    },
+    Suite {
+        config: CoreConfig,
+        scheme: Scheme,
+        run: RunSpec,
+    },
+    Sweep {
+        spec: SweepSpec,
+        run: RunSpec,
+    },
+    Verify {
+        threats: Vec<ThreatModel>,
+    },
+}
+
+fn parse_job(kind: JobKind, spec: &[(String, String)]) -> Result<ParsedJob, String> {
+    let mut run = RunSpec::default();
+    let mut rest: Vec<(&str, &str)> = Vec::new();
+    for (k, v) in spec {
+        match k.as_str() {
+            "ops" => {
+                run.ops = v
+                    .parse()
+                    .map_err(|_| format!("ops '{v}' is not an unsigned integer"))?;
+                if run.ops == 0 {
+                    return Err("ops must be positive".to_string());
+                }
+            }
+            "seed" => {
+                run.seed = v
+                    .parse()
+                    .map_err(|_| format!("seed '{v}' is not an unsigned integer"))?;
+            }
+            _ => rest.push((k, v)),
+        }
+    }
+    match kind {
+        JobKind::Grid => {
+            let mut configs: Vec<CoreConfig> = CoreConfig::boom_sweep().to_vec();
+            for (k, v) in rest {
+                if k != "config" {
+                    return Err(format!("unknown grid key '{k}' (expected config/ops/seed)"));
+                }
+                configs = v
+                    .split(',')
+                    .map(|name| {
+                        dse::base_config(name).ok_or_else(|| format!("unknown config '{name}'"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            Ok(ParsedJob::Grid { configs, run })
+        }
+        JobKind::Suite => {
+            let mut config = None;
+            let mut scheme = None;
+            for (k, v) in rest {
+                match k {
+                    "config" => {
+                        config = Some(
+                            dse::base_config(v).ok_or_else(|| format!("unknown config '{v}'"))?,
+                        );
+                    }
+                    "scheme" => {
+                        scheme = Some(
+                            dse::scheme_from_key(v)
+                                .ok_or_else(|| format!("unknown scheme '{v}'"))?,
+                        );
+                    }
+                    other => {
+                        return Err(format!(
+                            "unknown suite key '{other}' (expected config/scheme/ops/seed)"
+                        ));
+                    }
+                }
+            }
+            Ok(ParsedJob::Suite {
+                config: config.ok_or("suite requires config=<name>")?,
+                scheme: scheme.ok_or("suite requires scheme=<key>")?,
+                run,
+            })
+        }
+        JobKind::Sweep => {
+            let text = rest
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let spec = SweepSpec::parse(&text).map_err(|e| e.to_string())?;
+            spec.points().map_err(|e| e.to_string())?;
+            Ok(ParsedJob::Sweep { spec, run })
+        }
+        JobKind::VerifySecurity => {
+            let mut threats = vec![ThreatModel::Spectre, ThreatModel::Futuristic];
+            for (k, v) in rest {
+                if k != "threat" {
+                    return Err(format!(
+                        "unknown verify-security key '{k}' (expected threat)"
+                    ));
+                }
+                threats = match v {
+                    "spectre" => vec![ThreatModel::Spectre],
+                    "futuristic" => vec![ThreatModel::Futuristic],
+                    "both" => vec![ThreatModel::Spectre, ThreatModel::Futuristic],
+                    other => return Err(format!("unknown threat '{other}'")),
+                };
+            }
+            Ok(ParsedJob::Verify { threats })
+        }
+    }
+}
+
+/// CSV payload for a grid/suite job: one row per (point, benchmark), in
+/// deterministic point order — the byte-identity surface `serve_e2e`
+/// compares against a direct in-process run.
+///
+/// # Errors
+///
+/// Propagates [`GridResults::suite`] lookup failures (missing or
+/// incomplete points after a degraded run).
+pub fn points_payload(
+    grid: &GridResults,
+    points: &[(CoreConfig, Scheme)],
+) -> Result<Vec<String>, ExperimentError> {
+    let mut lines = vec!["config,scheme,bench,instructions,cycles".to_string()];
+    for (config, scheme) in points {
+        for row in grid.suite(config.name, *scheme)? {
+            lines.push(format!(
+                "{},{},{},{},{}",
+                config.name, scheme, row.name, row.instructions, row.cycles
+            ));
+        }
+    }
+    Ok(lines)
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+fn executor_loop(
+    queue: &Arc<JobQueue>,
+    metrics: &Metrics,
+    store: Option<&StatsStore>,
+    base_policy: &JobPolicy,
+) {
+    while let Some(item) = queue.next_job() {
+        // One more isolation ring outside the job layer's per-job
+        // catch_unwind: a bug in spec handling or payload assembly must
+        // fail the job, never the daemon.
+        let id = item.id;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(&item, queue, metrics, store, base_policy)
+        }))
+        .unwrap_or_else(|payload| JobState::Failed {
+            cause: format!(
+                "executor panicked: {}",
+                crate::pool::panic_message(&payload)
+            ),
+        });
+        let state = if queue.cancel_requested(id) && !matches!(outcome, JobState::Done { .. }) {
+            JobState::Cancelled
+        } else {
+            outcome
+        };
+        match &state {
+            JobState::Done { .. } => metrics.jobs_completed.fetch_add(1, Ordering::Relaxed),
+            JobState::Failed { .. } => metrics.jobs_failed.fetch_add(1, Ordering::Relaxed),
+            _ => metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed),
+        };
+        queue.finish(id, state);
+    }
+}
+
+fn run_job(
+    item: &WorkItem,
+    queue: &Arc<JobQueue>,
+    metrics: &Metrics,
+    store: Option<&StatsStore>,
+    base_policy: &JobPolicy,
+) -> JobState {
+    let parsed = match parse_job(item.kind, &item.spec) {
+        Ok(parsed) => parsed,
+        Err(why) => {
+            return JobState::Failed {
+                cause: single_line(&why),
+            }
+        }
+    };
+    let mut policy = base_policy.clone();
+    policy.cancel = Some(item.cancel.clone());
+    run_parsed(parsed, item, queue, metrics, store, &policy)
+}
+
+fn run_parsed(
+    parsed: ParsedJob,
+    item: &WorkItem,
+    queue: &Arc<JobQueue>,
+    metrics: &Metrics,
+    store: Option<&StatsStore>,
+    policy: &JobPolicy,
+) -> JobState {
+    match parsed {
+        ParsedJob::Grid { configs, run } => {
+            let points: Vec<(CoreConfig, Scheme)> = configs
+                .iter()
+                .flat_map(|c| Scheme::all().into_iter().map(|s| (c.clone(), s)))
+                .collect();
+            run_point_job(&points, &run, item, queue, metrics, store, policy)
+        }
+        ParsedJob::Suite {
+            config,
+            scheme,
+            run,
+        } => run_point_job(
+            &[(config, scheme)],
+            &run,
+            item,
+            queue,
+            metrics,
+            store,
+            policy,
+        ),
+        ParsedJob::Sweep { spec, run } => {
+            let opts = engine_opts(item, queue, store, policy);
+            let outcome = match run_sweep(&spec, &run, &opts) {
+                Ok(outcome) => outcome,
+                Err(e) => {
+                    return JobState::Failed {
+                        cause: single_line(&e.to_string()),
+                    }
+                }
+            };
+            tally(
+                metrics,
+                outcome.report.simulated,
+                outcome.report.from_cache,
+                run.ops,
+            );
+            if !outcome.report.ok() {
+                return JobState::Failed {
+                    cause: failure_summary(&outcome.report.failures, outcome.report.total),
+                };
+            }
+            let rows = leaderboard(&outcome);
+            JobState::Done {
+                sims: outcome.report.simulated,
+                cached: outcome.report.from_cache,
+                payload: leaderboard_csv(&rows).lines().map(str::to_string).collect(),
+            }
+        }
+        ParsedJob::Verify { threats } => {
+            let verdict = verify_security_with(&threats, policy);
+            if !verdict.job_failures.is_empty() {
+                let total = verdict.cells.len() + verdict.job_failures.len();
+                return JobState::Failed {
+                    cause: failure_summary(&verdict.job_failures, total),
+                };
+            }
+            let report = security_matrix_report(&verdict);
+            JobState::Done {
+                sims: verdict.cells.len(),
+                cached: 0,
+                payload: report.text.lines().map(str::to_string).collect(),
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_point_job(
+    points: &[(CoreConfig, Scheme)],
+    run: &RunSpec,
+    item: &WorkItem,
+    queue: &Arc<JobQueue>,
+    metrics: &Metrics,
+    store: Option<&StatsStore>,
+    policy: &JobPolicy,
+) -> JobState {
+    let opts = engine_opts(item, queue, store, policy);
+    let (grid, report) = run_points_with(points, run, &opts);
+    tally(metrics, report.simulated, report.from_cache, run.ops);
+    if !report.ok() {
+        return JobState::Failed {
+            cause: failure_summary(&report.failures, report.total),
+        };
+    }
+    match points_payload(&grid, points) {
+        Ok(payload) => JobState::Done {
+            sims: report.simulated,
+            cached: report.from_cache,
+            payload,
+        },
+        Err(e) => JobState::Failed {
+            cause: single_line(&e.to_string()),
+        },
+    }
+}
+
+/// Engine options for a served job: always resumable (the daemon's whole
+/// point is answering repeats from the store), wired to the job's cancel
+/// token and to progress fan-out through the queue.
+fn engine_opts(
+    item: &WorkItem,
+    queue: &Arc<JobQueue>,
+    store: Option<&StatsStore>,
+    policy: &JobPolicy,
+) -> RunOptions {
+    let id = item.id;
+    let queue = Arc::clone(queue);
+    RunOptions {
+        policy: policy.clone(),
+        resume: true,
+        store: store.cloned(),
+        progress: Some(ProgressSink::new(move |done, total| {
+            queue.progress(id, done, total);
+        })),
+    }
+}
+
+fn tally(metrics: &Metrics, simulated: usize, from_cache: usize, ops: usize) {
+    metrics
+        .points_simulated
+        .fetch_add(simulated as u64, Ordering::Relaxed);
+    metrics
+        .points_cached
+        .fetch_add(from_cache as u64, Ordering::Relaxed);
+    metrics
+        .sim_ops
+        .fetch_add(simulated as u64 * ops as u64, Ordering::Relaxed);
+}
+
+/// Compresses a failure list to one line: count plus the first three
+/// `label: cause` entries.
+fn failure_summary(failures: &[crate::jobs::JobError], total: usize) -> String {
+    let head: Vec<String> = failures
+        .iter()
+        .take(3)
+        .map(|e| format!("{}: {}", e.label, e.cause))
+        .collect();
+    let more = if failures.len() > 3 {
+        format!(" (+{} more)", failures.len() - 3)
+    } else {
+        String::new()
+    };
+    single_line(&format!(
+        "{} of {total} jobs failed: {}{more}",
+        failures.len(),
+        head.join("; ")
+    ))
+}
+
+fn single_line(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_control() { ' ' } else { c })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Client mode (`sb-experiments submit`)
+// ---------------------------------------------------------------------------
+
+/// One-shot client: sends `words` (joined and canonicalized through the
+/// protocol parser) to a daemon at `addr`, prints every reply line, and
+/// returns a process exit code. A `SUBMIT` automatically `WAIT`s on the
+/// new job so scripted callers observe completion synchronously.
+#[must_use]
+pub fn run_client(addr: &str, words: &[String]) -> i32 {
+    let line = words.join(" ");
+    let req = match parse_request(&line) {
+        Ok(req) => req,
+        Err(e) => {
+            eprintln!("{}", err_line(&e));
+            return 2;
+        }
+    };
+    match client_session(addr, &req) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("ERR io {e}");
+            1
+        }
+    }
+}
+
+fn client_session(addr: &str, req: &Request) -> std::io::Result<i32> {
+    let mut stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    write_line(&mut stream, &proto::render(req))?;
+    match req {
+        Request::Submit { .. } => {
+            let head = read_reply_line(&mut reader)?;
+            println!("{head}");
+            let Some(id) = head.strip_prefix("OK id=") else {
+                return Ok(1);
+            };
+            let id: JobId = id
+                .trim()
+                .parse()
+                .map_err(|_| std::io::Error::other("malformed OK id= reply"))?;
+            write_line(&mut stream, &format!("WAIT {id}"))?;
+            stream_to_stdout(&mut reader)
+        }
+        Request::Wait(_) => stream_to_stdout(&mut reader),
+        Request::Health | Request::Metrics => {
+            let head = read_reply_line(&mut reader)?;
+            println!("{head}");
+            let Some(n) = head.strip_prefix("OK lines=") else {
+                return Ok(1);
+            };
+            let n: usize = n
+                .trim()
+                .parse()
+                .map_err(|_| std::io::Error::other("malformed lines= reply"))?;
+            for _ in 0..n {
+                println!("{}", read_reply_line(&mut reader)?);
+            }
+            Ok(0)
+        }
+        Request::Status(_) | Request::Cancel(_) | Request::Shutdown => {
+            let head = read_reply_line(&mut reader)?;
+            println!("{head}");
+            Ok(i32::from(!head.starts_with("OK ")))
+        }
+    }
+}
+
+/// Relays `EVENT` lines until the terminal reply, printing everything;
+/// exit code 0 for `DONE` (plus its counted payload), 1 otherwise.
+fn stream_to_stdout(reader: &mut BufReader<TcpStream>) -> std::io::Result<i32> {
+    loop {
+        let line = read_reply_line(reader)?;
+        println!("{line}");
+        if line.starts_with("EVENT ") {
+            continue;
+        }
+        if line.starts_with("DONE ") {
+            let n: usize = line
+                .rsplit_once("lines=")
+                .and_then(|(_, n)| n.trim().parse().ok())
+                .ok_or_else(|| std::io::Error::other("malformed DONE reply"))?;
+            for _ in 0..n {
+                println!("{}", read_reply_line(reader)?);
+            }
+            return Ok(0);
+        }
+        // FAILED / CANCELLED / ERR
+        return Ok(1);
+    }
+}
+
+fn read_reply_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::other("daemon closed the connection"));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}

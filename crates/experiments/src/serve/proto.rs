@@ -1,0 +1,439 @@
+//! The daemon's line-delimited wire protocol: strict typed parsing,
+//! canonical rendering, and byte framing.
+//!
+//! Every request is one line of whitespace-separated tokens; every reply
+//! is one line, optionally followed by a counted payload (`OK lines=<k>`
+//! or `DONE … lines=<k>` announce exactly `k` raw lines). The parser is
+//! total: any byte sequence either parses to a [`Request`] or to a typed
+//! [`ProtoError`] — never a panic — and [`render`] ∘ [`parse_request`] is
+//! the identity on canonical request lines (`SUBMIT` spec tokens are
+//! sorted by key, so token order on the wire does not matter).
+
+use std::fmt;
+
+/// Server-assigned job identifier, monotonically increasing from 1.
+pub type JobId = u64;
+
+/// A request line may not exceed this many bytes; the framer force-flushes
+/// longer buffers so a client writing an endless unterminated line cannot
+/// grow server memory without bound.
+pub const MAX_LINE: usize = 64 * 1024;
+
+/// What kind of work a `SUBMIT` enqueues. Priority order (lower runs
+/// first): security verification preempts sweeps, sweeps preempt grids —
+/// a cheap "is this design still sound?" answer never waits behind a
+/// bulk IPC campaign.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobKind {
+    /// Attack-battery security verification (`verify-security`).
+    VerifySecurity,
+    /// Design-space sweep over the [`crate::dse`] layer.
+    Sweep,
+    /// The paper grid: configs × all four schemes.
+    Grid,
+    /// One (config, scheme) suite.
+    Suite,
+}
+
+impl JobKind {
+    /// The wire token for this kind.
+    #[must_use]
+    pub fn verb(self) -> &'static str {
+        match self {
+            JobKind::VerifySecurity => "verify-security",
+            JobKind::Sweep => "sweep",
+            JobKind::Grid => "grid",
+            JobKind::Suite => "suite",
+        }
+    }
+
+    /// Parses a wire token.
+    #[must_use]
+    pub fn from_verb(verb: &str) -> Option<JobKind> {
+        [
+            JobKind::VerifySecurity,
+            JobKind::Sweep,
+            JobKind::Grid,
+            JobKind::Suite,
+        ]
+        .into_iter()
+        .find(|k| k.verb() == verb)
+    }
+
+    /// Queue priority: lower values dequeue first.
+    #[must_use]
+    pub fn priority(self) -> u8 {
+        match self {
+            JobKind::VerifySecurity => 0,
+            JobKind::Sweep => 1,
+            JobKind::Grid | JobKind::Suite => 2,
+        }
+    }
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `SUBMIT <kind> key=value…` — enqueue a job. Spec pairs are held
+    /// sorted by key (the canonical order), so two submissions that
+    /// differ only in token order are the same request.
+    Submit {
+        /// Job kind.
+        kind: JobKind,
+        /// Sorted `key=value` pairs; keys are unique.
+        spec: Vec<(String, String)>,
+    },
+    /// `STATUS <id>` — one-line state of a job.
+    Status(JobId),
+    /// `CANCEL <id>` — cancel a queued or running job.
+    Cancel(JobId),
+    /// `WAIT <id>` — subscribe to a job's progress events and final
+    /// result.
+    Wait(JobId),
+    /// `HEALTH` — liveness plus queue gauges.
+    Health,
+    /// `METRICS` — monotonic counters since daemon start.
+    Metrics,
+    /// `SHUTDOWN` — cancel everything and stop the daemon.
+    Shutdown,
+}
+
+/// Typed protocol failure; rendered to clients as one `ERR <code> …` line
+/// by [`err_line`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Empty or whitespace-only request line.
+    Empty,
+    /// The line is not valid UTF-8.
+    NotUtf8,
+    /// The line exceeds [`MAX_LINE`] bytes.
+    LineTooLong(usize),
+    /// First token is not a known verb.
+    UnknownVerb(String),
+    /// A verb was given without its required argument.
+    MissingArg(&'static str),
+    /// A job-id argument did not parse as an unsigned integer.
+    BadJobId(String),
+    /// `SUBMIT` with an unknown job kind.
+    UnknownJobKind(String),
+    /// A `SUBMIT` spec token is not `key=value` with both parts
+    /// non-empty.
+    BadSpecToken(String),
+    /// A `SUBMIT` spec key appears twice.
+    DuplicateSpecKey(String),
+    /// Arguments after a verb that takes none (or after a job id).
+    TrailingArgs(String),
+}
+
+impl ProtoError {
+    /// The stable machine-readable error code (second token of the `ERR`
+    /// line).
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtoError::Empty => "empty-request",
+            ProtoError::NotUtf8 => "not-utf8",
+            ProtoError::LineTooLong(_) => "line-too-long",
+            ProtoError::UnknownVerb(_) => "unknown-verb",
+            ProtoError::MissingArg(_) => "missing-arg",
+            ProtoError::BadJobId(_) => "bad-job-id",
+            ProtoError::UnknownJobKind(_) => "unknown-job-kind",
+            ProtoError::BadSpecToken(_) => "bad-spec-token",
+            ProtoError::DuplicateSpecKey(_) => "duplicate-spec-key",
+            ProtoError::TrailingArgs(_) => "trailing-args",
+        }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Empty => write!(f, "empty request line"),
+            ProtoError::NotUtf8 => write!(f, "request is not valid UTF-8"),
+            ProtoError::LineTooLong(n) => {
+                write!(f, "request line of {n} bytes exceeds {MAX_LINE}")
+            }
+            ProtoError::UnknownVerb(v) => write!(
+                f,
+                "unknown verb '{v}' (expected SUBMIT, STATUS, CANCEL, WAIT, \
+                 HEALTH, METRICS or SHUTDOWN)"
+            ),
+            ProtoError::MissingArg(what) => write!(f, "missing argument: {what}"),
+            ProtoError::BadJobId(raw) => write!(f, "'{raw}' is not a job id"),
+            ProtoError::UnknownJobKind(k) => write!(
+                f,
+                "unknown job kind '{k}' (expected grid, suite, sweep or \
+                 verify-security)"
+            ),
+            ProtoError::BadSpecToken(t) => {
+                write!(f, "spec token '{t}' is not key=value")
+            }
+            ProtoError::DuplicateSpecKey(k) => write!(f, "duplicate spec key '{k}'"),
+            ProtoError::TrailingArgs(rest) => write!(f, "unexpected trailing arguments '{rest}'"),
+        }
+    }
+}
+
+/// The one-line `ERR` reply for a protocol error. Always a single line:
+/// the detail is sanitized so embedded control bytes in garbage input
+/// cannot break framing.
+#[must_use]
+pub fn err_line(e: &ProtoError) -> String {
+    let detail: String = e
+        .to_string()
+        .chars()
+        .map(|c| if c.is_control() { ' ' } else { c })
+        .collect();
+    format!("ERR {} {detail}", e.code())
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A typed [`ProtoError`] for anything that is not a well-formed request;
+/// never panics on any input.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let mut tokens = line.split_whitespace();
+    let verb = tokens.next().ok_or(ProtoError::Empty)?;
+    match verb {
+        "SUBMIT" => {
+            let kind_tok = tokens.next().ok_or(ProtoError::MissingArg("job kind"))?;
+            let kind = JobKind::from_verb(kind_tok)
+                .ok_or_else(|| ProtoError::UnknownJobKind(kind_tok.to_string()))?;
+            let mut spec: Vec<(String, String)> = Vec::new();
+            for tok in tokens {
+                let Some((key, value)) = tok.split_once('=') else {
+                    return Err(ProtoError::BadSpecToken(tok.to_string()));
+                };
+                if key.is_empty() || value.is_empty() {
+                    return Err(ProtoError::BadSpecToken(tok.to_string()));
+                }
+                spec.push((key.to_string(), value.to_string()));
+            }
+            spec.sort_by(|a, b| a.0.cmp(&b.0));
+            if let Some(w) = spec.windows(2).find(|w| w[0].0 == w[1].0) {
+                return Err(ProtoError::DuplicateSpecKey(w[0].0.clone()));
+            }
+            Ok(Request::Submit { kind, spec })
+        }
+        "STATUS" | "CANCEL" | "WAIT" => {
+            let raw = tokens.next().ok_or(ProtoError::MissingArg("job id"))?;
+            let id: JobId = raw
+                .parse()
+                .map_err(|_| ProtoError::BadJobId(raw.to_string()))?;
+            expect_end(tokens)?;
+            Ok(match verb {
+                "STATUS" => Request::Status(id),
+                "CANCEL" => Request::Cancel(id),
+                _ => Request::Wait(id),
+            })
+        }
+        "HEALTH" => {
+            expect_end(tokens)?;
+            Ok(Request::Health)
+        }
+        "METRICS" => {
+            expect_end(tokens)?;
+            Ok(Request::Metrics)
+        }
+        "SHUTDOWN" => {
+            expect_end(tokens)?;
+            Ok(Request::Shutdown)
+        }
+        other => Err(ProtoError::UnknownVerb(other.to_string())),
+    }
+}
+
+fn expect_end<'a>(mut tokens: impl Iterator<Item = &'a str>) -> Result<(), ProtoError> {
+    match tokens.next() {
+        None => Ok(()),
+        Some(first) => {
+            let mut rest = first.to_string();
+            for t in tokens {
+                rest.push(' ');
+                rest.push_str(t);
+            }
+            Err(ProtoError::TrailingArgs(rest))
+        }
+    }
+}
+
+/// Parses one framed line as received off the socket: enforces the length
+/// cap and UTF-8 before the token grammar.
+///
+/// # Errors
+///
+/// Same contract as [`parse_request`], plus [`ProtoError::LineTooLong`]
+/// and [`ProtoError::NotUtf8`].
+pub fn parse_request_bytes(line: &[u8]) -> Result<Request, ProtoError> {
+    if line.len() > MAX_LINE {
+        return Err(ProtoError::LineTooLong(line.len()));
+    }
+    let text = std::str::from_utf8(line).map_err(|_| ProtoError::NotUtf8)?;
+    parse_request(text)
+}
+
+/// Renders a request in canonical wire form (the form [`parse_request`]
+/// round-trips byte-identically).
+#[must_use]
+pub fn render(req: &Request) -> String {
+    match req {
+        Request::Submit { kind, spec } => {
+            let mut out = format!("SUBMIT {}", kind.verb());
+            for (k, v) in spec {
+                out.push(' ');
+                out.push_str(k);
+                out.push('=');
+                out.push_str(v);
+            }
+            out
+        }
+        Request::Status(id) => format!("STATUS {id}"),
+        Request::Cancel(id) => format!("CANCEL {id}"),
+        Request::Wait(id) => format!("WAIT {id}"),
+        Request::Health => "HEALTH".to_string(),
+        Request::Metrics => "METRICS".to_string(),
+        Request::Shutdown => "SHUTDOWN".to_string(),
+    }
+}
+
+/// Incremental line framer for the socket read loop: feed it raw reads
+/// (split or coalesced arbitrarily by TCP), take out complete lines.
+/// `\r\n` and `\n` both terminate a line; a buffer that grows past
+/// [`MAX_LINE`] without a newline is force-flushed as one (oversized)
+/// line so memory stays bounded.
+#[derive(Debug, Default)]
+pub struct LineFramer {
+    buf: Vec<u8>,
+}
+
+impl LineFramer {
+    /// A framer with an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        LineFramer::default()
+    }
+
+    /// Feeds `bytes` and returns every line completed by them, in order,
+    /// without their terminators.
+    pub fn push(&mut self, bytes: &[u8]) -> Vec<Vec<u8>> {
+        let mut lines = Vec::new();
+        for &b in bytes {
+            if b == b'\n' {
+                if self.buf.last() == Some(&b'\r') {
+                    self.buf.pop();
+                }
+                lines.push(std::mem::take(&mut self.buf));
+            } else {
+                self.buf.push(b);
+                if self.buf.len() > MAX_LINE {
+                    lines.push(std::mem::take(&mut self.buf));
+                }
+            }
+        }
+        lines
+    }
+
+    /// Bytes buffered after the last completed line (an unterminated
+    /// partial line; clients that close mid-line simply abandon it).
+    #[must_use]
+    pub fn pending(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_sorts_spec_tokens_into_canonical_order() {
+        let a = parse_request("SUBMIT grid seed=7 config=small ops=3000").unwrap();
+        let b = parse_request("SUBMIT grid config=small ops=3000 seed=7").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(render(&a), "SUBMIT grid config=small ops=3000 seed=7");
+        assert_eq!(parse_request(&render(&a)).unwrap(), a);
+    }
+
+    #[test]
+    fn control_verbs_parse_and_reject_trailing_tokens() {
+        assert_eq!(parse_request("STATUS 12").unwrap(), Request::Status(12));
+        assert_eq!(parse_request("WAIT 1").unwrap(), Request::Wait(1));
+        assert_eq!(parse_request("HEALTH").unwrap(), Request::Health);
+        assert_eq!(
+            parse_request("HEALTH now please").unwrap_err(),
+            ProtoError::TrailingArgs("now please".to_string())
+        );
+        assert_eq!(
+            parse_request("CANCEL twelve").unwrap_err(),
+            ProtoError::BadJobId("twelve".to_string())
+        );
+    }
+
+    #[test]
+    fn malformed_lines_yield_typed_errors() {
+        assert_eq!(parse_request("   ").unwrap_err(), ProtoError::Empty);
+        assert_eq!(
+            parse_request("FROBNICATE 1").unwrap_err(),
+            ProtoError::UnknownVerb("FROBNICATE".to_string())
+        );
+        assert_eq!(
+            parse_request("SUBMIT teapot x=1").unwrap_err(),
+            ProtoError::UnknownJobKind("teapot".to_string())
+        );
+        assert_eq!(
+            parse_request("SUBMIT grid ops").unwrap_err(),
+            ProtoError::BadSpecToken("ops".to_string())
+        );
+        assert_eq!(
+            parse_request("SUBMIT grid ops=1 ops=2").unwrap_err(),
+            ProtoError::DuplicateSpecKey("ops".to_string())
+        );
+        assert_eq!(
+            parse_request_bytes(&[0xff, 0xfe, b' ', b'x']).unwrap_err(),
+            ProtoError::NotUtf8
+        );
+    }
+
+    #[test]
+    fn err_lines_are_single_line_and_carry_the_code() {
+        let e = ProtoError::UnknownVerb("\nEVIL\r".to_string());
+        let line = err_line(&e);
+        assert!(line.starts_with("ERR unknown-verb "));
+        assert!(!line.contains('\n') && !line.contains('\r'));
+    }
+
+    #[test]
+    fn framer_reassembles_split_and_coalesced_reads() {
+        let mut f = LineFramer::new();
+        assert!(f.push(b"STAT").is_empty());
+        let lines = f.push(b"US 3\r\nHEALTH\nWA");
+        assert_eq!(lines, vec![b"STATUS 3".to_vec(), b"HEALTH".to_vec()]);
+        assert_eq!(f.pending(), b"WA");
+        assert_eq!(f.push(b"IT 9\n"), vec![b"WAIT 9".to_vec()]);
+    }
+
+    #[test]
+    fn framer_force_flushes_an_unterminated_giant_line() {
+        let mut f = LineFramer::new();
+        let lines = f.push(&vec![b'a'; MAX_LINE + 2]);
+        assert_eq!(lines.len(), 1);
+        assert!(parse_request_bytes(&lines[0]).is_err());
+    }
+
+    #[test]
+    fn priorities_rank_verification_above_sweeps_above_grids() {
+        assert!(JobKind::VerifySecurity.priority() < JobKind::Sweep.priority());
+        assert!(JobKind::Sweep.priority() < JobKind::Grid.priority());
+        assert_eq!(JobKind::Grid.priority(), JobKind::Suite.priority());
+        for kind in [
+            JobKind::VerifySecurity,
+            JobKind::Sweep,
+            JobKind::Grid,
+            JobKind::Suite,
+        ] {
+            assert_eq!(JobKind::from_verb(kind.verb()), Some(kind));
+        }
+    }
+}

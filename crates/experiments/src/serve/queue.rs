@@ -1,0 +1,419 @@
+//! The daemon's job queue: priority-ordered admission, blocking dispatch
+//! to the executor, cooperative cancellation, and per-job progress
+//! fan-out to waiting clients.
+//!
+//! One [`JobQueue`] is shared by every connection handler (submitting,
+//! querying, cancelling, subscribing) and the single executor thread
+//! (dequeuing, reporting progress, finishing). All state lives under one
+//! mutex with a condvar for dispatch; progress and terminal events fan
+//! out over per-subscriber [`mpsc`] channels so a slow `WAIT` client
+//! never blocks the executor.
+
+use super::proto::{JobId, JobKind};
+use sb_uarch::cancel::CancelToken;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+
+/// Where a job is in its lifecycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, not yet picked up by the executor.
+    Queued,
+    /// Executing; `done` of `total` points have settled.
+    Running {
+        /// Settled points so far.
+        done: usize,
+        /// Total points in the job (0 until the runner knows).
+        total: usize,
+    },
+    /// Finished successfully.
+    Done {
+        /// Points simulated.
+        sims: usize,
+        /// Points served from the stats store.
+        cached: usize,
+        /// Result payload lines (CSV rows or report text).
+        payload: Vec<String>,
+    },
+    /// Finished with a typed failure.
+    Failed {
+        /// Single-line failure cause.
+        cause: String,
+    },
+    /// Cancelled before or during execution.
+    Cancelled,
+}
+
+impl JobState {
+    /// True for `Done`, `Failed` and `Cancelled`.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done { .. } | JobState::Failed { .. } | JobState::Cancelled
+        )
+    }
+}
+
+/// What a `WAIT` subscriber receives: zero or more `Progress` events
+/// followed by exactly one terminal event (mirroring [`JobState`]).
+#[derive(Clone, Debug)]
+pub enum JobEvent {
+    /// `done` of `total` points settled.
+    Progress {
+        /// Settled points so far.
+        done: usize,
+        /// Total points in the job.
+        total: usize,
+    },
+    /// Job finished; same fields as [`JobState::Done`].
+    Done {
+        /// Points simulated.
+        sims: usize,
+        /// Points served from the stats store.
+        cached: usize,
+        /// Result payload lines.
+        payload: Vec<String>,
+    },
+    /// Job failed.
+    Failed {
+        /// Single-line failure cause.
+        cause: String,
+    },
+    /// Job was cancelled.
+    Cancelled,
+}
+
+fn terminal_event(state: &JobState) -> Option<JobEvent> {
+    match state {
+        JobState::Done {
+            sims,
+            cached,
+            payload,
+        } => Some(JobEvent::Done {
+            sims: *sims,
+            cached: *cached,
+            payload: payload.clone(),
+        }),
+        JobState::Failed { cause } => Some(JobEvent::Failed {
+            cause: cause.clone(),
+        }),
+        JobState::Cancelled => Some(JobEvent::Cancelled),
+        _ => None,
+    }
+}
+
+struct Job {
+    kind: JobKind,
+    spec: Vec<(String, String)>,
+    state: JobState,
+    cancel: CancelToken,
+    subscribers: Vec<mpsc::Sender<JobEvent>>,
+}
+
+/// A dequeued work item, handed to the executor.
+#[derive(Clone)]
+pub struct WorkItem {
+    /// Job id.
+    pub id: JobId,
+    /// Job kind.
+    pub kind: JobKind,
+    /// Sorted spec pairs as submitted.
+    pub spec: Vec<(String, String)>,
+    /// The job's cancel token; the executor chains the batch under it.
+    pub cancel: CancelToken,
+}
+
+#[derive(Default)]
+struct QueueInner {
+    next_id: JobId,
+    /// Ready jobs ordered by `(priority, id)`: priority classes first,
+    /// FIFO within a class.
+    ready: BTreeSet<(u8, JobId)>,
+    jobs: HashMap<JobId, Job>,
+    shutdown: bool,
+}
+
+/// The shared queue (see module docs).
+#[derive(Default)]
+pub struct JobQueue {
+    inner: Mutex<QueueInner>,
+    dispatch: Condvar,
+}
+
+impl JobQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        JobQueue::default()
+    }
+
+    /// Admits a job; returns its id, or `None` once shutdown has begun.
+    pub fn submit(&self, kind: JobKind, spec: Vec<(String, String)>) -> Option<JobId> {
+        let mut inner = self.lock();
+        if inner.shutdown {
+            return None;
+        }
+        inner.next_id += 1;
+        let id = inner.next_id;
+        inner.jobs.insert(
+            id,
+            Job {
+                kind,
+                spec,
+                state: JobState::Queued,
+                cancel: CancelToken::new(),
+                subscribers: Vec::new(),
+            },
+        );
+        inner.ready.insert((kind.priority(), id));
+        self.dispatch.notify_all();
+        Some(id)
+    }
+
+    /// Blocks until a job is ready (highest priority, FIFO within a
+    /// class), marks it running, and returns it; `None` once shutdown has
+    /// begun and nothing remains to execute.
+    pub fn next_job(&self) -> Option<WorkItem> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(&(prio, id)) = inner.ready.iter().next() {
+                inner.ready.remove(&(prio, id));
+                let job = inner.jobs.get_mut(&id).expect("ready job exists");
+                job.state = JobState::Running { done: 0, total: 0 };
+                return Some(WorkItem {
+                    id,
+                    kind: job.kind,
+                    spec: job.spec.clone(),
+                    cancel: job.cancel.clone(),
+                });
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = self.dispatch.wait(inner).expect("job queue mutex poisoned");
+        }
+    }
+
+    /// Requests cancellation. Queued jobs become terminal immediately
+    /// (they will never run); running jobs get their token cancelled and
+    /// the executor finalizes them at the next poll. Returns a one-word
+    /// description of what happened, or `None` for an unknown id.
+    pub fn cancel(&self, id: JobId) -> Option<&'static str> {
+        let mut inner = self.lock();
+        let prio = inner.jobs.get(&id)?.kind.priority();
+        let job = inner.jobs.get_mut(&id)?;
+        match &job.state {
+            JobState::Queued => {
+                job.state = JobState::Cancelled;
+                job.cancel.cancel();
+                let subs = std::mem::take(&mut job.subscribers);
+                for sub in subs {
+                    let _ = sub.send(JobEvent::Cancelled);
+                }
+                inner.ready.remove(&(prio, id));
+                Some("cancelled")
+            }
+            JobState::Running { .. } => {
+                job.cancel.cancel();
+                Some("cancelling")
+            }
+            JobState::Done { .. } => Some("done"),
+            JobState::Failed { .. } => Some("failed"),
+            JobState::Cancelled => Some("cancelled"),
+        }
+    }
+
+    /// The job's current state, or `None` for an unknown id.
+    pub fn status(&self, id: JobId) -> Option<JobState> {
+        self.lock().jobs.get(&id).map(|j| j.state.clone())
+    }
+
+    /// Whether the job's cancel token has been tripped (used by the
+    /// executor to classify an interrupted batch as cancelled).
+    pub fn cancel_requested(&self, id: JobId) -> bool {
+        self.lock()
+            .jobs
+            .get(&id)
+            .is_some_and(|j| j.cancel.is_cancelled())
+    }
+
+    /// Subscribes to a job's events. For live jobs the receiver yields
+    /// future progress plus the terminal event; for already-terminal jobs
+    /// it yields exactly the terminal event. `None` for an unknown id.
+    pub fn subscribe(&self, id: JobId) -> Option<mpsc::Receiver<JobEvent>> {
+        let mut inner = self.lock();
+        let job = inner.jobs.get_mut(&id)?;
+        let (tx, rx) = mpsc::channel();
+        match terminal_event(&job.state) {
+            Some(event) => {
+                let _ = tx.send(event);
+            }
+            None => job.subscribers.push(tx),
+        }
+        Some(rx)
+    }
+
+    /// Records progress on a running job and fans it out to subscribers
+    /// (dead subscribers are dropped).
+    pub fn progress(&self, id: JobId, done: usize, total: usize) {
+        let mut inner = self.lock();
+        let Some(job) = inner.jobs.get_mut(&id) else {
+            return;
+        };
+        if !matches!(job.state, JobState::Running { .. }) {
+            return;
+        }
+        job.state = JobState::Running { done, total };
+        job.subscribers
+            .retain(|sub| sub.send(JobEvent::Progress { done, total }).is_ok());
+    }
+
+    /// Finalizes a job: records the terminal state, delivers it to every
+    /// subscriber, and drops the subscriber list.
+    pub fn finish(&self, id: JobId, state: JobState) {
+        debug_assert!(state.is_terminal());
+        let mut inner = self.lock();
+        let Some(job) = inner.jobs.get_mut(&id) else {
+            return;
+        };
+        if job.state.is_terminal() {
+            return; // CANCEL of a queued job may have finalized it already
+        }
+        job.state = state;
+        let event = terminal_event(&job.state).expect("terminal state");
+        for sub in std::mem::take(&mut job.subscribers) {
+            let _ = sub.send(event.clone());
+        }
+    }
+
+    /// Begins shutdown: refuses new submissions, cancels every queued and
+    /// running job, and wakes the executor so it can drain and exit.
+    pub fn shutdown(&self) {
+        let mut inner = self.lock();
+        inner.shutdown = true;
+        let queued: Vec<(u8, JobId)> = inner.ready.iter().copied().collect();
+        for (prio, id) in queued {
+            inner.ready.remove(&(prio, id));
+            if let Some(job) = inner.jobs.get_mut(&id) {
+                job.state = JobState::Cancelled;
+                job.cancel.cancel();
+                for sub in std::mem::take(&mut job.subscribers) {
+                    let _ = sub.send(JobEvent::Cancelled);
+                }
+            }
+        }
+        for job in inner.jobs.values() {
+            if !job.state.is_terminal() {
+                job.cancel.cancel();
+            }
+        }
+        self.dispatch.notify_all();
+    }
+
+    /// `(queued, running)` gauge pair for `HEALTH`.
+    pub fn counts(&self) -> (usize, usize) {
+        let inner = self.lock();
+        let queued = inner.ready.len();
+        let running = inner
+            .jobs
+            .values()
+            .filter(|j| matches!(j.state, JobState::Running { .. }))
+            .count();
+        (queued, running)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueInner> {
+        self.inner.lock().expect("job queue mutex poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> Vec<(String, String)> {
+        vec![("ops".to_string(), "100".to_string())]
+    }
+
+    #[test]
+    fn dispatch_order_is_priority_then_fifo() {
+        let q = JobQueue::new();
+        let grid = q.submit(JobKind::Grid, spec()).unwrap();
+        let sweep = q.submit(JobKind::Sweep, spec()).unwrap();
+        let verify = q.submit(JobKind::VerifySecurity, spec()).unwrap();
+        let grid2 = q.submit(JobKind::Grid, spec()).unwrap();
+        let order: Vec<JobId> = (0..4).map(|_| q.next_job().unwrap().id).collect();
+        assert_eq!(order, vec![verify, sweep, grid, grid2]);
+    }
+
+    #[test]
+    fn cancelled_queued_job_never_runs_and_notifies_waiters() {
+        let q = JobQueue::new();
+        let id = q.submit(JobKind::Grid, spec()).unwrap();
+        let rx = q.subscribe(id).unwrap();
+        assert_eq!(q.cancel(id), Some("cancelled"));
+        assert_eq!(q.status(id), Some(JobState::Cancelled));
+        assert!(matches!(rx.recv().unwrap(), JobEvent::Cancelled));
+        // The queue is empty: after shutdown the executor sees no work.
+        q.shutdown();
+        assert!(q.next_job().is_none());
+    }
+
+    #[test]
+    fn subscribing_to_a_terminal_job_yields_its_terminal_event() {
+        let q = JobQueue::new();
+        let id = q.submit(JobKind::Suite, spec()).unwrap();
+        let item = q.next_job().unwrap();
+        assert_eq!(item.id, id);
+        q.progress(id, 3, 22);
+        assert_eq!(q.status(id), Some(JobState::Running { done: 3, total: 22 }));
+        q.finish(
+            id,
+            JobState::Done {
+                sims: 22,
+                cached: 0,
+                payload: vec!["row".to_string()],
+            },
+        );
+        let rx = q.subscribe(id).unwrap();
+        match rx.recv().unwrap() {
+            JobEvent::Done {
+                sims,
+                cached,
+                payload,
+            } => {
+                assert_eq!((sims, cached), (22, 0));
+                assert_eq!(payload, vec!["row".to_string()]);
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelling_a_running_job_trips_its_token() {
+        let q = JobQueue::new();
+        let id = q.submit(JobKind::Sweep, spec()).unwrap();
+        let item = q.next_job().unwrap();
+        assert!(!item.cancel.is_cancelled());
+        assert_eq!(q.cancel(id), Some("cancelling"));
+        assert!(item.cancel.is_cancelled());
+        assert!(q.cancel_requested(id));
+        // The executor finalizes it; late progress is ignored.
+        q.finish(id, JobState::Cancelled);
+        q.progress(id, 5, 10);
+        assert_eq!(q.status(id), Some(JobState::Cancelled));
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work_and_cancels_the_backlog() {
+        let q = JobQueue::new();
+        let id = q.submit(JobKind::Grid, spec()).unwrap();
+        q.shutdown();
+        assert_eq!(q.status(id), Some(JobState::Cancelled));
+        assert!(q.submit(JobKind::Grid, spec()).is_none());
+        assert!(q.next_job().is_none());
+        assert_eq!(q.counts(), (0, 0));
+    }
+}

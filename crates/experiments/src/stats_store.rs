@@ -204,16 +204,42 @@ pub fn decode_stats(bytes: &[u8], expected_name: &str) -> Option<SimStats> {
 
 /// A directory of serialized `SimStats` keyed by
 /// `(benchmark name, ops, seed, fingerprint, format version)`.
+///
+/// Every store carries shared hit/miss counters: [`StatsStore::load`]
+/// counts one hit per successful decode and one miss per absent or
+/// invalid entry. Clones share the counters (they are the same store), so
+/// a long-running process — the `serve` daemon's `METRICS` verb in
+/// particular — can report cache effectiveness across every job it ran.
 #[derive(Clone, Debug)]
 pub struct StatsStore {
     dir: PathBuf,
+    hits: std::sync::Arc<AtomicU64>,
+    misses: std::sync::Arc<AtomicU64>,
 }
 
 impl StatsStore {
     /// A store rooted at `dir` (created lazily on first write).
     #[must_use]
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        StatsStore { dir: dir.into() }
+        StatsStore {
+            dir: dir.into(),
+            hits: std::sync::Arc::new(AtomicU64::new(0)),
+            misses: std::sync::Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Number of [`StatsStore::load`] calls that decoded a valid entry,
+    /// across this store and every clone of it.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of [`StatsStore::load`] calls that missed (absent entry or
+    /// any validation failure), across this store and every clone of it.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 
     /// The store honoring [`STATS_CACHE_ENV`]: `None` when disabled
@@ -261,10 +287,17 @@ impl StatsStore {
     #[must_use]
     pub fn load(&self, name: &str, ops: usize, seed: u64, fp: u64) -> Option<SimStats> {
         let path = self.path_for(name, ops, seed, fp);
-        let bytes = fs::read(&path).ok()?;
+        let Ok(bytes) = fs::read(&path) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
         match decode_stats(&bytes, name) {
-            Some(stats) => Some(stats),
+            Some(stats) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(stats)
+            }
             None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 let _ = fs::remove_file(&path);
                 None
             }
@@ -400,6 +433,25 @@ mod tests {
         assert!(!path.exists(), "bad entry removed");
         store.save("505.mcf", 100, 1, 2, &stats).unwrap();
         assert_eq!(store.load("505.mcf", 100, 1, 2), Some(stats));
+        cleanup(&store);
+    }
+
+    #[test]
+    fn hit_and_miss_counters_track_loads_and_are_shared_by_clones() {
+        let store = temp_store("counters");
+        assert_eq!((store.hits(), store.misses()), (0, 0));
+        // Absent entry: one miss.
+        assert!(store.load("505.mcf", 10, 1, 2).is_none());
+        assert_eq!((store.hits(), store.misses()), (0, 1));
+        // Valid entry: hits, observed through a clone (same store).
+        store.save("505.mcf", 10, 1, 2, &sample_stats()).unwrap();
+        let clone = store.clone();
+        assert!(clone.load("505.mcf", 10, 1, 2).is_some());
+        assert_eq!((store.hits(), store.misses()), (1, 1));
+        // Corrupt entry: a miss, not a hit.
+        crate::faults::corrupt_file(&store.path_for("505.mcf", 10, 1, 2)).unwrap();
+        assert!(store.load("505.mcf", 10, 1, 2).is_none());
+        assert_eq!((store.hits(), store.misses()), (1, 2));
         cleanup(&store);
     }
 

@@ -1,0 +1,493 @@
+//! End-to-end tests of the `sb-experiments serve` daemon through the real
+//! binary and real TCP sockets: concurrent clients receive results
+//! byte-identical to a direct in-process engine run, a warm repeat submit
+//! answers from the stats store with zero simulations (proved by the
+//! `METRICS` cache counters), `CANCEL` reaches into running simulations
+//! and a resubmit heals, injected panics fail one job while the daemon
+//! keeps serving, and every malformed request is a typed `ERR`.
+
+use sb_core::Scheme;
+use sb_experiments::serve::points_payload;
+use sb_experiments::{run_points_with, JobPolicy, RunOptions, RunSpec};
+use sb_uarch::CoreConfig;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_sb-experiments");
+
+/// Everything here is sized so one suite is 22 jobs of 3000 uops.
+const OPS: usize = 3_000;
+const SEED: u64 = 7;
+
+struct Scratch {
+    root: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let root = std::env::temp_dir().join(format!("sb-serve-e2e-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        Scratch { root }
+    }
+
+    fn dir(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+/// The daemon under test: spawned on an OS-assigned port (read back from
+/// its `listening on <addr>` banner), pinned to scratch caches.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn start(scratch: &Scratch, envs: &[(&str, &str)]) -> Daemon {
+        let mut cmd = Command::new(BIN);
+        cmd.args(["serve", "--addr", "127.0.0.1:0"])
+            .env_remove("SB_FAULT_INJECT")
+            .env("SB_STATS_CACHE", scratch.dir("stats"))
+            .env("SB_TRACE_CACHE", scratch.dir("traces"))
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().expect("spawn daemon");
+        let stdout = child.stdout.take().expect("daemon stdout");
+        let mut banner = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut banner)
+            .expect("read daemon banner");
+        let addr = banner
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    fn connect(&self) -> Conn {
+        Conn::open(&self.addr)
+    }
+
+    /// Runs the one-shot `submit` client against this daemon, as CI does.
+    fn submit_cli(&self, words: &[&str]) -> Output {
+        Command::new(BIN)
+            .args(["submit", "--addr", &self.addr])
+            .args(words)
+            .output()
+            .expect("spawn submit client")
+    }
+
+    /// Graceful stop: `SHUTDOWN` must make the process exit 0.
+    fn shutdown(&mut self) -> std::process::ExitStatus {
+        let mut conn = self.connect();
+        conn.send("SHUTDOWN");
+        assert_eq!(conn.recv(), "OK shutting-down");
+        self.child.wait().expect("wait for daemon")
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One protocol connection; requests time out rather than hang a test.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Conn {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(300)))
+            .unwrap();
+        Conn {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).unwrap();
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read reply");
+        assert!(n > 0, "daemon closed the connection");
+        line.trim_end_matches(['\n', '\r']).to_string()
+    }
+
+    /// `SUBMIT …` → the new job id.
+    fn submit(&mut self, line: &str) -> u64 {
+        self.send(line);
+        let reply = self.recv();
+        reply
+            .strip_prefix("OK id=")
+            .unwrap_or_else(|| panic!("submit failed: {reply}"))
+            .parse()
+            .expect("job id")
+    }
+
+    /// `WAIT <id>` → events counted, terminal line, payload lines.
+    fn wait(&mut self, id: u64) -> WaitOutcome {
+        self.send(&format!("WAIT {id}"));
+        self.drain_wait()
+    }
+
+    fn drain_wait(&mut self) -> WaitOutcome {
+        loop {
+            let line = self.recv();
+            if line.starts_with("EVENT ") {
+                // Progress streaming is covered deterministically by the
+                // cancellation test; here events are simply drained.
+                continue;
+            }
+            let payload = if line.starts_with("DONE ") {
+                let n: usize = line
+                    .rsplit_once("lines=")
+                    .and_then(|(_, n)| n.parse().ok())
+                    .unwrap_or_else(|| panic!("malformed DONE: {line}"));
+                (0..n).map(|_| self.recv()).collect()
+            } else {
+                Vec::new()
+            };
+            return WaitOutcome {
+                terminal: line,
+                payload,
+            };
+        }
+    }
+
+    /// `HEALTH` / `METRICS` → the counted table body.
+    fn counted(&mut self, verb: &str) -> Vec<String> {
+        self.send(verb);
+        let head = self.recv();
+        let n: usize = head
+            .strip_prefix("OK lines=")
+            .unwrap_or_else(|| panic!("{verb} failed: {head}"))
+            .parse()
+            .expect("line count");
+        (0..n).map(|_| self.recv()).collect()
+    }
+}
+
+struct WaitOutcome {
+    terminal: String,
+    payload: Vec<String>,
+}
+
+/// Reads one counter out of a rendered `METRICS`/`HEALTH` table.
+fn table_value(rows: &[String], name: &str) -> u64 {
+    rows.iter()
+        .find(|r| r.split_whitespace().next() == Some(name))
+        .and_then(|r| r.split_whitespace().last())
+        .unwrap_or_else(|| panic!("no row {name} in {rows:?}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {name} in {rows:?}"))
+}
+
+/// The reference result: a direct in-process engine run with no store.
+fn direct_payload(points: &[(CoreConfig, Scheme)]) -> Vec<String> {
+    let opts = RunOptions {
+        policy: JobPolicy::default(),
+        resume: false,
+        store: None,
+        progress: None,
+    };
+    let (grid, report) = run_points_with(
+        points,
+        &RunSpec {
+            ops: OPS,
+            seed: SEED,
+        },
+        &opts,
+    );
+    assert!(report.ok(), "{}", report.render_failures());
+    points_payload(&grid, points).unwrap()
+}
+
+#[test]
+fn concurrent_clients_get_results_byte_identical_to_direct_runs() {
+    let scratch = Scratch::new("concurrent");
+    let daemon = Daemon::start(&scratch, &[]);
+
+    // 4 concurrent clients, overlapping points: two ask for the same
+    // baseline suite, two for the same NDA suite.
+    let schemes = ["baseline", "nda", "baseline", "nda"];
+    let payloads: Vec<(usize, Vec<String>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = schemes
+            .iter()
+            .enumerate()
+            .map(|(i, scheme)| {
+                let addr = daemon.addr.clone();
+                s.spawn(move || {
+                    let mut conn = Conn::open(&addr);
+                    let id = conn.submit(&format!(
+                        "SUBMIT suite config=small scheme={scheme} ops={OPS} seed={SEED}"
+                    ));
+                    let out = conn.wait(id);
+                    assert!(
+                        out.terminal.starts_with(&format!("DONE {id} ")),
+                        "client {i}: {}",
+                        out.terminal
+                    );
+                    (i, out.payload)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let baseline_ref = direct_payload(&[(CoreConfig::small(), Scheme::Baseline)]);
+    let nda_ref = direct_payload(&[(CoreConfig::small(), Scheme::Nda)]);
+    assert_eq!(baseline_ref.len(), 23, "header + 22 rows");
+    for (i, payload) in &payloads {
+        let reference = if i % 2 == 0 { &baseline_ref } else { &nda_ref };
+        assert_eq!(
+            payload, reference,
+            "client {i}'s served payload must be byte-identical to the direct engine run"
+        );
+    }
+}
+
+#[test]
+fn warm_repeat_submit_is_served_from_cache_with_zero_simulations() {
+    let scratch = Scratch::new("warm");
+    let mut daemon = Daemon::start(&scratch, &[]);
+
+    let mut conn = daemon.connect();
+    let id = conn.submit(&format!(
+        "SUBMIT suite config=small scheme=stt-issue ops={OPS} seed={SEED}"
+    ));
+    let cold = conn.wait(id);
+    assert!(
+        cold.terminal == format!("DONE {id} sims=22 cached=false lines=23"),
+        "{}",
+        cold.terminal
+    );
+
+    // Repeat through the one-shot CLI client, as the CI smoke job does.
+    let rerun = daemon.submit_cli(&[
+        "SUBMIT",
+        "suite",
+        "config=small",
+        "scheme=stt-issue",
+        &format!("ops={OPS}"),
+        &format!("seed={SEED}"),
+    ]);
+    assert!(rerun.status.success());
+    let stdout = String::from_utf8_lossy(&rerun.stdout);
+    assert!(
+        stdout.contains("sims=0 cached=true"),
+        "a warm repeat must simulate nothing: {stdout}"
+    );
+    // The payload the client printed matches the cold run's.
+    for line in &cold.payload {
+        assert!(stdout.contains(line.as_str()), "missing payload row {line}");
+    }
+
+    // METRICS proves it: exactly 22 stats-store hits, 22 cached points.
+    let metrics = conn.counted("METRICS");
+    assert_eq!(table_value(&metrics, "cache_hits"), 22);
+    assert_eq!(table_value(&metrics, "points_cached"), 22);
+    assert_eq!(table_value(&metrics, "points_simulated"), 22);
+    assert_eq!(table_value(&metrics, "jobs_completed"), 2);
+    assert_eq!(table_value(&metrics, "sim_ops"), 22 * OPS as u64);
+
+    assert!(daemon.shutdown().success(), "SHUTDOWN must exit 0");
+}
+
+#[test]
+fn cancel_mid_sweep_returns_promptly_and_resubmit_heals() {
+    let scratch = Scratch::new("cancel");
+    let daemon = Daemon::start(&scratch, &[]);
+    let sweep = "SUBMIT sweep base=small width=1,2 scheme=baseline,nda ops=8000 seed=7";
+    const TOTAL: u64 = 88; // 4 points x 22 benchmarks
+
+    let mut waiter = daemon.connect();
+    let id = waiter.submit(sweep);
+    waiter.send(&format!("WAIT {id}"));
+    // Wait for the first progress event so the cancel lands mid-run.
+    let first = waiter.recv();
+    assert!(first.starts_with(&format!("EVENT {id} point ")), "{first}");
+
+    let mut canceller = daemon.connect();
+    canceller.send(&format!("CANCEL {id}"));
+    let t0 = Instant::now();
+    assert_eq!(canceller.recv(), format!("OK {id} cancelling"));
+
+    // Running simulations park at their next CANCEL_POLL_CYCLES batch and
+    // queued jobs never start, so the terminal event is prompt.
+    let out = waiter.drain_wait();
+    assert_eq!(out.terminal, format!("CANCELLED {id}"));
+    assert!(
+        t0.elapsed() < Duration::from_secs(60),
+        "cancellation took {:?}",
+        t0.elapsed()
+    );
+    canceller.send(&format!("STATUS {id}"));
+    assert_eq!(canceller.recv(), format!("OK {id} cancelled"));
+
+    // The store stayed consistent: an identical resubmit heals, serving
+    // every point that settled before the cancel from cache.
+    let mut conn = daemon.connect();
+    let id2 = conn.submit(sweep);
+    let healed = conn.wait(id2);
+    assert!(
+        healed.terminal.starts_with(&format!("DONE {id2} ")),
+        "{}",
+        healed.terminal
+    );
+    // Daemon-global tallies across both jobs: a point that settled before
+    // the cancel was saved, is served from the store on the resubmit, and
+    // is never simulated twice — so simulations total exactly one sweep.
+    let metrics = conn.counted("METRICS");
+    let sims = table_value(&metrics, "points_simulated");
+    let cached = table_value(&metrics, "points_cached");
+    assert_eq!(
+        sims, TOTAL,
+        "each point simulates exactly once across the cancelled run and the heal"
+    );
+    assert!(
+        cached >= 1,
+        "points settled before the cancel must be reused"
+    );
+    assert_eq!(table_value(&metrics, "jobs_cancelled"), 1);
+    assert_eq!(table_value(&metrics, "jobs_completed"), 1);
+}
+
+#[test]
+fn injected_panic_fails_one_job_and_the_daemon_keeps_serving() {
+    let scratch = Scratch::new("faults");
+    let mut daemon = Daemon::start(&scratch, &[("SB_FAULT_INJECT", "panic@30")]);
+
+    // A grid job has 88 sub-jobs: index 30 panics, the job fails typed.
+    let mut conn = daemon.connect();
+    let id = conn.submit(&format!("SUBMIT grid config=small ops={OPS} seed={SEED}"));
+    let out = conn.wait(id);
+    assert!(
+        out.terminal.starts_with(&format!("FAILED {id} ")),
+        "{}",
+        out.terminal
+    );
+    assert!(
+        out.terminal.contains("panic@30"),
+        "the failure names the injected fault: {}",
+        out.terminal
+    );
+    conn.send(&format!("STATUS {id}"));
+    assert!(conn.recv().starts_with(&format!("OK {id} failed ")));
+
+    // The daemon is alive and still executes jobs: a suite has only 22
+    // sub-jobs, so the armed fault at index 30 never fires.
+    let id2 = conn.submit(&format!(
+        "SUBMIT suite config=small scheme=baseline ops={OPS} seed={SEED}"
+    ));
+    let ok = conn.wait(id2);
+    assert!(
+        ok.terminal.starts_with(&format!("DONE {id2} ")),
+        "daemon must keep serving after an injected panic: {}",
+        ok.terminal
+    );
+
+    let metrics = conn.counted("METRICS");
+    assert_eq!(table_value(&metrics, "jobs_failed"), 1);
+    assert_eq!(table_value(&metrics, "jobs_completed"), 1);
+    let health = conn.counted("HEALTH");
+    assert!(health
+        .iter()
+        .any(|r| r.starts_with("status") && r.ends_with("ok")));
+    assert!(daemon.shutdown().success());
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_and_never_kill_the_daemon() {
+    let scratch = Scratch::new("proto");
+    let daemon = Daemon::start(&scratch, &[]);
+    let mut conn = daemon.connect();
+
+    for (request, code) in [
+        ("FROBNICATE 1", "ERR unknown-verb"),
+        ("SUBMIT teapot x=1", "ERR unknown-job-kind"),
+        ("SUBMIT grid ops", "ERR bad-spec-token"),
+        ("SUBMIT suite config=small", "ERR bad-spec"),
+        ("SUBMIT grid config=warp9", "ERR bad-spec"),
+        ("STATUS 999", "ERR unknown-job"),
+        ("WAIT nope", "ERR bad-job-id"),
+        ("", "ERR empty-request"),
+        ("HEALTH please", "ERR trailing-args"),
+    ] {
+        conn.send(request);
+        let reply = conn.recv();
+        assert!(
+            reply.starts_with(code),
+            "{request:?} should yield {code}, got {reply}"
+        );
+    }
+    // Raw binary garbage on the same connection: one typed error.
+    conn.send_raw(&[0xff, 0xfe, 0x01, b'\n']);
+    assert!(conn.recv().starts_with("ERR not-utf8"));
+
+    // The daemon survived all of it.
+    let health = conn.counted("HEALTH");
+    assert!(health
+        .iter()
+        .any(|r| r.starts_with("status") && r.ends_with("ok")));
+}
+
+#[test]
+fn fresh_daemon_renders_zeroed_tables_and_shuts_down_cleanly() {
+    let scratch = Scratch::new("fresh");
+    let mut daemon = Daemon::start(&scratch, &[]);
+    let mut conn = daemon.connect();
+
+    // Regression guard (PR 4 class): the brand-new daemon has zero jobs
+    // and zero counters, and both tables must still render — header,
+    // rule, one row per field.
+    let metrics = conn.counted("METRICS");
+    assert_eq!(metrics.len(), 12, "{metrics:?}");
+    assert!(metrics[1].chars().all(|c| c == '-'), "{metrics:?}");
+    for counter in [
+        "jobs_accepted",
+        "jobs_completed",
+        "jobs_failed",
+        "jobs_cancelled",
+        "points_simulated",
+        "points_cached",
+        "sim_ops",
+        "cache_hits",
+        "cache_misses",
+    ] {
+        assert_eq!(table_value(&metrics, counter), 0, "{counter}");
+    }
+    let health = conn.counted("HEALTH");
+    assert_eq!(health.len(), 6, "{health:?}");
+    assert_eq!(table_value(&health, "queued"), 0);
+    assert_eq!(table_value(&health, "running"), 0);
+
+    assert!(daemon.shutdown().success(), "SHUTDOWN must exit 0");
+}

@@ -1,0 +1,176 @@
+//! Property tests for the daemon's wire protocol (via the offline
+//! proptest shim): render→parse round-trip identity under arbitrary spec
+//! token rotation, total parsing (any byte garbage yields exactly one
+//! typed `ERR`, never a panic), and framing that survives arbitrarily
+//! split or coalesced TCP reads.
+
+use proptest::prelude::*;
+use sb_experiments::serve::proto::{
+    err_line, parse_request, parse_request_bytes, render, JobKind, LineFramer, Request,
+};
+
+/// Spec-key pool: realistic submission keys, all distinct.
+const KEYS: [&str; 8] = [
+    "base",
+    "config",
+    "ops",
+    "replicates",
+    "rob",
+    "scheme",
+    "seed",
+    "width",
+];
+
+/// Value alphabet: the characters real spec values are made of (no
+/// whitespace, no `=`).
+const VALUE_CHARS: [char; 12] = ['a', 'z', '0', '9', '3', '-', '.', ',', 'x', 's', 'm', '7'];
+
+fn value_from(draws: &[u8]) -> String {
+    draws
+        .iter()
+        .map(|&b| VALUE_CHARS[b as usize % VALUE_CHARS.len()])
+        .collect()
+}
+
+fn kind_from(draw: u8) -> JobKind {
+    [
+        JobKind::Grid,
+        JobKind::Suite,
+        JobKind::Sweep,
+        JobKind::VerifySecurity,
+    ][draw as usize % 4]
+}
+
+/// Every `ERR` code the parser can produce (pinned: clients dispatch on
+/// these strings).
+const ERR_CODES: [&str; 10] = [
+    "empty-request",
+    "not-utf8",
+    "line-too-long",
+    "unknown-verb",
+    "missing-arg",
+    "bad-job-id",
+    "unknown-job-kind",
+    "bad-spec-token",
+    "duplicate-spec-key",
+    "trailing-args",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A `SUBMIT` built from any spec pairs round-trips identically, and
+    /// rotating the token order on the wire parses to the same request —
+    /// canonical order is part of the parse, not the client's job.
+    #[test]
+    fn submit_roundtrip_is_token_order_invariant(
+        kind_draw in 0u8..4,
+        pair_draws in prop::collection::vec((0usize..8, prop::collection::vec(0u8..255, 1..8)), 0..6),
+        rot in 0usize..8,
+    ) {
+        let kind = kind_from(kind_draw);
+        // Dedup keys (duplicates are a typed error, tested separately).
+        let mut seen = std::collections::BTreeSet::new();
+        let mut tokens: Vec<String> = Vec::new();
+        for (ki, draws) in &pair_draws {
+            if seen.insert(*ki) {
+                tokens.push(format!("{}={}", KEYS[*ki], value_from(draws)));
+            }
+        }
+        let canonical = format!("SUBMIT {} {}", kind.verb(), tokens.join(" "));
+        let req = parse_request(canonical.trim()).unwrap();
+        // Identity: render ∘ parse is a fixed point.
+        prop_assert_eq!(parse_request(&render(&req)).unwrap(), req.clone());
+        // Rotation invariance: any cyclic shift of the spec tokens parses
+        // to the same request.
+        if !tokens.is_empty() {
+            let r = rot % tokens.len();
+            let mut rotated = tokens[r..].to_vec();
+            rotated.extend_from_slice(&tokens[..r]);
+            let line = format!("SUBMIT {} {}", kind.verb(), rotated.join(" "));
+            prop_assert_eq!(parse_request(line.trim()).unwrap(), req);
+        }
+    }
+
+    /// Control verbs round-trip for every job id.
+    #[test]
+    fn control_verbs_roundtrip(id in 0u64..u64::MAX, which in 0u8..6) {
+        let req = match which {
+            0 => Request::Status(id),
+            1 => Request::Cancel(id),
+            2 => Request::Wait(id),
+            3 => Request::Health,
+            4 => Request::Metrics,
+            _ => Request::Shutdown,
+        };
+        prop_assert_eq!(parse_request(&render(&req)).unwrap(), req);
+    }
+
+    /// Total parsing: arbitrary byte garbage never panics; every failure
+    /// is one single-line `ERR` with a known code.
+    #[test]
+    fn garbage_bytes_yield_exactly_one_typed_err(
+        bytes in prop::collection::vec(0u8..255, 0..200),
+    ) {
+        match parse_request_bytes(&bytes) {
+            Ok(req) => {
+                // Whatever accidentally parsed must round-trip.
+                prop_assert_eq!(parse_request(&render(&req)).unwrap(), req);
+            }
+            Err(e) => {
+                let line = err_line(&e);
+                prop_assert!(line.starts_with("ERR "));
+                prop_assert!(!line.contains('\n') && !line.contains('\r'));
+                let code = line.split_whitespace().nth(1).unwrap_or("");
+                prop_assert!(
+                    ERR_CODES.contains(&code),
+                    "unknown ERR code {} in {}",
+                    code,
+                    line
+                );
+            }
+        }
+    }
+
+    /// Framing is chunking-invariant: however a byte stream is split
+    /// across reads, the framer yields exactly the lines a single
+    /// all-at-once read would.
+    #[test]
+    fn framing_survives_split_and_coalesced_reads(
+        line_draws in prop::collection::vec(
+            (prop::collection::vec(0u8..255, 0..12), any::<bool>()),
+            0..8,
+        ),
+        cuts in prop::collection::vec(0usize..64, 0..12),
+    ) {
+        // Build a stream of lines (mixed \n and \r\n terminators) whose
+        // bodies never contain terminator bytes.
+        let mut stream: Vec<u8> = Vec::new();
+        let mut expected: Vec<Vec<u8>> = Vec::new();
+        for (draws, crlf) in &line_draws {
+            let body: Vec<u8> = value_from(draws).into_bytes();
+            expected.push(body.clone());
+            stream.extend_from_slice(&body);
+            if *crlf {
+                stream.push(b'\r');
+            }
+            stream.push(b'\n');
+        }
+        // Reference: one coalesced read.
+        let mut whole = LineFramer::new();
+        prop_assert_eq!(whole.push(&stream), expected.clone());
+        // Chunked: cut the stream at arbitrary points (sorted, clamped).
+        let mut splits: Vec<usize> = cuts.iter().map(|&c| c % (stream.len() + 1)).collect();
+        splits.sort_unstable();
+        let mut chunked = LineFramer::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        let mut prev = 0;
+        for s in splits {
+            got.extend(chunked.push(&stream[prev..s]));
+            prev = s;
+        }
+        got.extend(chunked.push(&stream[prev..]));
+        prop_assert_eq!(got, expected);
+        prop_assert!(chunked.pending().is_empty());
+    }
+}
