@@ -21,3 +21,5 @@
 //! (`crates/shims/criterion`), API-compatible with the real crate for
 //! the subset used here; `CRITERION_SHIM_MS` bounds each measurement
 //! window (CI uses a short window as a smoke test).
+
+#![forbid(unsafe_code)]

@@ -22,6 +22,8 @@
 //! here is deterministic, allocation-light data-structure logic that can be
 //! tested in isolation.
 
+#![forbid(unsafe_code)]
+
 mod broadcast;
 mod rename_taint;
 mod scheme;

@@ -6,6 +6,9 @@
 //! criterion benches in `sb-bench` reuse the same entry points at reduced
 //! trace lengths.
 
+#![forbid(unsafe_code)]
+
+pub mod analyze;
 pub mod bench;
 pub mod dse;
 mod engine;
@@ -18,6 +21,10 @@ pub mod security;
 pub mod serve;
 pub mod stats_store;
 
+pub use analyze::{
+    analyze_battery, analyze_security, extended_claims_audit, perturb_battery_claim,
+    static_matrix_report, ExtendedAudit, StaticCell, StaticVerdict,
+};
 pub use engine::{
     bench_trace, run_bench, run_bench_on_trace, run_grid, run_grid_with, run_points_with,
     run_suite, ExperimentError, GridResults, ProgressSink, RunOptions, RunReport, RunSpec,

@@ -8,6 +8,8 @@
 //! sb-experiments bench [--ops N] [--seed S] [--bench-json PATH]
 //! sb-experiments verify-security [--out DIR] [--threat-model spectre|futuristic|both]
 //!                [--job-deadline SECS] [--run-budget SECS] [--inject-faults SPEC]
+//! sb-experiments analyze-security [--out DIR] [--threat-model spectre|futuristic|both]
+//!                [--self-check] [--perturb-claim SCENARIO]
 //! sb-experiments sweep (--spec SPEC | --from-manifest PATH) [--top N] [--out DIR]
 //!                [--ops N] [--seed S] [--no-trace-cache] [--resume]
 //!                [--job-deadline SECS] [--run-budget SECS] [--inject-faults SPEC]
@@ -57,6 +59,15 @@
 //! scenario while STT-Rename, STT-Issue and NDA leak on none the judged
 //! model claims — identically under both schedulers.
 //!
+//! `analyze-security` renders the same matrix *statically*: the abstract
+//! interpreter (`sb-analysis`) computes each cell's must/may leak bracket
+//! and audits every kernel's hand-written claim constants with zero
+//! cycles simulated, exiting nonzero on any unprovable claim or audit
+//! drift. `--self-check` extends the audit across every encodable secret
+//! and a spread of fuzzed attack variants; `--perturb-claim SCENARIO`
+//! deliberately corrupts that kernel's constants so the run must fail —
+//! CI's proof that the audit actually trips.
+//!
 //! `sweep` runs a declarative design-space sweep: `--spec` takes a
 //! whitespace-separated `key=value` list (axes like `rob=32..128:32
 //! width=2,4`, plus `base=`, `preset=boom|gem5`, `scheme=`,
@@ -76,12 +87,14 @@ use sb_experiments::dse::{
     leaderboard, leaderboard_csv, leaderboard_table, manifest_json, parse_manifest, run_sweep,
     SweepSpec,
 };
+use sb_experiments::security::BATTERY_SECRET;
 use sb_experiments::serve::{run_client, serve, ServeOptions};
 use sb_experiments::{
-    fig10_report, fig1_table3_report, fig6_report, fig7_report, fig8_report, fig9_report,
-    run_grid_with, sec92_report, security_matrix_report, security_report, table1_report,
-    table4_report, table5_report, verify_security_with, ExperimentError, FaultPlan, GridResults,
-    JobPolicy, Report, RunOptions, RunSpec, StatsStore,
+    analyze_battery, extended_claims_audit, fig10_report, fig1_table3_report, fig6_report,
+    fig7_report, fig8_report, fig9_report, perturb_battery_claim, run_grid_with, sec92_report,
+    security_matrix_report, security_report, static_matrix_report, table1_report, table4_report,
+    table5_report, verify_security_with, ExperimentError, FaultPlan, GridResults, JobPolicy,
+    Report, RunOptions, RunSpec, StatsStore,
 };
 use sb_uarch::CoreConfig;
 use std::path::PathBuf;
@@ -95,7 +108,7 @@ const EXPERIMENT_NAMES: &[&str] = &[
 ];
 
 /// Subcommands: run alone, with their own flag sets.
-const SUBCOMMANDS: &[&str] = &["bench", "verify-security", "sweep"];
+const SUBCOMMANDS: &[&str] = &["bench", "verify-security", "analyze-security", "sweep"];
 
 const USAGE: &str =
     "usage: sb-experiments [--ops N] [--seed S] [--out DIR] [--no-trace-cache] [--resume]\n\
@@ -105,6 +118,8 @@ const USAGE: &str =
      or: sb-experiments bench [--ops N] [--seed S] [--bench-json PATH]\n\
      or: sb-experiments verify-security [--out DIR] [--threat-model spectre|futuristic|both]\n\
      \x20                     [--job-deadline SECS] [--run-budget SECS] [--inject-faults SPEC]\n\
+     or: sb-experiments analyze-security [--out DIR] [--threat-model spectre|futuristic|both]\n\
+     \x20                     [--self-check] [--perturb-claim SCENARIO]\n\
      or: sb-experiments sweep (--spec SPEC | --from-manifest PATH) [--top N] [--out DIR]\n\
      \x20                     [--ops N] [--seed S] [--no-trace-cache] [--resume]\n\
      \x20                     [--job-deadline SECS] [--run-budget SECS] [--inject-faults SPEC]\n\
@@ -133,6 +148,8 @@ struct Args {
     sweep_spec: Option<String>,
     from_manifest: Option<PathBuf>,
     top: Option<usize>,
+    self_check: bool,
+    perturb_claim: Option<String>,
     no_trace_cache: bool,
     resume: bool,
     job_deadline: Option<Duration>,
@@ -185,6 +202,8 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut sweep_spec = None;
     let mut from_manifest = None;
     let mut top = None;
+    let mut self_check = false;
+    let mut perturb_claim = None;
     let mut no_trace_cache = false;
     let mut resume = false;
     let mut job_deadline = None;
@@ -229,6 +248,14 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
             "--top" => {
                 top = Some(flag_value("--top", it.next())?);
                 flags_given.push("--top");
+            }
+            "--self-check" => {
+                self_check = true;
+                flags_given.push("--self-check");
+            }
+            "--perturb-claim" => {
+                perturb_claim = Some(it.next().ok_or("--perturb-claim requires a value")?);
+                flags_given.push("--perturb-claim");
             }
             "--no-trace-cache" => {
                 no_trace_cache = true;
@@ -315,6 +342,10 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
                 "--run-budget",
                 "--inject-faults",
             ],
+            // analyze-security is pure computation: no job layer, no
+            // caches — only the model axis, the output dir and its own
+            // audit controls.
+            "analyze-security" => &["--out", "--threat-model", "--self-check", "--perturb-claim"],
             // verify-security runs on the job layer but has no stats
             // store, so --resume stays rejected.
             _ => &[
@@ -346,6 +377,8 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
             ("--spec", "sweep"),
             ("--from-manifest", "sweep"),
             ("--top", "sweep"),
+            ("--self-check", "analyze-security"),
+            ("--perturb-claim", "analyze-security"),
         ] {
             if flags_given.contains(&flag) {
                 return Err(format!(
@@ -354,6 +387,16 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
                 ));
             }
         }
+    }
+    // --perturb-claim is the audit's negative-path smoke: it only makes
+    // sense alongside --self-check, the mode whose job is to prove the
+    // audit machinery trips.
+    if perturb_claim.is_some() && !self_check {
+        return Err(
+            "--perturb-claim requires --self-check (it deliberately corrupts a \
+                    claim to prove the audit fails)"
+                .into(),
+        );
     }
     // The sweep's inputs are mutually exclusive ways of naming the same
     // run: a manifest *is* the spec+ops+seed bundle, so combining it with
@@ -389,6 +432,8 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
         sweep_spec,
         from_manifest,
         top,
+        self_check,
+        perturb_claim,
         no_trace_cache,
         resume,
         job_deadline,
@@ -453,6 +498,61 @@ fn run_verify_security(args: &Args, policy: &JobPolicy) {
     }
     eprintln!("CSV written to {}", args.out.display());
     if !verdict.ok {
+        std::process::exit(1);
+    }
+}
+
+/// The `analyze-security` subcommand: the static must/may matrix plus the
+/// claims audit — zero cycles simulated.
+fn run_analyze_security(args: &Args) {
+    let models = args
+        .threat_models
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("+");
+    eprintln!(
+        "analyzing security statically: 8-scenario attack battery x 4 schemes x {models}, \
+         zero simulations..."
+    );
+    let mut battery = sb_workloads::attack_battery(BATTERY_SECRET);
+    if let Some(scenario) = &args.perturb_claim {
+        if !perturb_battery_claim(&mut battery, scenario) {
+            eprintln!("error: --perturb-claim: no battery scenario named '{scenario}'");
+            std::process::exit(2);
+        }
+        eprintln!("perturbed the '{scenario}' claim constants: this run must now fail");
+    }
+    let verdict = analyze_battery(&battery, &args.threat_models);
+    let report = static_matrix_report(&verdict);
+    println!("{}", report.text);
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+    for (name, csv) in &report.csv {
+        std::fs::write(args.out.join(name), csv).expect("write csv");
+    }
+    eprintln!("CSV written to {}", args.out.display());
+    let mut ok = verdict.ok;
+    if args.self_check {
+        let audit = extended_claims_audit();
+        if audit.drifts.is_empty() {
+            eprintln!(
+                "self-check: claims audit clean across {} batteries \
+                 (16 secrets + 8 fuzzed variants)",
+                audit.batteries_checked
+            );
+        } else {
+            eprintln!(
+                "self-check: {} claim drift(s) across {} batteries:",
+                audit.drifts.len(),
+                audit.batteries_checked
+            );
+            for d in &audit.drifts {
+                eprintln!("  {d}");
+            }
+            ok = false;
+        }
+    }
+    if !ok {
         std::process::exit(1);
     }
 }
@@ -697,6 +797,10 @@ fn main() {
     }
     if args.experiments.iter().any(|e| e == "verify-security") {
         run_verify_security(&args, &policy);
+        return;
+    }
+    if args.experiments.iter().any(|e| e == "analyze-security") {
+        run_analyze_security(&args);
         return;
     }
     if args.experiments.iter().any(|e| e == "sweep") {
@@ -971,6 +1075,75 @@ mod tests {
         // Each subcommand's own flags still parse.
         assert!(parse(&["verify-security", "--out", "/tmp/x"]).is_ok());
         assert!(parse(&["bench", "--ops", "4000", "--bench-json", "/tmp/b.json"]).is_ok());
+    }
+
+    #[test]
+    fn analyze_security_flags_parse_strictly() {
+        let a = parse(&["analyze-security"]).unwrap();
+        assert_eq!(a.experiments, vec!["analyze-security"]);
+        assert!(!a.self_check && a.perturb_claim.is_none());
+        let a = parse(&[
+            "analyze-security",
+            "--threat-model",
+            "both",
+            "--out",
+            "/tmp/x",
+            "--self-check",
+            "--perturb-claim",
+            "spectre-v1",
+        ])
+        .unwrap();
+        assert!(a.self_check);
+        assert_eq!(a.perturb_claim.as_deref(), Some("spectre-v1"));
+        assert_eq!(a.threat_models.len(), 2);
+        // Pure computation: the job layer and the simulators' knobs are
+        // rejected, not silently ignored.
+        for flags in [
+            &["analyze-security", "--ops", "5000"][..],
+            &["analyze-security", "--job-deadline", "5"],
+            &["analyze-security", "--inject-faults", "panic@0"],
+            &["analyze-security", "--resume"],
+        ] {
+            let err = parse(flags).unwrap_err();
+            assert!(err.contains("analyze-security"), "{err}");
+        }
+    }
+
+    #[test]
+    fn perturb_claim_requires_self_check() {
+        let err = parse(&["analyze-security", "--perturb-claim", "ssb"]).unwrap_err();
+        assert!(err.contains("--self-check"), "{err}");
+        let err = parse(&["analyze-security", "--perturb-claim"]).unwrap_err();
+        assert!(err.contains("--perturb-claim requires a value"), "{err}");
+    }
+
+    #[test]
+    fn audit_flags_are_rejected_outside_analyze_security() {
+        let err = parse(&["--self-check"]).unwrap_err();
+        assert!(
+            err.contains("--self-check") && err.contains("analyze-security"),
+            "{err}"
+        );
+        let err = parse(&["verify-security", "--self-check"]).unwrap_err();
+        assert!(err.contains("--self-check"), "{err}");
+        let err = parse(&[
+            "sweep",
+            "--spec",
+            "base=mega",
+            "--self-check",
+            "--perturb-claim",
+            "ssb",
+        ])
+        .unwrap_err();
+        assert!(err.contains("sweep"), "{err}");
+    }
+
+    #[test]
+    fn analyze_security_accepts_the_threat_model_axis() {
+        let a = parse(&["analyze-security", "--threat-model", "spectre"]).unwrap();
+        assert_eq!(a.threat_models, vec![ThreatModel::Spectre]);
+        let err = parse(&["analyze-security", "--threat-model", "sputnik"]).unwrap_err();
+        assert!(err.contains("sputnik"), "{err}");
     }
 
     #[test]

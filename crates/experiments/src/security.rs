@@ -35,6 +35,15 @@
 //! budget becomes a [`JobError`] in [`SecurityVerdict::job_failures`]
 //! instead of taking down the whole verification, and the matrix report
 //! renders the surviving cells plus the failures.
+//!
+//! Every cell is additionally cross-checked against the *static* analyzer
+//! ([`sb_analysis`]): the dynamic leak set of each scheduler must sit
+//! inside the statically computed bracket, `must ⊆ dynamic ⊆ may`, and a
+//! broken containment becomes a typed [`sb_analysis::SoundnessError`] in
+//! the cell's failures. The kernel's claim constants are audited against
+//! the analyzer too ([`ScenarioVerdict::claims_verified`]), and the CSV's
+//! `claims_source` column records whether each row was judged against
+//! statically verified claims or hand-written ones.
 
 use crate::jobs::{self, JobCtx, JobError, JobFailure, JobPolicy};
 use crate::render::format_table;
@@ -97,6 +106,12 @@ pub struct ScenarioVerdict {
     pub reference: LeakMeasurement,
     /// Whether both schedulers agreed on the full measurement.
     pub scheduler_independent: bool,
+    /// Whether the static claims audit reproduced this kernel's
+    /// hand-written `expected_slots`/`allowed_slots`/`min_model` exactly —
+    /// `true` means the row was judged against statically *verified*
+    /// claims (`claims_source = static` in the CSV), `false` that the
+    /// constants are trusted hand-written inputs.
+    pub claims_verified: bool,
     /// Whether the cell satisfies the security property.
     pub pass: bool,
     /// Human-readable failure explanations (empty when `pass`).
@@ -244,11 +259,34 @@ fn judge_in(
         }
     }
 
+    // Static/dynamic cross-check: both schedulers' measurements must fall
+    // inside the abstract interpreter's bracket. This is independent of
+    // the claim assertions above — it catches a simulator and a claim
+    // drifting together.
+    let bounds = sb_analysis::analyze_kernel(kernel, scheme, threat_model);
+    let name = kernel.trace.name();
+    for err in
+        sb_analysis::check_soundness(name, scheme, threat_model, "wheel", &bounds, &wheel.slots)
+            .into_iter()
+            .chain(sb_analysis::check_soundness(
+                name,
+                scheme,
+                threat_model,
+                "reference",
+                &bounds,
+                &reference.slots,
+            ))
+    {
+        failures.push(err.to_string());
+    }
+    let claims_verified = sb_analysis::audit_kernel(kernel).is_ok();
+
     Ok(ScenarioVerdict {
         scenario: kernel.trace.name().to_string(),
         scheme,
         threat_model,
         claimed,
+        claims_verified,
         pass: failures.is_empty(),
         wheel,
         reference,
@@ -306,7 +344,7 @@ pub fn security_matrix_report(verdict: &SecurityVerdict) -> Report {
     let mut csv = String::from(
         "threat_model,scenario,scheme,claimed,leaked_slots_wheel,\
          leaked_slots_reference,transient_changes_wheel,\
-         transient_port_uses_wheel,scheduler_independent,pass\n",
+         transient_port_uses_wheel,scheduler_independent,claims_source,pass\n",
     );
     let mut failures = Vec::new();
     let mut text = format!(
@@ -374,13 +412,18 @@ pub fn security_matrix_report(verdict: &SecurityVerdict) -> Report {
                         .join("|")
                 };
                 csv.push_str(&format!(
-                    "{model},{scenario},{scheme},{},{},{},{},{},{},{}\n",
+                    "{model},{scenario},{scheme},{},{},{},{},{},{},{},{}\n",
                     cell.claimed,
                     fmt_slots(&cell.wheel),
                     fmt_slots(&cell.reference),
                     cell.wheel.transient_changes,
                     cell.wheel.transient_port_uses,
                     cell.scheduler_independent,
+                    if cell.claims_verified {
+                        "static"
+                    } else {
+                        "hand-written"
+                    },
                     cell.pass
                 ));
                 failures.extend(
@@ -680,6 +723,36 @@ mod tests {
             65,
             "header + 64 matrix cells"
         );
+        let mut lines = report.csv[0].1.lines();
+        assert!(
+            lines.next().unwrap().contains(",claims_source,pass"),
+            "CSV names the claim provenance column"
+        );
+        assert!(
+            lines.all(|l| l.contains(",static,")),
+            "every battery kernel's claims audit statically"
+        );
+    }
+
+    #[test]
+    fn unverifiable_claims_downgrade_the_provenance_not_the_verdict() {
+        // Widening `allowed_slots` past what the static analysis derives
+        // leaves the dynamic assertions satisfied (the run still leaks
+        // inside the widened set), but the claims audit no longer
+        // reproduces the constants: the cell passes with
+        // `claims_verified = false` — a `hand-written` row in the CSV.
+        let mut k = sb_workloads::spectre_v1_kernel(3);
+        k.allowed_slots = vec![3, 4];
+        let cell = judge(&k, Scheme::Baseline, ThreatModel::Spectre);
+        assert!(cell.pass, "{:?}", cell.failures);
+        assert!(!cell.claims_verified);
+
+        let pristine = judge(
+            &sb_workloads::spectre_v1_kernel(3),
+            Scheme::Baseline,
+            ThreatModel::Spectre,
+        );
+        assert!(pristine.claims_verified);
     }
 
     #[test]

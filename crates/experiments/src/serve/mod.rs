@@ -65,6 +65,8 @@ pub struct ServeOptions {
 ///
 /// Propagates socket bind/configuration failures; per-connection I/O
 /// errors only terminate that connection.
+// By-value: the daemon owns its options for the whole process lifetime.
+#[allow(clippy::needless_pass_by_value)]
 pub fn serve(opts: ServeOptions) -> std::io::Result<()> {
     let listener = TcpListener::bind(&opts.addr)?;
     listener.set_nonblocking(true)?;
@@ -197,12 +199,12 @@ fn answer(
         Request::Health => {
             let (queued, running) = queue.counts();
             let snap = metrics.snapshot(hits(store), misses(store), queued, running);
-            counted(health_table(&snap))
+            counted(&health_table(&snap))
         }
         Request::Metrics => {
             let (queued, running) = queue.counts();
             let snap = metrics.snapshot(hits(store), misses(store), queued, running);
-            counted(metrics_table(&snap))
+            counted(&metrics_table(&snap))
         }
         Request::Shutdown => Reply::ShuttingDown,
     }
@@ -216,7 +218,7 @@ fn misses(store: Option<&StatsStore>) -> u64 {
     store.map_or(0, StatsStore::misses)
 }
 
-fn counted(table: String) -> Reply {
+fn counted(table: &str) -> Reply {
     let body: Vec<String> = table.lines().map(str::to_string).collect();
     Reply::Counted(format!("OK lines={}", body.len()), body)
 }

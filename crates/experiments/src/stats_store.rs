@@ -388,7 +388,7 @@ mod tests {
                 "cut {cut}"
             );
         }
-        let mut padded = bytes.clone();
+        let mut padded = bytes;
         padded.push(0);
         assert!(decode_stats(&padded, "505.mcf").is_none(), "trailing bytes");
     }

@@ -46,8 +46,8 @@ const THREAT_SETS: &[&str] = &["spectre", "futuristic", "both", "futuristic,spec
 #[allow(clippy::too_many_arguments)]
 fn build_spec(
     base: usize,
-    axes: std::collections::BTreeSet<usize>,
-    values: Vec<usize>,
+    axes: &std::collections::BTreeSet<usize>,
+    values: &[usize],
     range: (usize, usize, usize),
     schemes: usize,
     threats: usize,
@@ -100,7 +100,7 @@ proptest! {
         )
     ) {
         let ((base, axes, values), (range, schemes, threats), (replicates, rotate)) = parts;
-        let input = build_spec(base, axes, values, range, schemes, threats, replicates, rotate);
+        let input = build_spec(base, &axes, &values, range, schemes, threats, replicates, rotate);
         let spec = SweepSpec::parse(&input)
             .map_err(|e| TestCaseError::fail(format!("{input}: {e}")))?;
         let canonical = spec.canonical();
@@ -121,8 +121,8 @@ proptest! {
         )
     ) {
         let ((base, axes, values), (range, schemes, threats), replicates) = parts;
-        let a = build_spec(base, axes.clone(), values.clone(), range, schemes, threats, replicates, 0);
-        let b = build_spec(base, axes, values, range, schemes, threats, replicates, 3);
+        let a = build_spec(base, &axes, &values, range, schemes, threats, replicates, 0);
+        let b = build_spec(base, &axes, &values, range, schemes, threats, replicates, 3);
         let spec_a = SweepSpec::parse(&a).map_err(|e| TestCaseError::fail(format!("{a}: {e}")))?;
         let spec_b = SweepSpec::parse(&b).map_err(|e| TestCaseError::fail(format!("{b}: {e}")))?;
         prop_assert_eq!(spec_a, spec_b);

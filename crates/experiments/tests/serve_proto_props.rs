@@ -80,7 +80,7 @@ proptest! {
         let canonical = format!("SUBMIT {} {}", kind.verb(), tokens.join(" "));
         let req = parse_request(canonical.trim()).unwrap();
         // Identity: render ∘ parse is a fixed point.
-        prop_assert_eq!(parse_request(&render(&req)).unwrap(), req.clone());
+        prop_assert_eq!(&parse_request(&render(&req)).unwrap(), &req);
         // Rotation invariance: any cyclic shift of the spec tokens parses
         // to the same request.
         if !tokens.is_empty() {

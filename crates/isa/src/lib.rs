@@ -27,6 +27,8 @@
 //! assert!(trace.op(0).is_load());
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod codec;
 mod hash;
 mod ids;

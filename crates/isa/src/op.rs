@@ -46,6 +46,15 @@ impl OpClass {
         matches!(self, OpClass::Load | OpClass::Store | OpClass::Branch)
     }
 
+    /// Whether this class occupies a long-latency (non-pipelined divide)
+    /// unit — the ops that keep an operand unresolved across a whole
+    /// speculation window, which both the memory-dependence predictor
+    /// and the static analyzer's latency lattice care about.
+    #[must_use]
+    pub fn is_long_latency(self) -> bool {
+        matches!(self, OpClass::IntDiv | OpClass::FpDiv)
+    }
+
     /// Execution latency in cycles once issued to a functional unit,
     /// excluding memory-hierarchy time for loads.
     #[must_use]
@@ -317,6 +326,27 @@ impl MicroOp {
         self.ctrl.is_some_and(|c| c.mispredicted)
     }
 
+    /// The address-forming source operand of a memory op (`src1` for
+    /// both loads and stores), unless absent or the zero register.
+    /// `None` for non-memory classes.
+    #[must_use]
+    pub fn addr_source(&self) -> Option<ArchReg> {
+        matches!(self.class, OpClass::Load | OpClass::Store)
+            .then_some(self.src1)
+            .flatten()
+            .filter(|r| !r.is_zero())
+    }
+
+    /// The data source operand of a store (`src2`), unless absent or the
+    /// zero register. `None` for every other class.
+    #[must_use]
+    pub fn data_source(&self) -> Option<ArchReg> {
+        (self.class == OpClass::Store)
+            .then_some(self.src2)
+            .flatten()
+            .filter(|r| !r.is_zero())
+    }
+
     /// Iterates over the present source operands, skipping the hard-wired
     /// zero register (which never carries data or taint).
     pub fn sources(&self) -> impl Iterator<Item = ArchReg> + '_ {
@@ -427,5 +457,34 @@ mod tests {
     #[should_panic(expected = "cannot build")]
     fn compute_rejects_memory_classes() {
         let _ = MicroOp::compute(OpClass::Load, ArchReg::int(1), None, None);
+    }
+
+    #[test]
+    fn long_latency_classes_are_the_divides() {
+        for c in OpClass::all() {
+            assert_eq!(
+                c.is_long_latency(),
+                matches!(c, OpClass::IntDiv | OpClass::FpDiv),
+                "{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn operand_role_helpers_follow_the_store_convention() {
+        let ld = MicroOp::load(ArchReg::int(1), ArchReg::int(3), 0x40, 8);
+        assert_eq!(ld.addr_source(), Some(ArchReg::int(3)));
+        assert_eq!(ld.data_source(), None, "loads carry no data operand");
+
+        let st = MicroOp::store(ArchReg::int(3), ArchReg::int(4), 0x80, 8);
+        assert_eq!(st.addr_source(), Some(ArchReg::int(3)));
+        assert_eq!(st.data_source(), Some(ArchReg::int(4)));
+
+        let alu = MicroOp::alu(ArchReg::int(1), Some(ArchReg::int(2)), None);
+        assert_eq!(alu.addr_source(), None, "non-memory ops form no address");
+
+        let zero = MicroOp::store(ArchReg::int(0), ArchReg::int(0), 0x80, 8);
+        assert_eq!(zero.addr_source(), None, "x0 never carries data or taint");
+        assert_eq!(zero.data_source(), None);
     }
 }

@@ -23,6 +23,8 @@
 //! hit/miss or prefetch decisions changes `SimStats` and trips the
 //! differential tests.
 
+#![forbid(unsafe_code)]
+
 mod cache;
 mod hierarchy;
 mod observer;

@@ -13,6 +13,8 @@
 //! overridden with `CRITERION_SHIM_MS` (the figure-level benches regenerate
 //! whole experiment grids per iteration, so CI keeps this small).
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
@@ -181,6 +183,8 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs a parameterized benchmark inside the group.
+    // By-value `id` mirrors the real criterion API this shim substitutes for.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
@@ -235,7 +239,7 @@ mod tests {
         let mut g = c.benchmark_group("grp");
         g.sample_size(10);
         g.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &x| {
-            b.iter(|| black_box(x * 2))
+            b.iter(|| black_box(x * 2));
         });
         g.finish();
     }

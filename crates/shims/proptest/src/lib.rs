@@ -12,6 +12,8 @@
 //! reproduce (generation is a pure function of the test name and case
 //! index).
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::fmt;

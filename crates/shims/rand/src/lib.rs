@@ -8,6 +8,8 @@
 //! on matching upstream `rand`'s exact output, so the implementation is a
 //! plain xoshiro256++ behind the same method names.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Core source of 64-bit randomness.

@@ -8,6 +8,8 @@
 //! [`BenchResult`] rows and suite means, and fits [`LinearFit`] trends
 //! for the figures that plot IPC against core width.
 
+#![forbid(unsafe_code)]
+
 mod bootstrap;
 mod counters;
 mod suite;

@@ -17,6 +17,8 @@
 //! `sb-experiments` multiplies the resulting relative timing into
 //! relative IPC to reproduce the paper's combined performance figures.
 
+#![forbid(unsafe_code)]
+
 mod area;
 mod critical_path;
 mod power;

@@ -1956,7 +1956,7 @@ impl Core {
                         .find(|p| self.preg_ready_at[p.index()] > self.cycle);
                     match unready {
                         Some(p) => {
-                            self.sched.preg_waiters[p.index()].push((arrival, Part::Whole, gen))
+                            self.sched.preg_waiters[p.index()].push((arrival, Part::Whole, gen));
                         }
                         None => self.sched.ready.insert(pack_pos(arrival, Part::Whole)),
                     }

@@ -29,6 +29,8 @@
 //! assert_eq!(stats.committed.get(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cancel;
 mod config;
 mod core;

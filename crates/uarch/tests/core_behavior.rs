@@ -111,7 +111,7 @@ fn stt_delays_tainted_transmitters() {
     let t = taint_kernel(200);
     let base = run(CoreConfig::mega(), Scheme::Baseline, t.clone());
     let rename = run(CoreConfig::mega(), Scheme::SttRename, t.clone());
-    let issue = run(CoreConfig::mega(), Scheme::SttIssue, t.clone());
+    let issue = run(CoreConfig::mega(), Scheme::SttIssue, t);
 
     assert!(
         rename.stats().cycles.get() > base.stats().cycles.get(),
@@ -632,7 +632,7 @@ fn stall_attribution_is_complete_and_scheme_aware() {
     b.alu(x(3), Some(x(23)), None);
     b.load(x(4), x(3), 0xA000, 8); // transmitter fed by the last burst load
     let starve = b.build();
-    let rename = run(CoreConfig::mega(), Scheme::SttRename, starve.clone());
+    let rename = run(CoreConfig::mega(), Scheme::SttRename, starve);
     assert!(
         rename.stats().stalls.scheme.get() > 0,
         "a broadcast-starved masked head must be attributed to the scheme: {}",

@@ -154,6 +154,19 @@ impl ProbeChannel {
     pub fn slot_addr(&self, i: usize) -> u64 {
         self.base + self.stride * i as u64
     }
+
+    /// Decodes an event address into its probe slot, if it falls inside
+    /// the channel — the inverse of [`ProbeChannel::slot_addr`] and the
+    /// exact slot arithmetic of `LeakageObserver::transient_slots` /
+    /// `ContentionObserver::transient_mshr_slots`, shared here so the
+    /// dynamic observers and the static analyzer can never drift on how
+    /// addresses map to slots.
+    #[must_use]
+    pub fn slot_of_addr(&self, addr: u64) -> Option<usize> {
+        let off = addr.checked_sub(self.base)?;
+        let slot = usize::try_from(off / self.stride).ok()?;
+        (slot < self.entries).then_some(slot)
+    }
 }
 
 /// The microarchitectural medium a kernel transmits through — it selects

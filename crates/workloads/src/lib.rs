@@ -16,6 +16,8 @@
 //! store-to-load forwarding in a tiny footprint (STT-Rename's unified store
 //! taint causes forwarding-error storms, §9.2), `mcf` chases pointers.
 
+#![forbid(unsafe_code)]
+
 mod attacks;
 mod fnv;
 pub mod fuzz_attacks;

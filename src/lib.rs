@@ -22,6 +22,10 @@
 //!   Spectre-v1 / Speculative-Store-Bypass attack kernels.
 //! * [`timing`] (`sb-timing`) — the critical-path, area and power models
 //!   substituting for the paper's FPGA synthesis flow.
+//! * [`analysis`] (`sb-analysis`) — the static taint-flow analyzer: an
+//!   abstract interpreter proving each attack kernel's must/may leak
+//!   bracket and auditing the battery's claim constants, with zero
+//!   simulation.
 //!
 //! # Quickstart
 //!
@@ -37,6 +41,9 @@
 //! println!("IPC = {:.3}", stats.ipc());
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub use sb_analysis as analysis;
 pub use sb_core as core;
 pub use sb_isa as isa;
 pub use sb_mem as mem;

@@ -1,0 +1,89 @@
+//! The static-analyzer soundness fuzzer: for every randomized attack
+//! variant the dynamic leak measurement must fall inside the abstract
+//! interpreter's bracket, `must ⊆ dynamic ⊆ may`, on every (scheme ×
+//! threat model × scheduler) point — and the variant's generated claim
+//! constants must audit clean against the analyzer.
+//!
+//! This rides the same `sb_workloads::fuzz_attacks` generator as the
+//! dynamic contract fuzzer (`attack_fuzz.rs`): 25 cases × 8 scenario
+//! families = 200 randomized variants per CI run, each checked on
+//! 4 schemes × 2 threat models × 2 schedulers. A violation reports the
+//! typed [`SoundnessError`] naming the exact cell.
+//!
+//! [`SoundnessError`]: shadowbinding::analysis::SoundnessError
+
+use proptest::prelude::*;
+use shadowbinding::analysis::{analyze_kernel, audit_battery, check_soundness};
+use shadowbinding::core::{Scheme, SchemeConfig, ThreatModel};
+use shadowbinding::uarch::{Core, CoreConfig, SchedulerKind};
+use shadowbinding::workloads::fuzz_attacks::{fuzz_battery, FAMILIES};
+use shadowbinding::workloads::AttackKernel;
+use std::collections::BTreeSet;
+
+/// The dynamic leak set of one run: channel-decoded transient slots.
+fn dynamic_slots(
+    kernel: &AttackKernel,
+    scheme: Scheme,
+    model: ThreatModel,
+    scheduler: SchedulerKind,
+) -> BTreeSet<usize> {
+    let mut config = CoreConfig::mega();
+    config.scheduler = scheduler;
+    let cfg = SchemeConfig::rtl(scheme, config.mem_ports).with_threat_model(model);
+    let mut core = Core::new(config, cfg, kernel.trace.clone());
+    core.memory_mut().attach_leakage_observer();
+    core.memory_mut().attach_contention_observer();
+    core.run_to_completion(1_000_000);
+    let leakage = core.memory().leakage_observer().expect("attached");
+    let contention = core.memory().contention_observer().expect("attached");
+    kernel.decode_transient_slots(leakage, contention)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(25))]
+
+    #[test]
+    fn static_bracket_contains_every_dynamic_measurement(
+        seed in 0u64..1_000_000_000
+    ) {
+        let battery = fuzz_battery(seed);
+        prop_assert_eq!(battery.len(), FAMILIES);
+
+        // The generated claim constants themselves must be reproducible
+        // from the analyzer — the audit is part of the soundness story.
+        let drifts = audit_battery(&battery);
+        prop_assert!(drifts.is_empty(), "#{}: claims drifted: {:?}", seed, drifts);
+
+        for kernel in &battery {
+            let name = kernel.trace.name().to_string();
+            for scheme in Scheme::all() {
+                for model in ThreatModel::all() {
+                    let bounds = analyze_kernel(kernel, scheme, model);
+                    prop_assert!(
+                        bounds.must.is_subset(&bounds.may),
+                        "{}#{}/{}/{}: must ⊄ may", name, seed, scheme, model
+                    );
+                    for (label, scheduler) in [
+                        ("wheel", SchedulerKind::EventWheel),
+                        ("reference", SchedulerKind::Reference),
+                    ] {
+                        let dynamic = dynamic_slots(kernel, scheme, model, scheduler);
+                        let errors = check_soundness(
+                            &name, scheme, model, label, &bounds, &dynamic,
+                        );
+                        prop_assert!(
+                            errors.is_empty(),
+                            "#{}: {}",
+                            seed,
+                            errors
+                                .iter()
+                                .map(ToString::to_string)
+                                .collect::<Vec<_>>()
+                                .join("; ")
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
