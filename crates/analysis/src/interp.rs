@@ -32,6 +32,7 @@ use crate::lattice::{AbsVal, Latency};
 use sb_core::{Scheme, ShadowKind, ThreatModel};
 use sb_isa::{ArchReg, MemAccess, MicroOp, OpClass};
 use sb_mem::HierarchyConfig;
+use sb_uarch::Predictor;
 use sb_workloads::{AttackKernel, ChannelKind, ProbeChannel};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -164,6 +165,10 @@ struct Events {
     cache_may: BTreeSet<u64>,
     /// Demand L1-miss MSHR allocations (deterministic: must = may).
     mshr: BTreeSet<u64>,
+    /// Predictor-table indices touched by *transient* branch training
+    /// (PHT counter moves, BTB fills/evictions). The replayed predictor
+    /// is deterministic, so must = may.
+    pred: BTreeSet<u64>,
 }
 
 /// Per-transient-episode bookkeeping: the one-stride run-ahead target of
@@ -554,17 +559,51 @@ pub fn analyze_kernel(kernel: &AttackKernel, scheme: Scheme, model: ThreatModel)
     };
     let mut st = AbsState::new();
     let mut ev = Events::default();
+    // When the kernel asks for a modelled frontend predictor, replay the
+    // *same* `sb_uarch::Predictor` the core instantiates, in program
+    // order. Correct-path branches then take their mispredict decision
+    // from the replayed tables — the trace's static bit becomes training
+    // ground truth, exactly as in the core — and transient branches that
+    // execute leave training events the squash never rolls back.
+    let mut pred = kernel
+        .predictor
+        .map(|p| Predictor::new(p.pht_entries, p.btb_entries, p.ghr_bits));
     // The main walk is one long episode: doomed (store-bypass) ops
     // execute transiently on the architectural path.
     let mut main_ep = Episode::default();
     for (idx, op) in kernel.trace.iter().enumerate() {
         interp.step(&mut st, op, Walk::Correct, &mut ev, &mut main_ep);
-        if op.is_mispredicted() {
+        let mut mispredicted = op.is_mispredicted();
+        if let (Some(pred), Some(ctrl)) = (pred.as_mut(), op.ctrl) {
+            mispredicted = pred.mispredicts(ctrl.pc, ctrl.taken, ctrl.target);
+            pred.shift_ghr(ctrl.taken);
+            // Architectural training: predictor state moves, but the
+            // events are not transient-attributed and never leak.
+            let pht_idx = pred.pht_index(ctrl.pc);
+            pred.train(pht_idx, ctrl.pc, ctrl.taken, ctrl.target);
+        }
+        if mispredicted {
             if let Some(block) = kernel.trace.wrong_path(idx) {
                 let mut wp = st.clone();
                 let mut ep = Episode::default();
                 for wop in &block.ops {
                     interp.step(&mut wp, wop, Walk::WrongPath, &mut ev, &mut ep);
+                    if let (Some(pred), Some(ctrl)) = (pred.as_mut(), wop.ctrl) {
+                        // A transient branch is a transmitter: under a
+                        // secure scheme a tainted operand gates its
+                        // execution, so it never resolves — and never
+                        // trains — inside the window.
+                        let operand = wop
+                            .sources()
+                            .fold(AbsVal::default(), |acc, r| acc.join(wp.val(Some(r))));
+                        if interp.executes(operand) {
+                            let pht_idx = pred.pht_index(ctrl.pc);
+                            let evs = pred.train(pht_idx, ctrl.pc, ctrl.taken, ctrl.target);
+                            for (_, a) in evs.iter() {
+                                ev.pred.insert(a);
+                            }
+                        }
+                    }
                 }
                 interp.flush_episode(&wp, &ep, &mut ev);
                 // Squash restores registers and the store queue, but
@@ -585,6 +624,9 @@ pub fn analyze_kernel(kernel: &AttackKernel, scheme: Scheme, model: ThreatModel)
         // MSHR occupancy only counts demand misses (prefetches allocate
         // no MSHR in the model), deterministically: must = may.
         ChannelKind::MshrContention => (decode(&ev.mshr, c), decode(&ev.mshr, c)),
+        // Predictor-state training is a deterministic replay of the
+        // core's own tables: must = may.
+        ChannelKind::PredictorState => (decode(&ev.pred, c), decode(&ev.pred, c)),
     };
     StaticLeaks { must, may }
 }
@@ -730,6 +772,47 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn v2_predictor_replay_pins_the_trained_index() {
+        // The replayed predictor is deterministic: both PredictorState
+        // kernels leak exactly PHT/BTB index `secret`, and the secure
+        // schemes gate the tainted transient branch before it trains.
+        for k in [
+            sb_workloads::spectre_v2_pht_kernel(SECRET),
+            sb_workloads::spectre_v2_squash_kernel(SECRET),
+        ] {
+            let base = leaks(&k, Scheme::Baseline, ThreatModel::Spectre);
+            assert_eq!(
+                base.must.iter().copied().collect::<Vec<_>>(),
+                vec![SECRET],
+                "{}",
+                k.trace.name()
+            );
+            assert_eq!(base.must, base.may, "predictor replay is deterministic");
+            for scheme in Scheme::secure() {
+                let l = leaks(&k, scheme, ThreatModel::Spectre);
+                assert!(
+                    l.may.is_empty(),
+                    "{} under {scheme}: a gated branch must not train",
+                    k.trace.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v2_btb_injection_window_comes_from_the_replayed_tables() {
+        // The BTB-injection kernel's window branch is opened by the
+        // *dynamic* tag mismatch the attacker's cross-training causes;
+        // the replay reproduces it and the v1-style cache transmit leaks.
+        let k = sb_workloads::spectre_v2_btb_kernel(SECRET);
+        let base = leaks(&k, Scheme::Baseline, ThreatModel::Spectre);
+        assert_eq!(base.must.iter().copied().collect::<Vec<_>>(), vec![SECRET]);
+        for scheme in Scheme::secure() {
+            assert!(leaks(&k, scheme, ThreatModel::Spectre).may.is_empty());
         }
     }
 

@@ -302,8 +302,8 @@ mod tests {
         let verdict = analyze_security(&ThreatModel::all());
         assert_eq!(
             verdict.cells.len(),
-            64,
-            "2 models x 8 scenarios x 4 schemes"
+            88,
+            "2 models x 11 scenarios x 4 schemes"
         );
         assert!(verdict.drifts.is_empty(), "{:?}", verdict.drifts);
         let failed: Vec<&StaticCell> = verdict.cells.iter().filter(|c| !c.pass).collect();
@@ -324,6 +324,9 @@ mod tests {
             "prime-probe",
             "mshr-contention",
             "m-shadow",
+            "spectre-v2-pht",
+            "spectre-v2-btb",
+            "spectre-v2-squash",
         ] {
             assert!(report.text.contains(name), "missing {name}");
         }
@@ -334,7 +337,7 @@ mod tests {
         assert_eq!(report.csv[0].0, "static_security_matrix.csv");
         let mut lines = report.csv[0].1.lines();
         assert!(lines.next().unwrap().ends_with("static_pass,claims_source"));
-        assert_eq!(report.csv[0].1.lines().count(), 65, "header + 64 cells");
+        assert_eq!(report.csv[0].1.lines().count(), 89, "header + 88 cells");
         assert!(report.csv[0]
             .1
             .lines()
@@ -345,7 +348,7 @@ mod tests {
     #[test]
     fn single_model_matrix_is_half_the_grid() {
         let verdict = analyze_security(&[ThreatModel::Spectre]);
-        assert_eq!(verdict.cells.len(), 32);
+        assert_eq!(verdict.cells.len(), 44);
         assert!(verdict.ok);
     }
 

@@ -13,6 +13,7 @@ pub mod bench;
 pub mod dse;
 mod engine;
 pub mod faults;
+pub mod import;
 pub mod jobs;
 pub mod pool;
 mod render;

@@ -81,7 +81,7 @@
 //! re-runs a sweep from a manifest alone and reproduces the leaderboard
 //! byte for byte.
 
-use sb_core::ThreatModel;
+use sb_core::{Scheme, ThreatModel};
 use sb_experiments::bench::{run_core_bench, BenchOptions};
 use sb_experiments::dse::{
     leaderboard, leaderboard_csv, leaderboard_table, manifest_json, parse_manifest, run_sweep,
@@ -125,6 +125,7 @@ const USAGE: &str =
      \x20                     [--job-deadline SECS] [--run-budget SECS] [--inject-faults SPEC]\n\
      or: sb-experiments serve [--addr HOST:PORT] [--no-trace-cache]\n\
      \x20                     [--job-deadline SECS] [--run-budget SECS] [--inject-faults SPEC]\n\
+     or: sb-experiments import FILE.sbtr [--scheme baseline|stt-rename|stt-issue|nda]\n\
      or: sb-experiments submit --addr HOST:PORT VERB [ARG...]\n\
      \x20  verbs: SUBMIT grid|suite|sweep|verify-security key=value... | STATUS id | CANCEL id\n\
      \x20         | WAIT id | HEALTH | METRICS | SHUTDOWN\n\
@@ -288,7 +289,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
                 return Err(format!("unknown flag {other}"));
             }
             other => {
-                if other == "serve" || other == "submit" {
+                if other == "serve" || other == "submit" || other == "import" {
                     // These subcommands are dispatched before parse_args
                     // ever runs; reaching here means they were not the
                     // first argument.
@@ -487,7 +488,7 @@ fn run_verify_security(args: &Args, policy: &JobPolicy) {
         .collect::<Vec<_>>()
         .join("+");
     eprintln!(
-        "verifying security: 8-scenario attack battery x 4 schemes x 2 schedulers x {models}..."
+        "verifying security: 11-scenario attack battery x 4 schemes x 2 schedulers x {models}..."
     );
     let verdict = verify_security_with(&args.threat_models, policy);
     let report = security_matrix_report(&verdict);
@@ -512,7 +513,7 @@ fn run_analyze_security(args: &Args) {
         .collect::<Vec<_>>()
         .join("+");
     eprintln!(
-        "analyzing security statically: 8-scenario attack battery x 4 schemes x {models}, \
+        "analyzing security statically: 11-scenario attack battery x 4 schemes x {models}, \
          zero simulations..."
     );
     let mut battery = sb_workloads::attack_battery(BATTERY_SECRET);
@@ -745,6 +746,64 @@ fn run_serve_command(rest: &[String]) -> ! {
     }
 }
 
+/// The `import` subcommand: decode an external SBTR trace file, run it
+/// under both schedulers (they must agree), print the summary.
+fn run_import_command(rest: &[String]) -> ! {
+    let mut file: Option<PathBuf> = None;
+    let mut scheme = Scheme::Baseline;
+    let mut it = rest.iter().cloned();
+    let parse_fail = |e: String| -> ! {
+        eprintln!("error: {e}");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scheme" => {
+                let Some(name) = it.next() else {
+                    parse_fail("--scheme requires a value".into());
+                };
+                scheme = match name.as_str() {
+                    "baseline" => Scheme::Baseline,
+                    "stt-rename" => Scheme::SttRename,
+                    "stt-issue" => Scheme::SttIssue,
+                    "nda" => Scheme::Nda,
+                    other => parse_fail(format!(
+                        "unknown scheme '{other}' (expected baseline, stt-rename, \
+                         stt-issue or nda)"
+                    )),
+                };
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                parse_fail(format!("unknown 'import' argument {other}"));
+            }
+            other => {
+                if file.is_some() {
+                    parse_fail("'import' takes exactly one trace file".into());
+                }
+                file = Some(PathBuf::from(other));
+            }
+        }
+    }
+    let Some(file) = file else {
+        parse_fail("'import' requires a trace file (e.g. assets/sample-trace.sbtr)".into());
+    };
+    match sb_experiments::import::import_report(&file, scheme) {
+        Ok(report) => {
+            print!("{report}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// The `submit` subcommand: one-shot client against a running daemon.
 fn run_submit_command(rest: &[String]) -> ! {
     match parse_submit_args(rest) {
@@ -767,6 +826,7 @@ fn main() {
     match raw.first().map(String::as_str) {
         Some("serve") => run_serve_command(&raw[1..]),
         Some("submit") => run_submit_command(&raw[1..]),
+        Some("import") => run_import_command(&raw[1..]),
         _ => {}
     }
     let args = match parse_args(raw) {

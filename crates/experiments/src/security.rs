@@ -49,7 +49,7 @@ use crate::jobs::{self, JobCtx, JobError, JobFailure, JobPolicy};
 use crate::render::format_table;
 use crate::reports::Report;
 use sb_core::{Scheme, SchemeConfig, ThreatModel};
-use sb_uarch::{Core, CoreConfig, SchedulerKind};
+use sb_uarch::{Core, CoreConfig, PredictorConfig, SchedulerKind};
 use sb_workloads::{attack_battery, AttackKernel};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -159,6 +159,12 @@ fn measure_leaks_in(
 ) -> Result<LeakMeasurement, JobFailure> {
     let mut config = CoreConfig::mega();
     config.scheduler = scheduler;
+    // A kernel that attacks the frontend predictor asks for it to be
+    // modelled; everything else runs with the predictor off (bit-identical
+    // to the pre-predictor core).
+    if let Some(p) = kernel.predictor {
+        config.predictor = PredictorConfig::enabled(p.pht_entries, p.btb_entries, p.ghr_bits);
+    }
     let scheme_cfg = battery_scheme_config(scheme, threat_model);
     let mut core = Core::new(config, scheme_cfg, kernel.trace.clone());
     if let Some(ctx) = ctx {
@@ -466,7 +472,7 @@ mod tests {
     fn the_security_property_holds_under_both_models() {
         // The headline regression test: every scenario leaks under
         // Baseline, none that the model claims under the secure schemes,
-        // identically on both schedulers. 2 models x 8 scenarios x 4
+        // identically on both schedulers. 2 models x 11 scenarios x 4
         // schemes x 2 schedulers.
         let verdict = verify_security(&ThreatModel::all());
         let failed: Vec<String> = verdict
@@ -480,7 +486,7 @@ mod tests {
             })
             .collect();
         assert!(verdict.ok, "security verification failed:\n{failed:#?}");
-        assert_eq!(verdict.cells.len(), 64, "full matrix");
+        assert_eq!(verdict.cells.len(), 88, "full matrix");
     }
 
     #[test]
@@ -667,6 +673,7 @@ mod tests {
             min_model: ThreatModel::Spectre,
             expected_slots: vec![5],
             allowed_slots: vec![5],
+            predictor: None,
         };
         let cell = judge(&kernel, Scheme::SttIssue, ThreatModel::Spectre);
         assert!(!cell.pass, "an untainted transmitter must fail the judge");
@@ -704,6 +711,9 @@ mod tests {
             "prime-probe",
             "mshr-contention",
             "m-shadow",
+            "spectre-v2-pht",
+            "spectre-v2-btb",
+            "spectre-v2-squash",
         ] {
             assert!(
                 report.text.contains(name),
@@ -720,8 +730,8 @@ mod tests {
         assert_eq!(report.csv[0].0, "security_matrix.csv");
         assert_eq!(
             report.csv[0].1.lines().count(),
-            65,
-            "header + 64 matrix cells"
+            89,
+            "header + 88 matrix cells"
         );
         let mut lines = report.csv[0].1.lines();
         assert!(
@@ -764,7 +774,7 @@ mod tests {
         };
         let verdict = verify_security_with(&[ThreatModel::Spectre], &policy);
         assert!(!verdict.ok, "a lost cell must fail the verdict");
-        assert_eq!(verdict.cells.len(), 31, "31 of 32 cells survive");
+        assert_eq!(verdict.cells.len(), 43, "43 of 44 cells survive");
         assert_eq!(verdict.job_failures.len(), 1);
         let err = &verdict.job_failures[0];
         assert_eq!(err.index, 0);
@@ -790,7 +800,7 @@ mod tests {
         let verdict = verify_security_with(&[ThreatModel::Spectre], &policy);
         assert!(!verdict.ok);
         assert!(verdict.cells.is_empty(), "no cell may produce a verdict");
-        assert_eq!(verdict.job_failures.len(), 32);
+        assert_eq!(verdict.job_failures.len(), 44);
         assert!(verdict
             .job_failures
             .iter()
@@ -801,7 +811,7 @@ mod tests {
     fn single_model_verdicts_are_half_the_matrix() {
         let spectre_only = verify_security(&[ThreatModel::Spectre]);
         assert!(spectre_only.ok);
-        assert_eq!(spectre_only.cells.len(), 32);
+        assert_eq!(spectre_only.cells.len(), 44);
         assert!(spectre_only
             .cells
             .iter()

@@ -155,13 +155,21 @@ impl MemAccess {
 ///
 /// Traces are resolved ahead of time: the generator draws the misprediction
 /// from the workload profile's branch-predictability, so runs are
-/// deterministic and replayable after squashes.
+/// deterministic and replayable after squashes. When the modelled frontend
+/// predictor is enabled, `mispredicted` is the *static* ground truth the
+/// predictor trains against, and `pc`/`target` identify the branch to the
+/// predictor's indexed tables; kernels that predate the predictor leave
+/// both zero.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct CtrlFlow {
     /// Actual direction of the branch.
     pub taken: bool,
     /// Whether the front-end predicted this branch incorrectly.
     pub mispredicted: bool,
+    /// Static address of the branch instruction (0 = unknown/legacy).
+    pub pc: u64,
+    /// Taken-path target address (0 = unknown/legacy).
+    pub target: u64,
 }
 
 /// A decoded micro-op: the unit the rename stage, issue queue, and LSU
@@ -270,6 +278,21 @@ impl MicroOp {
         taken: bool,
         mispredicted: bool,
     ) -> Self {
+        Self::branch_at(src1, src2, taken, mispredicted, 0, 0)
+    }
+
+    /// A conditional branch that additionally carries its static address and
+    /// taken-path target, for workloads that exercise the modelled frontend
+    /// predictor (BTB/PHT indexing needs a pc).
+    #[must_use]
+    pub fn branch_at(
+        src1: Option<ArchReg>,
+        src2: Option<ArchReg>,
+        taken: bool,
+        mispredicted: bool,
+        pc: u64,
+        target: u64,
+    ) -> Self {
         MicroOp {
             class: OpClass::Branch,
             dst: None,
@@ -279,6 +302,8 @@ impl MicroOp {
             ctrl: Some(CtrlFlow {
                 taken,
                 mispredicted,
+                pc,
+                target,
             }),
         }
     }
@@ -451,6 +476,23 @@ mod tests {
         assert!(br.is_mispredicted());
         assert!(br.ctrl.unwrap().taken);
         assert!(!MicroOp::nop().is_mispredicted());
+    }
+
+    #[test]
+    fn legacy_branch_constructor_leaves_pc_and_target_zero() {
+        let br = MicroOp::branch(Some(ArchReg::int(1)), None, true, false);
+        let c = br.ctrl.unwrap();
+        assert_eq!((c.pc, c.target), (0, 0));
+    }
+
+    #[test]
+    fn branch_at_carries_pc_and_target() {
+        let br = MicroOp::branch_at(Some(ArchReg::int(1)), None, true, false, 0x1040, 0x2000);
+        let c = br.ctrl.unwrap();
+        assert_eq!(c.pc, 0x1040);
+        assert_eq!(c.target, 0x2000);
+        assert!(c.taken);
+        assert!(!c.mispredicted);
     }
 
     #[test]

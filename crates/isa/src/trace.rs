@@ -200,6 +200,29 @@ impl TraceBuilder {
         self.push(MicroOp::branch(src1, src2, taken, mispredicted))
     }
 
+    /// Appends a branch carrying its static pc and taken-path target (for
+    /// workloads driving the modelled frontend predictor); returns its
+    /// trace index.
+    #[allow(clippy::too_many_arguments)]
+    pub fn branch_at(
+        &mut self,
+        src1: Option<crate::ArchReg>,
+        src2: Option<crate::ArchReg>,
+        taken: bool,
+        mispredicted: bool,
+        pc: u64,
+        target: u64,
+    ) -> usize {
+        self.push(MicroOp::branch_at(
+            src1,
+            src2,
+            taken,
+            mispredicted,
+            pc,
+            target,
+        ))
+    }
+
     /// Attaches a wrong-path block to the op at `idx` (must be a mispredicted
     /// branch).
     ///

@@ -183,6 +183,31 @@ impl MemoryHierarchy {
         }
     }
 
+    /// The core's frontend predictor changed state on behalf of `attr`
+    /// (a PHT counter move, BTB fill/eviction, or GHR shift); `addr` is
+    /// the table index the change concerns. No-op unless a leakage
+    /// observer is attached — reporting never perturbs timing or
+    /// statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not a predictor-state kind (cache-state changes
+    /// must come from the hierarchy itself, with real line addresses).
+    pub fn note_predictor_update(
+        &mut self,
+        kind: crate::CacheChangeKind,
+        addr: u64,
+        attr: Attribution,
+    ) {
+        assert!(
+            kind.is_predictor(),
+            "note_predictor_update takes predictor-state kinds only"
+        );
+        if let Some(obs) = self.leakage.as_deref_mut() {
+            obs.record(kind, addr, attr);
+        }
+    }
+
     /// The core squashed every instruction with `seq >= first_removed`;
     /// forwarded to the attached observers (no-op when detached).
     pub fn note_squash(&mut self, first_removed: Seq) {

@@ -109,10 +109,18 @@ pub struct Attribution {
     pub wrong_path: bool,
 }
 
-/// The kind of cache-state change a [`CacheChange`] records. Deliberately
-/// *excludes* LRU touches on hits: a warm re-access perturbs replacement
-/// state only, which the paper's schemes do not claim to hide (and which a
-/// flush+reload attacker cannot see either).
+/// The kind of microarchitectural-state change a [`CacheChange`] records.
+/// Deliberately *excludes* LRU touches on hits: a warm re-access perturbs
+/// replacement state only, which the paper's schemes do not claim to hide
+/// (and which a flush+reload attacker cannot see either).
+///
+/// The predictor variants record frontend branch-predictor state changes
+/// reported by the core via
+/// [`MemoryHierarchy::note_predictor_update`](crate::MemoryHierarchy::note_predictor_update)
+/// — attributed and squash-resolved exactly like cache state, but carrying
+/// a *table index* in `line_addr` instead of a byte address, so they decode
+/// through [`LeakageObserver::transient_predictor_slots`] rather than the
+/// cache-channel geometry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum CacheChangeKind {
     /// A demand miss installed this line in L1D.
@@ -132,6 +140,33 @@ pub enum CacheChangeKind {
     /// A demand L1 miss allocated a miss-status holding register for this
     /// line (the outstanding-fill tracking slot; one per demand L1 miss).
     MshrAlloc,
+    /// Branch training moved a PHT saturating counter; the address is the
+    /// PHT index.
+    PhtTrain,
+    /// Branch training installed (or retargeted) a BTB entry; the address
+    /// is the BTB index.
+    BtbFill,
+    /// A BTB fill displaced a live entry with a different tag; the address
+    /// is the BTB index.
+    BtbEvict,
+    /// A fetched branch shifted the global history register; the address
+    /// is the pre-shift history value.
+    GhrShift,
+}
+
+impl CacheChangeKind {
+    /// Whether this change concerns frontend predictor state (table-index
+    /// address space) rather than cache state (byte address space).
+    #[must_use]
+    pub fn is_predictor(self) -> bool {
+        matches!(
+            self,
+            CacheChangeKind::PhtTrain
+                | CacheChangeKind::BtbFill
+                | CacheChangeKind::BtbEvict
+                | CacheChangeKind::GhrShift
+        )
+    }
 }
 
 /// One attributed cache-state change.
@@ -254,15 +289,41 @@ impl LeakageObserver {
         self.transient_changes().map(|c| c.line_addr).collect()
     }
 
-    /// Probe-array slots hit by transient changes: slot `i` covers
+    /// Probe-array slots hit by transient *cache* changes: slot `i` covers
     /// `[base + i*stride, base + (i+1)*stride)`, for `i < entries`. This is
     /// the verifier-side counterpart of [`SideChannelObserver::probe`] —
     /// it sees prefetch fills and evictions too, and only counts changes
-    /// from squashed instructions.
+    /// from squashed instructions. Predictor-state changes live in a table
+    /// index space, not the byte address space, so they are excluded here;
+    /// decode those with [`Self::transient_predictor_slots`].
     #[must_use]
     pub fn transient_slots(&self, base: u64, stride: u64, entries: usize) -> BTreeSet<usize> {
         assert!(stride > 0, "probe slots need a positive stride");
         self.transient_changes()
+            .filter(|c| !c.kind.is_predictor())
+            .filter_map(|c| {
+                let off = c.line_addr.checked_sub(base)?;
+                let slot = (off / stride) as usize;
+                (slot < entries).then_some(slot)
+            })
+            .collect()
+    }
+
+    /// Probe slots hit by transient *predictor-state* changes, under the
+    /// same slot geometry as [`Self::transient_slots`] but interpreting
+    /// addresses as predictor table indices. An attacker reads these out by
+    /// timing its own branches (PHT counter direction, BTB hit/miss), the
+    /// predictor-channel analogue of flush+reload.
+    #[must_use]
+    pub fn transient_predictor_slots(
+        &self,
+        base: u64,
+        stride: u64,
+        entries: usize,
+    ) -> BTreeSet<usize> {
+        assert!(stride > 0, "probe slots need a positive stride");
+        self.transient_changes()
+            .filter(|c| c.kind.is_predictor())
             .filter_map(|c| {
                 let off = c.line_addr.checked_sub(base)?;
                 let slot = (off / stride) as usize;
@@ -566,6 +627,68 @@ mod tests {
         assert_eq!(transient, vec![0x80]);
         assert!(obs.transient_lines().contains(&0x80));
         assert_eq!(obs.len(), 2);
+    }
+
+    #[test]
+    fn predictor_and_cache_slots_decode_separately() {
+        let mut obs = LeakageObserver::new();
+        // Predictor table indices are small; a cache change at the same
+        // numeric address must not bleed into the predictor decode (or
+        // vice versa) — the kind filter keeps the spaces apart.
+        obs.record(CacheChangeKind::PhtTrain, 7, leak_attr(4));
+        obs.record(CacheChangeKind::L1Fill, 7, leak_attr(4));
+        obs.record(CacheChangeKind::BtbFill, 3, leak_attr(4));
+        obs.record(CacheChangeKind::GhrShift, 1, leak_attr(2)); // survives
+        obs.note_squash(Seq::new(3));
+        let pred = obs.transient_predictor_slots(0, 1, 16);
+        assert_eq!(pred.into_iter().collect::<Vec<_>>(), vec![3, 7]);
+        let cache = obs.transient_slots(0, 1, 16);
+        assert_eq!(cache.into_iter().collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    fn predictor_kind_partition_is_total() {
+        use CacheChangeKind::*;
+        for k in [PhtTrain, BtbFill, BtbEvict, GhrShift] {
+            assert!(k.is_predictor());
+        }
+        for k in [
+            L1Fill,
+            L2Fill,
+            L1Eviction,
+            L2Eviction,
+            L1PrefetchFill,
+            L2PrefetchFill,
+            MshrAlloc,
+        ] {
+            assert!(!k.is_predictor());
+        }
+    }
+
+    #[test]
+    fn hierarchy_forwards_predictor_updates_to_leakage_observer() {
+        let mut m = mem();
+        // Detached: a no-op, not a panic.
+        m.note_predictor_update(CacheChangeKind::PhtTrain, 5, leak_attr(1));
+        m.attach_leakage_observer();
+        m.note_predictor_update(CacheChangeKind::BtbFill, 2, leak_attr(9));
+        m.note_squash(Seq::new(9));
+        let obs = m.leakage_observer().unwrap();
+        assert_eq!(obs.len(), 1);
+        assert_eq!(
+            obs.transient_predictor_slots(0, 1, 8)
+                .into_iter()
+                .collect::<Vec<_>>(),
+            vec![2]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "predictor-state kinds only")]
+    fn hierarchy_rejects_cache_kinds_on_the_predictor_path() {
+        let mut m = mem();
+        m.attach_leakage_observer();
+        m.note_predictor_update(CacheChangeKind::L1Fill, 0x40, leak_attr(1));
     }
 
     #[test]

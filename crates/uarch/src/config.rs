@@ -60,7 +60,63 @@ impl fmt::Display for SchedulerKind {
 /// [`CoreConfig::fingerprint`] invalidate instead of serving statistics an
 /// older simulator produced. (The golden-stats differential suite catches
 /// unintended behavior changes; intended ones must bump this.)
-pub const SIM_RESULTS_REVISION: u64 = 1;
+///
+/// Revision history: 1 = initial; 2 = modelled frontend predictor (the
+/// predictor-off path is bit-identical to revision 1, but the fingerprint
+/// space grew new result-determining fields).
+pub const SIM_RESULTS_REVISION: u64 = 2;
+
+/// Modelled frontend branch predictor parameters (gshare + tagged BTB +
+/// global history register — see `crate::predictor`).
+///
+/// Disabled by default: the trace's pre-resolved `mispredicted` bit drives
+/// the frontend and all statistics stay bit-identical to a predictor-less
+/// simulator. Enabled, the core predicts each correct-path branch at fetch
+/// time from predictor state and *derives* the mispredict decision by
+/// comparing against the trace's actual outcome; the static bit becomes
+/// ground truth for training only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PredictorConfig {
+    /// Whether the modelled predictor drives mispredict decisions.
+    pub enabled: bool,
+    /// Pattern history table entries (2-bit counters); power of two.
+    pub pht_entries: usize,
+    /// Branch target buffer entries (direct-mapped, tagged); power of two.
+    pub btb_entries: usize,
+    /// Global history bits folded into the gshare index (0 = pure
+    /// per-pc bimodal indexing); at most 32.
+    pub ghr_bits: u32,
+}
+
+impl PredictorConfig {
+    /// The predictor switched off — trace bits drive the frontend.
+    #[must_use]
+    pub fn disabled() -> Self {
+        PredictorConfig {
+            enabled: false,
+            pht_entries: 64,
+            btb_entries: 16,
+            ghr_bits: 0,
+        }
+    }
+
+    /// A small enabled predictor with the given geometry.
+    #[must_use]
+    pub fn enabled(pht_entries: usize, btb_entries: usize, ghr_bits: u32) -> Self {
+        PredictorConfig {
+            enabled: true,
+            pht_entries,
+            btb_entries,
+            ghr_bits,
+        }
+    }
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig::disabled()
+    }
+}
 
 /// A core design point.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -98,6 +154,9 @@ pub struct CoreConfig {
     /// Wakeup/select implementation (performance of the *simulator*, not
     /// the simulated core; statistics are identical between kinds).
     pub scheduler: SchedulerKind,
+    /// Modelled frontend branch predictor (disabled in every preset; the
+    /// security battery's v2 kernels switch it on per-scenario).
+    pub predictor: PredictorConfig,
 }
 
 impl CoreConfig {
@@ -119,6 +178,7 @@ impl CoreConfig {
             hierarchy: HierarchyConfig::rtl_default(),
             fidelity: Fidelity::Rtl,
             scheduler: SchedulerKind::EventWheel,
+            predictor: PredictorConfig::disabled(),
         }
     }
 
@@ -140,6 +200,7 @@ impl CoreConfig {
             hierarchy: HierarchyConfig::rtl_default(),
             fidelity: Fidelity::Rtl,
             scheduler: SchedulerKind::EventWheel,
+            predictor: PredictorConfig::disabled(),
         }
     }
 
@@ -161,6 +222,7 @@ impl CoreConfig {
             hierarchy: HierarchyConfig::rtl_default(),
             fidelity: Fidelity::Rtl,
             scheduler: SchedulerKind::EventWheel,
+            predictor: PredictorConfig::disabled(),
         }
     }
 
@@ -183,6 +245,7 @@ impl CoreConfig {
             hierarchy: HierarchyConfig::rtl_default(),
             fidelity: Fidelity::Rtl,
             scheduler: SchedulerKind::EventWheel,
+            predictor: PredictorConfig::disabled(),
         }
     }
 
@@ -218,6 +281,7 @@ impl CoreConfig {
             hierarchy: HierarchyConfig::abstract_default(),
             fidelity: Fidelity::Abstract,
             scheduler: SchedulerKind::EventWheel,
+            predictor: PredictorConfig::disabled(),
         }
     }
 
@@ -240,6 +304,7 @@ impl CoreConfig {
             hierarchy: HierarchyConfig::abstract_default(),
             fidelity: Fidelity::Abstract,
             scheduler: SchedulerKind::EventWheel,
+            predictor: PredictorConfig::disabled(),
         }
     }
 
@@ -277,6 +342,10 @@ impl CoreConfig {
                 Fidelity::Rtl => 1,
                 Fidelity::Abstract => 2,
             },
+            u64::from(self.predictor.enabled),
+            self.predictor.pht_entries as u64,
+            self.predictor.btb_entries as u64,
+            u64::from(self.predictor.ghr_bits),
         ] {
             h = fold(h, v);
         }
@@ -308,6 +377,17 @@ impl CoreConfig {
             "physical registers must cover architectural state plus rename headroom"
         );
         assert!(self.max_br_tags > 0, "need at least one branch tag");
+        if self.predictor.enabled {
+            assert!(
+                self.predictor.pht_entries.is_power_of_two()
+                    && self.predictor.btb_entries.is_power_of_two(),
+                "predictor table sizes must be powers of two"
+            );
+            assert!(
+                self.predictor.ghr_bits <= 32,
+                "GHR wider than 32 bits is unsupported"
+            );
+        }
     }
 }
 
@@ -398,6 +478,16 @@ mod tests {
                 c.fidelity = Fidelity::Abstract;
                 c
             },
+            {
+                let mut c = CoreConfig::mega();
+                c.predictor = PredictorConfig::enabled(64, 16, 0);
+                c
+            },
+            {
+                let mut c = CoreConfig::mega();
+                c.predictor = PredictorConfig::enabled(64, 16, 8);
+                c
+            },
         ];
         for m in &mutations {
             assert_ne!(
@@ -425,6 +515,30 @@ mod tests {
         let mut c = CoreConfig::mega();
         c.scheduler = SchedulerKind::Reference;
         assert_eq!(c.fingerprint(), CoreConfig::mega().fingerprint());
+    }
+
+    #[test]
+    fn every_preset_ships_with_the_predictor_off() {
+        for c in CoreConfig::boom_sweep() {
+            assert!(!c.predictor.enabled);
+        }
+        assert!(!CoreConfig::gem5_stt().predictor.enabled);
+        assert!(!CoreConfig::gem5_nda().predictor.enabled);
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn enabled_predictor_rejects_non_power_of_two_tables() {
+        let mut c = CoreConfig::mega();
+        c.predictor = PredictorConfig::enabled(48, 16, 0);
+        c.validate();
+    }
+
+    #[test]
+    fn disabled_predictor_geometry_is_not_validated() {
+        let mut c = CoreConfig::mega();
+        c.predictor.pht_entries = 48; // harmless while disabled
+        c.validate();
     }
 
     #[test]

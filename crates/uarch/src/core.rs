@@ -92,6 +92,7 @@ use crate::config::{CoreConfig, Fidelity, SchedulerKind};
 use crate::frontend::{Fetched, Frontend};
 use crate::inst::{ColdInst, HotInst, Phase};
 use crate::memdep::MemDepPredictor;
+use crate::predictor::Predictor;
 use crate::rename::{FreeList, Rat};
 use crate::rob::{RobArena, RobHandle};
 use crate::sched::{pack_pos, ArrivalRing, Calendar, Part, PartRef, SchedState, Wake, WastedRing};
@@ -282,6 +283,10 @@ pub struct Core {
     mem: MemoryHierarchy,
     frontend: Frontend,
     memdep: MemDepPredictor,
+    /// Modelled frontend predictor (`None` = disabled: the trace's static
+    /// mispredict bits drive fetch, bit-identical to the pre-predictor
+    /// simulator).
+    predictor: Option<Predictor>,
 
     events: EventQueue,
     event_scratch: Vec<Scheduled>,
@@ -336,6 +341,13 @@ impl Core {
             mem: MemoryHierarchy::new(config.hierarchy),
             frontend: Frontend::new(trace, config.redirect_penalty),
             memdep: MemDepPredictor::new(64),
+            predictor: config.predictor.enabled.then(|| {
+                Predictor::new(
+                    config.predictor.pht_entries,
+                    config.predictor.btb_entries,
+                    config.predictor.ghr_bits,
+                )
+            }),
             free_list: FreeList::new(config.phys_regs),
             taint_unit: IssueTaintUnit::new(config.phys_regs),
             preg_ready_at,
@@ -915,6 +927,29 @@ impl Core {
         };
 
         if is_branch {
+            // Modelled predictor: the executing branch trains the tables
+            // with its actual outcome — *including* wrong-path branches
+            // (squashed work still trains real predictors; PHT/BTB/GHR
+            // state is never rolled back, which is exactly the v2 channel
+            // family). Under a secure scheme a tainted transient branch is
+            // gated from executing until it is squashed, so it never
+            // reaches here and never trains: the channel closes. Events
+            // from branches that are later squashed become transient via
+            // the observer's note_squash, like cache fills.
+            if let Some(pred) = self.predictor.as_mut() {
+                let cold = self.rob.cold(idx);
+                if let (Some(ctrl), Some(pht_idx)) = (cold.op.ctrl, cold.pht_index()) {
+                    let ev = pred.train(pht_idx, ctrl.pc, ctrl.taken, ctrl.target);
+                    let attr = Attribution {
+                        seq,
+                        speculative: self.tracker.is_speculative(seq),
+                        wrong_path,
+                    };
+                    for (kind, addr) in ev.iter() {
+                        self.mem.note_predictor_update(kind, addr, attr);
+                    }
+                }
+            }
             self.rob.hot_mut(idx).set_cshadow_resolved(true);
             if let Some(t) = self.rob.cold(idx).shadow_token() {
                 self.tracker.resolve_at(t);
@@ -1866,13 +1901,44 @@ impl Core {
                 break;
             }
 
-            self.frontend.consume();
+            // Modelled predictor: a correct-path branch is predicted at
+            // fetch time, and the *dynamic* decision (wrong direction, or
+            // taken with a BTB miss/stale target) overrides the trace's
+            // static bit. Wrong-path branches are fetched, not predicted
+            // — they only stash their fetch-time PHT index for training.
+            // The GHR shifts with the actual outcome right here: a
+            // mispredicted branch stalls fetch until it resolves, so no
+            // younger correct-path branch can be fetched under stale
+            // history, which makes shift-at-fetch exact without
+            // checkpointing.
+            let mut pht_index = None;
+            let mut dyn_mispredict = None;
+            let mut ghr_event = None;
+            if let (Some(pred), Some(ctrl)) = (self.predictor.as_mut(), op.ctrl) {
+                pht_index = Some(pred.pht_index(ctrl.pc));
+                if matches!(fetched, Fetched::Correct(_)) {
+                    dyn_mispredict = Some(pred.mispredicts(ctrl.pc, ctrl.taken, ctrl.target));
+                    ghr_event = pred.shift_ghr(ctrl.taken);
+                }
+            }
+            self.frontend.consume_with(dyn_mispredict);
             let seq = Seq::new(self.next_seq);
             self.next_seq += 1;
             let (trace_idx, wrong_path) = match fetched {
                 Fetched::Correct(i) => (Some(i), false),
                 Fetched::WrongPath(_) => (None, true),
             };
+            if let Some((kind, addr)) = ghr_event {
+                self.mem.note_predictor_update(
+                    kind,
+                    addr,
+                    Attribution {
+                        seq,
+                        speculative: self.tracker.is_speculative(seq),
+                        wrong_path,
+                    },
+                );
+            }
             // Construct the entry in place in the arena slot (everything
             // below writes through the slot references; only container
             // fields disjoint from the ROB are touched meanwhile).
@@ -1882,6 +1948,12 @@ impl Core {
             *inst = HotInst::new(seq, op, wrong_path);
             *cold = ColdInst::new(op, trace_idx);
             inst.dispatch_cycle = self.cycle;
+            if let Some(m) = dyn_mispredict {
+                inst.set_mispredicted(m);
+            }
+            if let Some(i) = pht_index {
+                cold.set_pht_index(i);
+            }
 
             // Rename.
             for (i, src) in [op.src1, op.src2].into_iter().enumerate() {

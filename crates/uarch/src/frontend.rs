@@ -105,17 +105,37 @@ impl Frontend {
     ///
     /// Panics if there is nothing to consume in the current mode.
     pub fn consume(&mut self) {
+        self.consume_with(None);
+    }
+
+    /// [`Frontend::consume`] with an optional mispredict override for the
+    /// op being consumed: `Some(m)` replaces the trace's static bit with
+    /// the modelled predictor's fetch-time decision `m`, `None` keeps the
+    /// static bit (the predictor-off path — bit-identical to the
+    /// pre-predictor frontend).
+    ///
+    /// A dynamically mispredicted branch still injects the trace's
+    /// wrong-path block if one is attached; when the predictor mispredicts
+    /// a branch that carries no block (the static bit said
+    /// well-predicted), fetch stalls — the trace has no transient ops to
+    /// offer, so only the timing cost is modelled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is nothing to consume in the current mode.
+    pub fn consume_with(&mut self, mispredict_override: Option<bool>) {
         match &mut self.mode {
             Mode::WrongPath { next, .. } => {
                 *next += 1;
             }
             Mode::Normal => {
                 let idx = self.cursor;
-                let mispredicted = self
+                let static_bit = self
                     .trace
                     .get(idx)
                     .expect("consume past end of trace")
                     .is_mispredicted();
+                let mispredicted = mispredict_override.unwrap_or(static_bit);
                 self.cursor += 1;
                 if mispredicted {
                     self.mode = if self.trace.wrong_path(idx).is_some() {
@@ -143,8 +163,15 @@ impl Frontend {
     /// Called when the in-flight mispredicted branch resolves at `cycle`:
     /// ends the stall / wrong-path mode and starts the redirect. The cursor
     /// already points at the first post-branch correct-path op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fetch is not stalled on (or injecting the wrong path of)
+    /// a pending mispredict. This is a hard invariant, not a debug assert:
+    /// a spurious resolution in release would silently start a redirect
+    /// and skew timing without any test noticing.
     pub fn branch_resolved(&mut self, cycle: u64) {
-        debug_assert!(
+        assert!(
             matches!(self.mode, Mode::Stalled | Mode::WrongPath { .. }),
             "resolution without a pending mispredict"
         );
@@ -249,5 +276,169 @@ mod tests {
         let mut fe = Frontend::new(b.build(), 1);
         fe.next_op(0);
         assert!(!fe.exhausted(), "a mispredict is still in flight");
+    }
+
+    // --- Mode state-machine invariants, tested directly ----------------
+
+    /// Regression test for the `branch_resolved` invariant: a spurious
+    /// resolution (no pending mispredict) must panic even in release —
+    /// under the old `debug_assert!` this silently started a redirect.
+    #[test]
+    #[should_panic(expected = "resolution without a pending mispredict")]
+    fn spurious_resolution_in_normal_mode_panics() {
+        let mut b = TraceBuilder::new("t");
+        b.alu(x(1), None, None);
+        let mut fe = Frontend::new(b.build(), 5);
+        fe.branch_resolved(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution without a pending mispredict")]
+    fn spurious_resolution_during_redirect_panics() {
+        let mut b = TraceBuilder::new("t");
+        b.branch(Some(x(1)), None, true, true);
+        let mut fe = Frontend::new(b.build(), 5);
+        fe.next_op(0);
+        fe.branch_resolved(3); // legal: Stalled -> RedirectUntil
+        fe.branch_resolved(4); // spurious: already redirecting
+    }
+
+    #[test]
+    #[should_panic(expected = "consume while fetch cannot deliver")]
+    fn consume_while_stalled_panics() {
+        let mut b = TraceBuilder::new("t");
+        b.branch(Some(x(1)), None, true, true);
+        let mut fe = Frontend::new(b.build(), 5);
+        fe.next_op(0); // Normal -> Stalled
+        fe.consume();
+    }
+
+    #[test]
+    fn wrong_path_exhaustion_keeps_fetch_stalled_until_resolution() {
+        let mut b = TraceBuilder::new("t");
+        let br = b.branch(Some(x(1)), None, true, true);
+        b.wrong_path(br, vec![MicroOp::nop()]);
+        b.alu(x(2), None, None);
+        let mut fe = Frontend::new(b.build(), 2);
+        fe.next_op(0).unwrap(); // the branch
+        fe.next_op(0).unwrap(); // the single wrong-path op
+                                // Block exhausted: peek yields nothing, but the mode is still
+                                // wrong-path (is_stalled) and the trace is not exhausted.
+        assert!(fe.peek(5).is_none());
+        assert!(fe.is_stalled());
+        assert!(!fe.exhausted());
+        fe.branch_resolved(5);
+        assert_eq!(fe.redirect_resume_cycle(), Some(7));
+        assert!(matches!(fe.next_op(7), Some((Fetched::Correct(1), _))));
+    }
+
+    #[test]
+    fn redirect_expires_exactly_at_resume_cycle() {
+        let mut b = TraceBuilder::new("t");
+        b.branch(Some(x(1)), None, true, true);
+        b.alu(x(2), None, None);
+        let mut fe = Frontend::new(b.build(), 3);
+        fe.next_op(0);
+        fe.branch_resolved(10);
+        assert_eq!(fe.redirect_resume_cycle(), Some(13));
+        assert!(fe.peek(12).is_none(), "cycle 12 still redirecting");
+        assert!(fe.peek(13).is_some(), "cycle 13 delivers");
+        // Retiring the redirect is a peek side effect: the resume cycle
+        // is gone afterwards.
+        assert_eq!(fe.redirect_resume_cycle(), None);
+    }
+
+    #[test]
+    fn flush_during_stall_overrides_the_pending_mispredict() {
+        let mut b = TraceBuilder::new("t");
+        b.alu(x(1), None, None);
+        b.branch(Some(x(1)), None, true, true);
+        b.alu(x(2), None, None);
+        let mut fe = Frontend::new(b.build(), 2);
+        fe.next_op(0);
+        fe.next_op(0); // branch -> Stalled
+        assert!(fe.is_stalled());
+        fe.flush_to(0, 10); // forwarding-error recovery wins
+        assert!(!fe.is_stalled());
+        assert!(matches!(fe.next_op(12), Some((Fetched::Correct(0), _))));
+    }
+
+    #[test]
+    fn flush_during_wrong_path_abandons_the_block() {
+        let mut b = TraceBuilder::new("t");
+        let br = b.branch(Some(x(1)), None, true, true);
+        b.wrong_path(br, vec![MicroOp::nop(), MicroOp::nop()]);
+        b.alu(x(2), None, None);
+        let mut fe = Frontend::new(b.build(), 2);
+        fe.next_op(0).unwrap();
+        assert!(matches!(fe.next_op(0), Some((Fetched::WrongPath(0), _))));
+        fe.flush_to(1, 10);
+        assert!(matches!(fe.next_op(12), Some((Fetched::Correct(1), _))));
+    }
+
+    #[test]
+    fn flush_during_redirect_restarts_the_penalty() {
+        let mut b = TraceBuilder::new("t");
+        b.branch(Some(x(1)), None, true, true);
+        b.alu(x(2), None, None);
+        let mut fe = Frontend::new(b.build(), 4);
+        fe.next_op(0);
+        fe.branch_resolved(10); // RedirectUntil(14)
+        fe.flush_to(0, 12); // RedirectUntil(16)
+        assert_eq!(fe.redirect_resume_cycle(), Some(16));
+        assert!(fe.peek(15).is_none());
+        assert!(matches!(fe.next_op(16), Some((Fetched::Correct(0), _))));
+    }
+
+    // --- consume_with: the modelled predictor's override ----------------
+
+    #[test]
+    fn override_can_turn_a_well_predicted_branch_into_a_stall() {
+        let mut b = TraceBuilder::new("t");
+        b.branch(Some(x(1)), None, true, false); // statically well-predicted
+        b.alu(x(2), None, None);
+        let mut fe = Frontend::new(b.build(), 3);
+        let (f, _) = fe.peek(0).unwrap();
+        assert_eq!(f, Fetched::Correct(0));
+        fe.consume_with(Some(true)); // predictor got it wrong
+        assert!(fe.is_stalled());
+        fe.branch_resolved(5);
+        assert!(matches!(fe.next_op(8), Some((Fetched::Correct(1), _))));
+    }
+
+    #[test]
+    fn override_can_ride_through_a_statically_mispredicted_branch() {
+        let mut b = TraceBuilder::new("t");
+        let br = b.branch(Some(x(1)), None, true, true);
+        b.wrong_path(br, vec![MicroOp::nop()]);
+        b.alu(x(2), None, None);
+        let mut fe = Frontend::new(b.build(), 3);
+        fe.peek(0).unwrap();
+        fe.consume_with(Some(false)); // predictor got it right
+        assert!(!fe.is_stalled(), "no stall when the prediction is correct");
+        assert!(matches!(fe.next_op(0), Some((Fetched::Correct(1), _))));
+    }
+
+    #[test]
+    fn override_mispredict_still_injects_an_attached_block() {
+        let mut b = TraceBuilder::new("t");
+        let br = b.branch(Some(x(1)), None, true, true);
+        b.wrong_path(br, vec![MicroOp::nop()]);
+        b.alu(x(2), None, None);
+        let mut fe = Frontend::new(b.build(), 3);
+        fe.peek(0).unwrap();
+        fe.consume_with(Some(true));
+        assert!(matches!(fe.next_op(0), Some((Fetched::WrongPath(0), _))));
+    }
+
+    #[test]
+    fn no_override_is_byte_identical_to_consume() {
+        let mut b = TraceBuilder::new("t");
+        b.branch(Some(x(1)), None, true, true);
+        b.alu(x(2), None, None);
+        let mut fe = Frontend::new(b.build(), 3);
+        fe.peek(0).unwrap();
+        fe.consume_with(None);
+        assert!(fe.is_stalled(), "static bit still governs");
     }
 }

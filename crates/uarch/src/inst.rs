@@ -325,6 +325,11 @@ pub struct ColdInst {
     /// Previous mapping of the destination architectural register
     /// (`NO_PREG` = none).
     prev_preg: u16,
+    /// Modelled predictor: the fetch-time gshare PHT index of this branch
+    /// (`u32::MAX` = none / predictor off). Stashed at dispatch so
+    /// training at resolution uses the fetch-time history even after
+    /// younger branches shifted the GHR.
+    pht_index: u32,
 }
 
 impl ColdInst {
@@ -339,7 +344,21 @@ impl ColdInst {
             data_yrot: NO_SEQ,
             shadow_token: NO_U64,
             prev_preg: NO_PREG,
+            pht_index: u32::MAX,
         }
+    }
+
+    /// The stashed fetch-time PHT index, if the modelled predictor
+    /// indexed this branch at dispatch.
+    #[must_use]
+    pub fn pht_index(&self) -> Option<u32> {
+        (self.pht_index != u32::MAX).then_some(self.pht_index)
+    }
+
+    /// Stashes the fetch-time PHT index.
+    pub fn set_pht_index(&mut self, idx: u32) {
+        debug_assert!(idx != u32::MAX);
+        self.pht_index = idx;
     }
 
     /// Index into the trace, `None` for injected wrong-path ops.

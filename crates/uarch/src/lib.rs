@@ -37,15 +37,17 @@ mod core;
 mod frontend;
 mod inst;
 mod memdep;
+mod predictor;
 mod rename;
 mod rob;
 mod sched;
 
 pub use crate::core::Core;
 pub use cancel::{CancelToken, CANCEL_POLL_CYCLES};
-pub use config::{CoreConfig, Fidelity, SchedulerKind, SIM_RESULTS_REVISION};
+pub use config::{CoreConfig, Fidelity, PredictorConfig, SchedulerKind, SIM_RESULTS_REVISION};
 pub use frontend::{Fetched, Frontend};
 pub use inst::{ColdInst, HotInst, Phase};
 pub use memdep::MemDepPredictor;
+pub use predictor::{PredEvents, Prediction, Predictor};
 pub use rename::{FreeList, Rat};
 pub use rob::{RobArena, RobHandle};

@@ -7,7 +7,7 @@
 
 use sb_core::{Scheme, SchemeConfig, ThreatModel};
 use sb_stats::SimStats;
-use sb_uarch::{Core, CoreConfig, SchedulerKind};
+use sb_uarch::{Core, CoreConfig, PredictorConfig, SchedulerKind};
 use sb_workloads::{
     attack_battery, generate, m_shadow_kernel, mshr_contention_kernel, prime_probe_kernel,
     spec2017_profiles, spectre_v1_kernel, ssb_kernel, TraceStore,
@@ -167,11 +167,12 @@ fn golden_leak_sets_attack_battery() {
                 for (tag, scheme_cfg) in scheme_variants(&config) {
                     let scheme_cfg = scheme_cfg.with_threat_model(model);
                     let measure = |kind: SchedulerKind| {
-                        let mut core = Core::new(
-                            with_scheduler(&config, kind),
-                            scheme_cfg,
-                            kernel.trace.clone(),
-                        );
+                        let mut run_config = with_scheduler(&config, kind);
+                        if let Some(p) = kernel.predictor {
+                            run_config.predictor =
+                                PredictorConfig::enabled(p.pht_entries, p.btb_entries, p.ghr_bits);
+                        }
+                        let mut core = Core::new(run_config, scheme_cfg, kernel.trace.clone());
                         core.memory_mut().attach_leakage_observer();
                         core.memory_mut().attach_contention_observer();
                         core.run_to_completion(MAX_CYCLES);

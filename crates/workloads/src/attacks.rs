@@ -1,12 +1,15 @@
 //! Transient-execution attack kernels — the BOOM-attacks analogue the paper
 //! uses to verify that the implemented schemes actually mitigate Spectre
-//! (§7), grown into a battery of eight scenarios covering the C-shadow and
+//! (§7), grown into a battery of eleven scenarios covering the C-shadow and
 //! D-shadow sides of the combined threat model (§2.4) plus a
 //! prefetcher-amplified and a deep-speculation variant, an eviction-set
 //! (prime+probe) channel over the shared L2, an MSHR-contention channel,
-//! and an M-shadow scenario that only the Futuristic threat model (§6)
+//! an M-shadow scenario that only the Futuristic threat model (§6)
 //! claims — under the Spectre model the secure schemes are *expected* to
-//! leak it, which is what proves the M/E shadows do real work.
+//! leak it, which is what proves the M/E shadows do real work — and the
+//! Spectre-v2 family (PHT poisoning, BTB injection, and
+//! predictor-state-survives-squash), whose channel is the modelled
+//! frontend predictor's own table state rather than the data caches.
 //!
 //! Each kernel is a trace whose transient micro-ops (wrong-path ops, or
 //! correct-path ops doomed to a forwarding-error replay) encode a secret
@@ -92,6 +95,53 @@ pub const CONT_ENTRIES: usize = 16;
 /// miss, so each occupies an MSHR for its fill's full latency).
 pub const CONT_BURST: usize = 3;
 
+/// Base pc of the v2 kernels' secret-indexed transient branches. A
+/// multiple of the PHT size, so with [`PredictorParams::v2_default`]'s
+/// 64-entry PHT (and `ghr_bits = 0`) the branch at `PHT_PC_BASE + s`
+/// trains PHT index `s` exactly — and, being also a multiple of the
+/// 16-entry BTB, BTB index `s` for `s < 16`.
+pub const PHT_PC_BASE: u64 = 0x100;
+
+/// Pc of the v2 kernels' transient-window branch: PHT index 48, safely
+/// outside the 16-slot predictor channel so its own (non-transient)
+/// training never collides with the judged slots.
+pub const PHT_WINDOW_PC: u64 = PHT_PC_BASE + 48;
+
+/// Victim branch pc in the BTB-injection kernel (BTB index 0).
+pub const BTB_VICTIM_PC: u64 = 0x40;
+
+/// Attacker branch pc in the BTB-injection kernel: same BTB index as the
+/// victim (16 entries apart), different tag — the aliasing that makes
+/// cross-training displace the victim's entry.
+pub const BTB_ATTACKER_PC: u64 = BTB_VICTIM_PC + 16;
+
+/// The predictor geometry a kernel requires the core to model, as plain
+/// parameters (sb-workloads does not depend on sb-uarch; experiment and
+/// analysis layers map this onto `sb_uarch::PredictorConfig`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PredictorParams {
+    /// Pattern history table entries (2-bit counters); power of two.
+    pub pht_entries: usize,
+    /// Branch target buffer entries (direct-mapped, tagged); power of two.
+    pub btb_entries: usize,
+    /// Global history bits in the gshare index (0 = per-pc bimodal).
+    pub ghr_bits: u32,
+}
+
+impl PredictorParams {
+    /// The geometry every v2 kernel uses: 64-entry PHT, 16-entry BTB, no
+    /// global history (so PHT indices equal `pc - PHT_PC_BASE` and the
+    /// channel decode is exact).
+    #[must_use]
+    pub fn v2_default() -> Self {
+        PredictorParams {
+            pht_entries: 64,
+            btb_entries: 16,
+            ghr_bits: 0,
+        }
+    }
+}
+
 /// The probe-array geometry a kernel transmits through, mirrored by both
 /// observers (`SideChannelObserver::new(base, stride, entries)` or
 /// `LeakageObserver::transient_slots(base, stride, entries)`).
@@ -149,6 +199,20 @@ impl ProbeChannel {
         }
     }
 
+    /// The predictor-state channel of the v2 kernels: slot `s` *is*
+    /// predictor table index `s` (base 0, stride 1 — the observer records
+    /// table indices, not byte addresses). With the v2 branch pcs at
+    /// `PHT_PC_BASE + s`, both the PHT counter and the BTB entry a
+    /// transient branch trains land in slot `s`.
+    #[must_use]
+    pub fn predictor_state() -> Self {
+        ProbeChannel {
+            base: 0,
+            stride: 1,
+            entries: PROBE_ENTRIES,
+        }
+    }
+
     /// Address of probe slot `i`.
     #[must_use]
     pub fn slot_addr(&self, i: usize) -> u64 {
@@ -180,6 +244,11 @@ pub enum ChannelKind {
     /// held (`sb_mem::ContentionObserver::transient_mshr_slots`) — a
     /// resource-pressure channel, not retained state.
     MshrContention,
+    /// Frontend predictor state: which PHT counters / BTB entries squashed
+    /// branches trained (`sb_mem::LeakageObserver::transient_predictor_slots`)
+    /// — retained state the squash never rolls back, read out by an
+    /// attacker timing its own branches.
+    PredictorState,
 }
 
 /// A ready-to-run attack kernel.
@@ -211,6 +280,12 @@ pub struct AttackKernel {
     /// leaks must stay inside this set; in-claim secure schemes must leak
     /// in none of it.
     pub allowed_slots: Vec<usize>,
+    /// The modelled frontend predictor this kernel requires, if any. The
+    /// v1-era kernels run predictor-off (trace bits drive fetch, exactly
+    /// as before); the v2 family needs the modelled predictor both to
+    /// open its windows (BTB injection) and to carry its signal (PHT/BTB
+    /// state).
+    pub predictor: Option<PredictorParams>,
 }
 
 impl AttackKernel {
@@ -241,6 +316,9 @@ impl AttackKernel {
             ChannelKind::CacheState => leakage.transient_slots(c.base, c.stride, c.entries),
             ChannelKind::MshrContention => {
                 contention.transient_mshr_slots(c.base, c.stride, c.entries)
+            }
+            ChannelKind::PredictorState => {
+                leakage.transient_predictor_slots(c.base, c.stride, c.entries)
             }
         }
     }
@@ -303,6 +381,7 @@ pub fn spectre_v1_kernel(secret: usize) -> AttackKernel {
         min_model: ThreatModel::Spectre,
         expected_slots: vec![secret],
         allowed_slots: vec![secret],
+        predictor: None,
     }
 }
 
@@ -365,6 +444,7 @@ pub fn spectre_v1_prefetch_kernel(secret: usize) -> AttackKernel {
         expected_slots: (secret..=secret + 3).collect(),
         // L2's degree-4 run-ahead bounds the reachable set.
         allowed_slots: (secret..=secret + 6).collect(),
+        predictor: None,
     }
 }
 
@@ -417,6 +497,7 @@ pub fn ssb_kernel(secret: usize) -> AttackKernel {
         min_model: ThreatModel::Spectre,
         expected_slots: vec![secret],
         allowed_slots: vec![secret],
+        predictor: None,
     }
 }
 
@@ -471,6 +552,7 @@ pub fn store_forward_kernel(secret: usize) -> AttackKernel {
         min_model: ThreatModel::Spectre,
         expected_slots: vec![secret],
         allowed_slots: vec![secret],
+        predictor: None,
     }
 }
 
@@ -524,6 +606,7 @@ pub fn nested_speculation_kernel(secret: usize) -> AttackKernel {
         min_model: ThreatModel::Spectre,
         expected_slots: vec![secret],
         allowed_slots: vec![secret],
+        predictor: None,
     }
 }
 
@@ -594,6 +677,7 @@ pub fn prime_probe_kernel(secret: usize) -> AttackKernel {
         min_model: ThreatModel::Spectre,
         expected_slots: vec![secret],
         allowed_slots: vec![secret],
+        predictor: None,
     }
 }
 
@@ -650,6 +734,7 @@ pub fn mshr_contention_kernel(secret: usize) -> AttackKernel {
         min_model: ThreatModel::Spectre,
         expected_slots: vec![secret],
         allowed_slots: vec![secret],
+        predictor: None,
     }
 }
 
@@ -716,14 +801,207 @@ pub fn m_shadow_kernel(secret: usize) -> AttackKernel {
         min_model: ThreatModel::Futuristic,
         expected_slots: vec![secret],
         allowed_slots: vec![secret],
+        predictor: None,
+    }
+}
+
+/// Spectre v2, PHT poisoning: the transient path loads the secret and
+/// resolves a branch whose *pc* is secret-indexed (`PHT_PC_BASE + secret`,
+/// modelling the secret-dependent indirect-branch history of a real v2
+/// gadget). Executing that branch trains the PHT counter at index
+/// `secret` — predictor state the squash never rolls back, which a
+/// co-resident attacker reads out by timing its own branches at the
+/// aliasing pcs. The branch is not-taken, so the signal is pure direction
+/// state (no BTB entry is written).
+///
+/// STT treats branches as transmitters (§4.2): the tainted operand gates
+/// execution until the squash ends the window, so the branch never trains
+/// and the channel closes. NDA likewise never broadcasts the secret into
+/// the branch's operand.
+///
+/// **Secret address set:** exactly PHT index `secret` (channel slot
+/// `secret` of the predictor-state channel).
+///
+/// # Panics
+///
+/// Panics if `secret >= 16`.
+#[must_use]
+pub fn spectre_v2_pht_kernel(secret: usize) -> AttackKernel {
+    assert!(secret < PROBE_ENTRIES, "probe array has 16 slots");
+    let mut b = TraceBuilder::new("spectre-v2-pht");
+
+    // Warm the secret line; cold window-branch operand with a long
+    // resolve chain. The window branch carries its pc so the modelled
+    // predictor indexes it (outside the judged slots).
+    b.load(x(6), x(28), 0x2000_0000, 8);
+    b.load(x(9), x(28), 0x3000_0000, 8);
+    b.push(MicroOp::compute(OpClass::IntDiv, x(9), Some(x(9)), None));
+    b.push(MicroOp::compute(OpClass::IntDiv, x(9), Some(x(9)), None));
+    let br = b.branch_at(Some(x(9)), None, true, true, PHT_WINDOW_PC, PHT_PC_BASE);
+
+    // Transient path: read the secret, then resolve a secret-pc branch.
+    b.wrong_path(
+        br,
+        vec![
+            MicroOp::load(x(1), x(2), 0x2000_0000, 8),
+            MicroOp::branch_at(
+                Some(x(1)),
+                None,
+                false,
+                false,
+                PHT_PC_BASE + secret as u64,
+                0,
+            ),
+        ],
+    );
+
+    b.alu(x(5), None, None);
+    AttackKernel {
+        trace: b.build(),
+        secret,
+        channel: ProbeChannel::predictor_state(),
+        channel_kind: ChannelKind::PredictorState,
+        min_model: ThreatModel::Spectre,
+        expected_slots: vec![secret],
+        allowed_slots: vec![secret],
+        predictor: Some(PredictorParams::v2_default()),
+    }
+}
+
+/// Spectre v2, BTB injection by cross-training: the victim's branch at
+/// `BTB_VICTIM_PC` is trained taken (PHT counter up, BTB entry with its
+/// target); the attacker then executes its own branch at an *aliasing* pc
+/// (same BTB index, different tag), displacing the victim's entry. When
+/// the victim's branch runs again the predictor still says taken but the
+/// BTB tag-misses, so the frontend cannot have followed the branch: a
+/// *dynamic* mispredict the predictor itself produced, opening the
+/// transient window in which a v1-style gadget transmits the secret
+/// through the cache.
+///
+/// This is the scenario the modelled predictor exists for — the trace's
+/// static bits cannot express a mispredict *caused by attacker training*.
+/// The judged channel is the cache transmit (the window is the injected
+/// part); the secure schemes close it exactly like v1: the transmit load's
+/// address is tainted by the transient secret load.
+///
+/// **Secret address set:** exactly the one line `PROBE_BASE +
+/// secret * PROBE_STRIDE`.
+///
+/// # Panics
+///
+/// Panics if `secret >= 16`.
+#[must_use]
+pub fn spectre_v2_btb_kernel(secret: usize) -> AttackKernel {
+    assert!(secret < PROBE_ENTRIES, "probe array has 16 slots");
+    let mut b = TraceBuilder::new("spectre-v2-btb");
+
+    // Victim warmup: train the branch taken so the direction predictor
+    // saturates and the BTB holds (BTB_VICTIM_PC -> 0x100). The first
+    // iteration cold-mispredicts; that is part of training.
+    for _ in 0..3 {
+        b.branch_at(None, None, true, false, BTB_VICTIM_PC, 0x100);
+    }
+
+    // Attacker cross-training: an aliasing branch (same BTB index,
+    // different tag) evicts the victim's entry and installs its own
+    // target.
+    for _ in 0..3 {
+        b.branch_at(None, None, true, false, BTB_ATTACKER_PC, 0x200);
+    }
+
+    // Victim again: warm secret line, late-resolving operand, then the
+    // injected branch. Statically marked mispredicted so the builder
+    // accepts the wrong-path block; dynamically the tag mismatch is what
+    // opens the window.
+    b.load(x(6), x(28), 0x2000_0000, 8);
+    b.load(x(9), x(28), 0x3000_0000, 8);
+    b.push(MicroOp::compute(OpClass::IntDiv, x(9), Some(x(9)), None));
+    b.push(MicroOp::compute(OpClass::IntDiv, x(9), Some(x(9)), None));
+    let br = b.branch_at(Some(x(9)), None, true, true, BTB_VICTIM_PC, 0x100);
+
+    let probe_addr = PROBE_BASE + secret as u64 * PROBE_STRIDE;
+    b.wrong_path(
+        br,
+        vec![
+            MicroOp::load(x(1), x(2), 0x2000_0000, 8),
+            MicroOp::alu(x(3), Some(x(1)), None),
+            MicroOp::load(x(4), x(3), probe_addr, 8),
+        ],
+    );
+
+    b.alu(x(5), None, None);
+    AttackKernel {
+        trace: b.build(),
+        secret,
+        channel: ProbeChannel::page_stride(),
+        channel_kind: ChannelKind::CacheState,
+        min_model: ThreatModel::Spectre,
+        expected_slots: vec![secret],
+        allowed_slots: vec![secret],
+        predictor: Some(PredictorParams::v2_default()),
+    }
+}
+
+/// Spectre v2, predictor state survives the squash: like the PHT kernel
+/// but the transient secret-pc branch is *taken*, so training both moves
+/// the PHT counter up and installs a BTB entry at index `secret` — and
+/// neither is rolled back when the branch is squashed. The persistent
+/// footprint spans two predictor structures at once, the strongest form
+/// of the survives-squash property.
+///
+/// **Secret address set:** PHT index `secret` and BTB index `secret`,
+/// which the shared index-space channel both decodes to slot `secret`.
+///
+/// # Panics
+///
+/// Panics if `secret >= 16`.
+#[must_use]
+pub fn spectre_v2_squash_kernel(secret: usize) -> AttackKernel {
+    assert!(secret < PROBE_ENTRIES, "probe array has 16 slots");
+    let mut b = TraceBuilder::new("spectre-v2-squash");
+
+    b.load(x(6), x(28), 0x2000_0000, 8);
+    b.load(x(9), x(28), 0x3000_0000, 8);
+    b.push(MicroOp::compute(OpClass::IntDiv, x(9), Some(x(9)), None));
+    b.push(MicroOp::compute(OpClass::IntDiv, x(9), Some(x(9)), None));
+    let br = b.branch_at(Some(x(9)), None, true, true, PHT_WINDOW_PC, PHT_PC_BASE);
+
+    // Transient path: the secret-pc branch is taken, training PHT *and*
+    // BTB before the squash discards the architectural work.
+    b.wrong_path(
+        br,
+        vec![
+            MicroOp::load(x(1), x(2), 0x2000_0000, 8),
+            MicroOp::branch_at(
+                Some(x(1)),
+                None,
+                true,
+                false,
+                PHT_PC_BASE + secret as u64,
+                0x300,
+            ),
+        ],
+    );
+
+    b.alu(x(5), None, None);
+    AttackKernel {
+        trace: b.build(),
+        secret,
+        channel: ProbeChannel::predictor_state(),
+        channel_kind: ChannelKind::PredictorState,
+        min_model: ThreatModel::Spectre,
+        expected_slots: vec![secret],
+        allowed_slots: vec![secret],
+        predictor: Some(PredictorParams::v2_default()),
     }
 }
 
 /// The full battery, one kernel per scenario, all encoding the same
-/// `secret`. Order matches the paper-facing report. Spans four channel
+/// `secret`. Order matches the paper-facing report. Spans five channel
 /// families — cache fills (direct and prefetch-amplified), eviction sets,
-/// store→load forwarding, and MSHR contention — plus the M-shadow
-/// scenario only the Futuristic threat model claims.
+/// store→load forwarding, MSHR contention, and frontend predictor state
+/// (the Spectre-v2 family) — plus the M-shadow scenario only the
+/// Futuristic threat model claims.
 ///
 /// # Panics
 ///
@@ -739,6 +1017,9 @@ pub fn attack_battery(secret: usize) -> Vec<AttackKernel> {
         prime_probe_kernel(secret),
         mshr_contention_kernel(secret),
         m_shadow_kernel(secret),
+        spectre_v2_pht_kernel(secret),
+        spectre_v2_btb_kernel(secret),
+        spectre_v2_squash_kernel(secret),
     ]
 }
 
@@ -873,9 +1154,9 @@ mod tests {
     }
 
     #[test]
-    fn battery_covers_eight_distinct_scenarios() {
+    fn battery_covers_eleven_distinct_scenarios() {
         let battery = attack_battery(5);
-        assert_eq!(battery.len(), 8);
+        assert_eq!(battery.len(), 11);
         let names: Vec<_> = battery.iter().map(|k| k.trace.name().to_string()).collect();
         assert_eq!(
             names,
@@ -887,7 +1168,10 @@ mod tests {
                 "nested-speculation",
                 "prime-probe",
                 "mshr-contention",
-                "m-shadow"
+                "m-shadow",
+                "spectre-v2-pht",
+                "spectre-v2-btb",
+                "spectre-v2-squash"
             ]
         );
         for k in &battery {
@@ -916,6 +1200,93 @@ mod tests {
                 .count(),
             1
         );
+        // Exactly the v2 family asks for a modelled predictor; everything
+        // else must run with the predictor off so its golden stats hold.
+        for k in &battery {
+            assert_eq!(
+                k.predictor.is_some(),
+                k.trace.name().starts_with("spectre-v2"),
+                "{}",
+                k.trace.name()
+            );
+        }
+        assert_eq!(
+            battery
+                .iter()
+                .filter(|k| k.channel_kind == ChannelKind::PredictorState)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn v2_pht_kernel_trains_the_secret_indexed_counter() {
+        let k = spectre_v2_pht_kernel(7);
+        let params = k.predictor.expect("v2 kernels carry predictor params");
+        assert_eq!(params.pht_entries, 64);
+        assert_eq!(params.ghr_bits, 0, "ghr off keeps pht index == pc & 63");
+        // The transient branch's pc lands on PHT index == secret, and the
+        // window branch sits outside the judged 16-slot channel.
+        let wrong = &k.trace.wrong_paths().next().unwrap().1.ops;
+        let transient_branch = wrong.iter().find(|o| o.ctrl.is_some()).unwrap();
+        let ctrl = transient_branch.ctrl.unwrap();
+        assert_eq!(ctrl.pc % params.pht_entries as u64, 7);
+        assert!(!ctrl.taken, "pht kernel keeps the btb clean");
+        assert!(PHT_WINDOW_PC % params.pht_entries as u64 >= PROBE_ENTRIES as u64);
+        assert_eq!(k.channel_kind, ChannelKind::PredictorState);
+    }
+
+    #[test]
+    fn v2_btb_kernel_cross_trains_an_aliasing_branch() {
+        let k = spectre_v2_btb_kernel(3);
+        let params = k.predictor.expect("v2 kernels carry predictor params");
+        // Victim and attacker pcs share a BTB index but differ in tag —
+        // the collision is the injection mechanism.
+        assert_eq!(
+            BTB_VICTIM_PC % params.btb_entries as u64,
+            BTB_ATTACKER_PC % params.btb_entries as u64
+        );
+        assert_ne!(BTB_VICTIM_PC, BTB_ATTACKER_PC);
+        // The transmit rides the cache channel like v1.
+        assert_eq!(k.channel_kind, ChannelKind::CacheState);
+        let wrong = &k.trace.wrong_paths().next().unwrap().1.ops;
+        let transmit = wrong.iter().filter_map(|o| o.mem).next_back().unwrap();
+        assert_eq!(transmit.addr, k.channel.slot_addr(3));
+    }
+
+    #[test]
+    fn v2_squash_kernel_touches_pht_and_btb_at_the_secret_index() {
+        let k = spectre_v2_squash_kernel(4);
+        let params = k.predictor.expect("v2 kernels carry predictor params");
+        let wrong = &k.trace.wrong_paths().next().unwrap().1.ops;
+        let ctrl = wrong.iter().find_map(|o| o.ctrl).unwrap();
+        assert!(ctrl.taken, "a taken transient branch also fills the btb");
+        assert_eq!(ctrl.pc % params.pht_entries as u64, 4);
+        assert_eq!(ctrl.pc % params.btb_entries as u64, 4);
+        assert_eq!(k.channel_kind, ChannelKind::PredictorState);
+    }
+
+    #[test]
+    fn v2_transient_branches_carry_the_tainted_secret_operand() {
+        // Secure schemes gate transmitters by tainted operands: every v2
+        // transient branch must consume the transiently-loaded secret or
+        // the channel would stay open under STT/NDA.
+        for k in [
+            spectre_v2_pht_kernel(2),
+            spectre_v2_squash_kernel(2),
+            spectre_v2_btb_kernel(2),
+        ] {
+            let wrong = &k.trace.wrong_paths().next().unwrap().1.ops;
+            let secret_load = wrong.first().unwrap();
+            let dst = secret_load.dst.expect("transient secret load has a dst");
+            assert!(
+                wrong[1..]
+                    .iter()
+                    .any(|o| o.src1 == Some(dst) || o.src2 == Some(dst)),
+                "{}: transient payload must consume the secret register",
+                k.trace.name()
+            );
+        }
     }
 
     #[test]

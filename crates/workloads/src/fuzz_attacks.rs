@@ -1,6 +1,6 @@
 //! Randomized structural variants of the attack battery.
 //!
-//! The hand-written kernels behind [`crate::attack_battery`] are eight
+//! The hand-written kernels behind [`crate::attack_battery`] are eleven
 //! fixed points in a large space of equivalent attacks; a
 //! taint-propagation bug that happens to dodge those exact shapes would
 //! slip past the battery.
@@ -22,8 +22,9 @@
 //! case number alone.
 
 use crate::attacks::{
-    AttackKernel, ChannelKind, ProbeChannel, CONT_BASE, CONT_STRIDE, EVSET_PRIME_BASE,
-    EVSET_SET_OFFSET, EVSET_SET_STRIDE, EVSET_TARGET_BASE, EVSET_WAYS, PROBE_BASE, PROBE_ENTRIES,
+    AttackKernel, ChannelKind, PredictorParams, ProbeChannel, BTB_ATTACKER_PC, BTB_VICTIM_PC,
+    CONT_BASE, CONT_STRIDE, EVSET_PRIME_BASE, EVSET_SET_OFFSET, EVSET_SET_STRIDE,
+    EVSET_TARGET_BASE, EVSET_WAYS, PHT_PC_BASE, PHT_WINDOW_PC, PROBE_BASE, PROBE_ENTRIES,
     PROBE_STRIDE,
 };
 use rand::rngs::SmallRng;
@@ -32,7 +33,7 @@ use sb_core::ThreatModel;
 use sb_isa::{ArchReg, MicroOp, OpClass, TraceBuilder};
 
 /// Number of scenario families [`fuzz_battery`] draws from.
-pub const FAMILIES: usize = 8;
+pub const FAMILIES: usize = 11;
 
 fn x(n: u8) -> ArchReg {
     ArchReg::int(n)
@@ -134,6 +135,7 @@ pub fn spectre_v1_variant(seed: u64) -> AttackKernel {
         min_model: ThreatModel::Spectre,
         expected_slots: vec![secret],
         allowed_slots: vec![secret],
+        predictor: None,
     }
 }
 
@@ -173,6 +175,7 @@ pub fn spectre_v1_prefetch_variant(seed: u64) -> AttackKernel {
         // 4 lines past the last direct access.
         expected_slots: (secret..=secret + burst).collect(),
         allowed_slots: (secret..=secret + burst + 3).collect(),
+        predictor: None,
     }
 }
 
@@ -205,6 +208,7 @@ pub fn ssb_variant(seed: u64) -> AttackKernel {
         min_model: ThreatModel::Spectre,
         expected_slots: vec![secret],
         allowed_slots: vec![secret],
+        predictor: None,
     }
 }
 
@@ -241,6 +245,7 @@ pub fn store_forward_variant(seed: u64) -> AttackKernel {
         min_model: ThreatModel::Spectre,
         expected_slots: vec![secret],
         allowed_slots: vec![secret],
+        predictor: None,
     }
 }
 
@@ -278,6 +283,7 @@ pub fn nested_speculation_variant(seed: u64) -> AttackKernel {
         min_model: ThreatModel::Spectre,
         expected_slots: vec![secret],
         allowed_slots: vec![secret],
+        predictor: None,
     }
 }
 
@@ -320,6 +326,7 @@ pub fn prime_probe_variant(seed: u64) -> AttackKernel {
         min_model: ThreatModel::Spectre,
         expected_slots: vec![secret],
         allowed_slots: vec![secret],
+        predictor: None,
     }
 }
 
@@ -355,6 +362,7 @@ pub fn mshr_contention_variant(seed: u64) -> AttackKernel {
         min_model: ThreatModel::Spectre,
         expected_slots: vec![secret],
         allowed_slots: vec![secret],
+        predictor: None,
     }
 }
 
@@ -398,6 +406,142 @@ pub fn m_shadow_variant(seed: u64) -> AttackKernel {
         min_model: ThreatModel::Futuristic,
         expected_slots: vec![secret],
         allowed_slots: vec![secret],
+        predictor: None,
+    }
+}
+
+impl Fz {
+    /// The v2 window prologue: like [`Fz::window_prologue`] but the
+    /// mispredicted branch carries a pc so the modelled predictor indexes
+    /// it — parked at [`PHT_WINDOW_PC`], outside the judged channel.
+    fn v2_window_prologue(&mut self, b: &mut TraceBuilder, warm: u64, cold: u64) -> usize {
+        self.fill(b, 2);
+        b.load(x(6), x(28), warm, 8);
+        self.fill(b, 2);
+        b.load(x(9), x(28), cold, 8);
+        for _ in 0..self.rng.gen_range(1..4usize) {
+            b.push(MicroOp::compute(OpClass::IntDiv, x(9), Some(x(9)), None));
+        }
+        b.branch_at(Some(x(9)), None, true, true, PHT_WINDOW_PC, PHT_PC_BASE)
+    }
+}
+
+/// A spectre-v2 PHT-poisoning variant: variable window length and fillers
+/// around a fixed channel skeleton (the transient not-taken branch at the
+/// secret-indexed pc is the channel; its shape cannot vary).
+#[must_use]
+pub fn spectre_v2_pht_variant(seed: u64) -> AttackKernel {
+    let mut fz = Fz::new(seed ^ 0x2B);
+    let secret = fz.secret();
+    let mut b = TraceBuilder::new("spectre-v2-pht-fz");
+    let br = fz.v2_window_prologue(&mut b, 0x2000_0000, 0x3000_0000);
+    let mut wp = Vec::new();
+    fz.wp_fill(&mut wp, 2);
+    wp.push(MicroOp::load(x(1), x(2), 0x2000_0000, 8));
+    fz.wp_fill(&mut wp, 2);
+    wp.push(MicroOp::branch_at(
+        Some(x(1)),
+        None,
+        false,
+        false,
+        PHT_PC_BASE + secret as u64,
+        0,
+    ));
+    b.wrong_path(br, wp);
+    fz.fill(&mut b, 3);
+    b.alu(x(5), None, None);
+    AttackKernel {
+        trace: b.build(),
+        secret,
+        channel: ProbeChannel::predictor_state(),
+        channel_kind: ChannelKind::PredictorState,
+        min_model: ThreatModel::Spectre,
+        expected_slots: vec![secret],
+        allowed_slots: vec![secret],
+        predictor: Some(PredictorParams::v2_default()),
+    }
+}
+
+/// A spectre-v2 BTB-injection variant: victim and attacker training
+/// lengths vary (2–4 each; one aliasing branch already displaces the
+/// direct-mapped entry), plus the usual window and filler knobs.
+#[must_use]
+pub fn spectre_v2_btb_variant(seed: u64) -> AttackKernel {
+    let mut fz = Fz::new(seed ^ 0x68);
+    let secret = fz.secret();
+    let mut b = TraceBuilder::new("spectre-v2-btb-fz");
+    for _ in 0..fz.rng.gen_range(2..5usize) {
+        b.branch_at(None, None, true, false, BTB_VICTIM_PC, 0x100);
+    }
+    fz.fill(&mut b, 2);
+    for _ in 0..fz.rng.gen_range(2..5usize) {
+        b.branch_at(None, None, true, false, BTB_ATTACKER_PC, 0x200);
+    }
+    fz.fill(&mut b, 2);
+    b.load(x(6), x(28), 0x2000_0000, 8);
+    b.load(x(9), x(28), 0x3000_0000, 8);
+    for _ in 0..fz.rng.gen_range(1..4usize) {
+        b.push(MicroOp::compute(OpClass::IntDiv, x(9), Some(x(9)), None));
+    }
+    let br = b.branch_at(Some(x(9)), None, true, true, BTB_VICTIM_PC, 0x100);
+    let mut wp = Vec::new();
+    fz.wp_fill(&mut wp, 2);
+    wp.push(MicroOp::load(x(1), x(2), 0x2000_0000, 8));
+    wp.push(MicroOp::alu(x(3), Some(x(1)), None));
+    wp.push(MicroOp::load(
+        x(4),
+        x(3),
+        PROBE_BASE + secret as u64 * PROBE_STRIDE,
+        8,
+    ));
+    b.wrong_path(br, wp);
+    fz.fill(&mut b, 2);
+    b.alu(x(5), None, None);
+    AttackKernel {
+        trace: b.build(),
+        secret,
+        channel: ProbeChannel::page_stride(),
+        channel_kind: ChannelKind::CacheState,
+        min_model: ThreatModel::Spectre,
+        expected_slots: vec![secret],
+        allowed_slots: vec![secret],
+        predictor: Some(PredictorParams::v2_default()),
+    }
+}
+
+/// A spectre-v2 survives-squash variant: the transient branch is taken
+/// (PHT *and* BTB footprint); the target and the window knobs vary.
+#[must_use]
+pub fn spectre_v2_squash_variant(seed: u64) -> AttackKernel {
+    let mut fz = Fz::new(seed ^ 0xC4);
+    let secret = fz.secret();
+    let target = 0x300 + fz.rng.gen_range(0..4u64) * 0x40;
+    let mut b = TraceBuilder::new("spectre-v2-squash-fz");
+    let br = fz.v2_window_prologue(&mut b, 0x2000_0000, 0x3000_0000);
+    let mut wp = Vec::new();
+    fz.wp_fill(&mut wp, 2);
+    wp.push(MicroOp::load(x(1), x(2), 0x2000_0000, 8));
+    fz.wp_fill(&mut wp, 1);
+    wp.push(MicroOp::branch_at(
+        Some(x(1)),
+        None,
+        true,
+        false,
+        PHT_PC_BASE + secret as u64,
+        target,
+    ));
+    b.wrong_path(br, wp);
+    fz.fill(&mut b, 2);
+    b.alu(x(5), None, None);
+    AttackKernel {
+        trace: b.build(),
+        secret,
+        channel: ProbeChannel::predictor_state(),
+        channel_kind: ChannelKind::PredictorState,
+        min_model: ThreatModel::Spectre,
+        expected_slots: vec![secret],
+        allowed_slots: vec![secret],
+        predictor: Some(PredictorParams::v2_default()),
     }
 }
 
@@ -414,6 +558,9 @@ pub fn fuzz_battery(seed: u64) -> Vec<AttackKernel> {
         prime_probe_variant(seed),
         mshr_contention_variant(seed),
         m_shadow_variant(seed),
+        spectre_v2_pht_variant(seed),
+        spectre_v2_btb_variant(seed),
+        spectre_v2_squash_variant(seed),
     ]
 }
 

@@ -271,7 +271,9 @@ mod tests {
         assert_ne!(a, store.path_for(p[0].name, 101, 1, fp));
         assert_ne!(a, store.path_for(p[0].name, 100, 2, fp));
         assert_ne!(a, store.path_for(p[0].name, 100, 1, fp ^ 1));
-        assert!(a.to_string_lossy().contains("-v1.sbtrace"));
+        assert!(a
+            .to_string_lossy()
+            .contains(&format!("-v{TRACE_FORMAT_VERSION}.sbtrace")));
         cleanup(&store);
     }
 

@@ -19,7 +19,7 @@
 //!   scheduler measure identical leak sets, change counts and port
 //!   pressure on every single run.
 //!
-//! 25 cases × 8 families = 200 randomized variants per CI run, each
+//! 25 cases × 11 families = 275 randomized variants per CI run, each
 //! reproducible from its case number (generation is deterministic).
 
 use proptest::prelude::*;
@@ -39,6 +39,13 @@ fn measure(
 ) -> (BTreeSet<usize>, usize, usize) {
     let mut config = CoreConfig::mega();
     config.scheduler = scheduler;
+    if let Some(p) = kernel.predictor {
+        config.predictor = shadowbinding::uarch::PredictorConfig::enabled(
+            p.pht_entries,
+            p.btb_entries,
+            p.ghr_bits,
+        );
+    }
     let cfg = SchemeConfig::rtl(scheme, config.mem_ports).with_threat_model(model);
     let mut core = Core::new(config, cfg, kernel.trace.clone());
     core.memory_mut().attach_leakage_observer();

@@ -5,8 +5,8 @@
 //! constants must audit clean against the analyzer.
 //!
 //! This rides the same `sb_workloads::fuzz_attacks` generator as the
-//! dynamic contract fuzzer (`attack_fuzz.rs`): 25 cases × 8 scenario
-//! families = 200 randomized variants per CI run, each checked on
+//! dynamic contract fuzzer (`attack_fuzz.rs`): 25 cases × 11 scenario
+//! families = 275 randomized variants per CI run, each checked on
 //! 4 schemes × 2 threat models × 2 schedulers. A violation reports the
 //! typed [`SoundnessError`] naming the exact cell.
 //!
@@ -29,6 +29,13 @@ fn dynamic_slots(
 ) -> BTreeSet<usize> {
     let mut config = CoreConfig::mega();
     config.scheduler = scheduler;
+    if let Some(p) = kernel.predictor {
+        config.predictor = shadowbinding::uarch::PredictorConfig::enabled(
+            p.pht_entries,
+            p.btb_entries,
+            p.ghr_bits,
+        );
+    }
     let cfg = SchemeConfig::rtl(scheme, config.mem_ports).with_threat_model(model);
     let mut core = Core::new(config, cfg, kernel.trace.clone());
     core.memory_mut().attach_leakage_observer();
